@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Shared scaffolding for the experiment harnesses (bench/fig*, bench/
+ * table*, bench/sec*). Each binary regenerates one of the paper's
+ * tables/figures; EXPERIMENTS.md records paper-vs-measured values.
+ *
+ * Environment knobs:
+ *   INC_BENCH_SAMPLES  trace length in 0.1 ms samples (default 50000)
+ *   INC_BENCH_SEED     master seed (default 2017)
+ *   INC_BENCH_OUTDIR   where PGM/CSV artifacts are written (default
+ *                      "bench_out"; created if missing)
+ */
+
+#ifndef INC_BENCH_BENCH_COMMON_H
+#define INC_BENCH_BENCH_COMMON_H
+
+#include <cstdlib>
+#include <string>
+#include <sys/stat.h>
+#include <vector>
+
+#include "sim/functional.h"
+#include "sim/system_sim.h"
+#include "sim/wait_compute.h"
+#include "trace/outage_stats.h"
+#include "trace/trace_generator.h"
+#include "util/logging.h"
+#include "util/table.h"
+
+namespace inc::bench
+{
+
+inline std::size_t
+benchSamples()
+{
+    if (const char *s = std::getenv("INC_BENCH_SAMPLES"))
+        return static_cast<std::size_t>(std::strtoull(s, nullptr, 10));
+    return 50000;
+}
+
+inline std::uint64_t
+benchSeed()
+{
+    if (const char *s = std::getenv("INC_BENCH_SEED"))
+        return std::strtoull(s, nullptr, 10);
+    return 2017;
+}
+
+inline std::string
+outDir()
+{
+    const char *dir = std::getenv("INC_BENCH_OUTDIR");
+    std::string path = dir ? dir : "bench_out";
+    ::mkdir(path.c_str(), 0755);
+    return path;
+}
+
+/** The five evaluation traces at the bench length. */
+inline std::vector<trace::PowerTrace>
+benchTraces()
+{
+    return trace::standardProfiles(benchSamples(), benchSeed());
+}
+
+/** Precise 8-bit NVP baseline configuration (the paper's reference). */
+inline sim::SimConfig
+baselineConfig()
+{
+    sim::SimConfig cfg;
+    cfg.bits.mode = approx::ApproxMode::precise;
+    cfg.controller.roll_forward = false;
+    cfg.controller.simd_adoption = false;
+    cfg.controller.history_spawn = false;
+    cfg.controller.process_newest_first = false;
+    cfg.score_quality = false;
+    cfg.seed = benchSeed();
+    return cfg;
+}
+
+/** Incidental NVP with dynamic bitwidth in [min_bits, max_bits]. */
+inline sim::SimConfig
+incidentalConfig(int min_bits, int max_bits,
+                 nvm::RetentionPolicy policy =
+                     nvm::RetentionPolicy::linear)
+{
+    sim::SimConfig cfg;
+    cfg.bits.mode = approx::ApproxMode::dynamic;
+    cfg.bits.min_bits = min_bits;
+    cfg.bits.max_bits = max_bits;
+    cfg.controller.backup_policy = policy;
+    cfg.seed = benchSeed();
+    return cfg;
+}
+
+/** Fixed-bitwidth configuration (Figs. 15/16 sweeps). */
+inline sim::SimConfig
+fixedBitsConfig(int bits)
+{
+    sim::SimConfig cfg = baselineConfig();
+    cfg.bits.mode = approx::ApproxMode::fixed;
+    cfg.bits.fixed_bits = bits;
+    // Keep the sensor ahead of the NVP and income modest: forward
+    // progress should be energy-limited, not input- or time-limited.
+    cfg.frame_period_factor = 0.25;
+    cfg.income_scale = 3.0;
+    return cfg;
+}
+
+/** Table 2 tuned policy for a kernel (paper Sec. 8.6). */
+struct TunedPolicy
+{
+    int min_bits;
+    int recompute_times;
+    nvm::RetentionPolicy backup;
+    const char *qos; ///< target description
+};
+
+inline TunedPolicy
+tunedPolicy(const std::string &kernel)
+{
+    using nvm::RetentionPolicy;
+    if (kernel == "integral")
+        return {2, 0, RetentionPolicy::parabola, "PSNR 20dB"};
+    if (kernel == "median")
+        return {4, 2, RetentionPolicy::linear, "PSNR 50dB"};
+    if (kernel == "sobel")
+        return {4, 2, RetentionPolicy::linear, "PSNR 8dB"};
+    if (kernel == "jpeg.encode")
+        return {3, 0, RetentionPolicy::log, "size <= 150%"};
+    // Kernels beyond Table 2 default to the median-class policy.
+    return {4, 1, RetentionPolicy::linear, "PSNR 20dB"};
+}
+
+/** Table-2-tuned incidental configuration for a kernel. */
+inline sim::SimConfig
+tunedConfig(const std::string &kernel)
+{
+    const TunedPolicy p = tunedPolicy(kernel);
+    sim::SimConfig cfg = incidentalConfig(p.min_bits, 8, p.backup);
+    cfg.controller.auto_recompute_times = p.recompute_times;
+    cfg.controller.recompute_min_bits = std::max(6, p.min_bits);
+    cfg.controller.spawn_energy_frac = 0.05;
+    // The regime that motivates incidental computing: the sensor
+    // captures several times faster than the NVP can process precisely
+    // (Sec. 2.1: ">80% of the captured data may have to be abandoned").
+    cfg.frame_period_factor = 0.2;
+    return cfg;
+}
+
+} // namespace inc::bench
+
+#endif // INC_BENCH_BENCH_COMMON_H

@@ -1,0 +1,59 @@
+/**
+ * Fig. 3 — power outage durations (left) and their frequency
+ * distribution (right) for Power Profile 1.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace inc;
+
+int
+main()
+{
+    const auto traces = bench::benchTraces();
+
+    for (int p = 0; p < 2; ++p) {
+        const auto &t = traces[static_cast<size_t>(p)];
+        const auto stats = trace::analyzeOutages(t);
+
+        util::Table summary(
+            util::format("Fig. 3 — outage summary, %s", t.name().c_str()));
+        summary.setHeader({"metric", "value"});
+        summary.addRow({"outages", util::Table::integer(
+                                       static_cast<long long>(
+                                           stats.count()))});
+        summary.addRow({"mean duration (0.1ms)",
+                        util::Table::num(stats.meanDurationTenthMs(), 1)});
+        summary.addRow({"max duration (0.1ms)",
+                        util::Table::num(stats.maxDurationTenthMs(), 0)});
+        summary.addRow(
+            {"survive 10ms retention",
+             util::Table::num(100.0 * stats.survivalFraction(100.0), 1) +
+                 " %"});
+        summary.addRow(
+            {"survive 100ms retention",
+             util::Table::num(100.0 * stats.survivalFraction(1000.0), 1) +
+                 " %"});
+        summary.print();
+
+        util::Table hist(util::format(
+            "Fig. 3 (right) — outage duration histogram, %s",
+            t.name().c_str()));
+        hist.setHeader({"duration bin (0.1ms)", "count"});
+        const auto h = stats.durationHistogram(15);
+        for (int b = 0; b < h.bins(); ++b) {
+            if (h.count(b) == 0)
+                continue;
+            hist.addRow({util::format("%.0f - %.0f", h.edge(b),
+                                      h.edge(b) + h.binWidth()),
+                         util::Table::integer(static_cast<long long>(
+                             h.count(b)))});
+        }
+        hist.print();
+    }
+    std::printf("paper: most outages last a few ms, rarely more than a "
+                "fraction of a second (Sec. 3.2, Fig. 3)\n");
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * Fig. 5 / Eq. 1-3 — the three retention-time-shaping policies and the
+ * per-word backup write energy each one yields.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace inc;
+using nvm::RetentionPolicy;
+
+int
+main()
+{
+    util::Table shape("Fig. 5 — retention time per bit (0.1 ms units)");
+    shape.setHeader({"bit", "linear (Eq.1)", "log (Eq.2)",
+                     "parabola (Eq.3)"});
+    for (int b = 8; b >= 1; --b) {
+        shape.addRow(
+            {util::Table::integer(b),
+             util::Table::num(
+                 nvm::retentionTenthMs(RetentionPolicy::linear, b), 0),
+             util::Table::num(
+                 nvm::retentionTenthMs(RetentionPolicy::log, b), 0),
+             util::Table::num(
+                 nvm::retentionTenthMs(RetentionPolicy::parabola, b),
+                 0)});
+    }
+    shape.print();
+
+    const nvm::RetentionEnergyTable table;
+    util::Table energy("Backup write energy per 8-bit word");
+    energy.setHeader({"policy", "energy (fJ)", "saving vs full"});
+    for (auto policy :
+         {RetentionPolicy::full, RetentionPolicy::linear,
+          RetentionPolicy::log, RetentionPolicy::parabola}) {
+        energy.addRow({nvm::policyName(policy),
+                       util::Table::num(table.wordEnergyFj(policy), 1),
+                       util::Table::num(100.0 * table.wordSaving(policy),
+                                        1) +
+                           " %"});
+    }
+    energy.print();
+    std::printf("paper: log frees the most backup energy, parabola the "
+                "least (Sec. 8.4)\n");
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * Fig. 16 — number of backups vs reliable bitwidth across the five
+ * profiles. The paper reports an average ~45 % reduction from 8 bits
+ * down to 1 bit (less state, lower consumption, fewer emergencies).
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace inc;
+
+int
+main()
+{
+    const auto traces = bench::benchTraces();
+
+    util::Table table(
+        "Fig. 16 — backup count vs reliable bits (median kernel)");
+    std::vector<std::string> header{"bits"};
+    for (const auto &t : traces)
+        header.push_back(t.name());
+    table.setHeader(header);
+
+    std::vector<std::uint64_t> backups8(traces.size(), 0);
+    std::vector<std::uint64_t> backups1(traces.size(), 0);
+    for (int bits = 8; bits >= 1; --bits) {
+        std::vector<std::string> row{util::Table::integer(bits)};
+        for (size_t p = 0; p < traces.size(); ++p) {
+            sim::SystemSimulator s(kernels::makeKernel("median"),
+                                   &traces[p],
+                                   bench::fixedBitsConfig(bits));
+            const auto r = s.run();
+            if (bits == 8)
+                backups8[p] = r.backups;
+            if (bits == 1)
+                backups1[p] = r.backups;
+            row.push_back(util::Table::integer(
+                static_cast<long long>(r.backups)));
+        }
+        table.addRow(row);
+    }
+    table.print();
+
+    double reduction = 0.0;
+    for (size_t p = 0; p < traces.size(); ++p) {
+        reduction += backups8[p]
+                         ? 1.0 - static_cast<double>(backups1[p]) /
+                                     static_cast<double>(backups8[p])
+                         : 0.0;
+    }
+    std::printf("mean backup reduction 8 -> 1 bits: %.1f %% "
+                "(paper Sec. 8.2: ~45 %%)\n",
+                100.0 * reduction / static_cast<double>(traces.size()));
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * Figs. 17 + 18 + 19 — dynamic bitwidth approximation on the median
+ * kernel: per-bitwidth utilization distribution (Fig. 18's right-hand
+ * summary), and the resulting output quality (Fig. 19: MSE ~1.5-2,
+ * PSNR ~19.5-22 dB across profiles 1-3 in the paper; dynamic quality
+ * lands near a 2-bit fixed solution).
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace inc;
+
+int
+main()
+{
+    const auto traces = bench::benchTraces();
+
+    util::Table util_table(
+        "Fig. 18 — bitwidth utilization (median, dynamic [1,8])");
+    util_table.setHeader({"state", "profile 1", "profile 2",
+                          "profile 3"});
+
+    std::array<std::array<double, 9>, 3> fractions{};
+    std::array<double, 3> mse{};
+    std::array<double, 3> psnr{};
+
+    for (int p = 0; p < 3; ++p) {
+        sim::SimConfig cfg = bench::incidentalConfig(1, 8);
+        cfg.frame_period_factor = 0.75;
+        sim::SystemSimulator s(kernels::makeKernel("median"),
+                               &traces[static_cast<size_t>(p)], cfg);
+        const auto r = s.run();
+        std::uint64_t total = 0;
+        for (auto t : r.bit_ticks)
+            total += t;
+        for (int b = 0; b <= 8; ++b) {
+            fractions[static_cast<size_t>(p)][static_cast<size_t>(b)] =
+                total ? 100.0 *
+                            static_cast<double>(
+                                r.bit_ticks[static_cast<size_t>(b)]) /
+                            static_cast<double>(total)
+                      : 0.0;
+        }
+        mse[static_cast<size_t>(p)] = r.mean_mse;
+        psnr[static_cast<size_t>(p)] = r.mean_psnr;
+    }
+
+    for (int b = 8; b >= 0; --b) {
+        util_table.addRow(
+            {b == 0 ? "OFF" : util::format("%d bits", b),
+             util::Table::num(fractions[0][static_cast<size_t>(b)], 1) +
+                 " %",
+             util::Table::num(fractions[1][static_cast<size_t>(b)], 1) +
+                 " %",
+             util::Table::num(fractions[2][static_cast<size_t>(b)], 1) +
+                 " %"});
+    }
+    util_table.print();
+    std::printf("paper (profile 1): 59.7%% OFF, 19.8%% at 8 bits, small "
+                "shares at intermediate widths\n");
+
+    util::Table q("Fig. 19 — QoS of dynamic bitwidth (median)");
+    q.setHeader({"profile", "MSE", "PSNR (dB)", "paper PSNR"});
+    const char *paper[] = {"21", "22", "19.49"};
+    for (int p = 0; p < 3; ++p) {
+        q.addRow({traces[static_cast<size_t>(p)].name(),
+                  util::Table::num(mse[static_cast<size_t>(p)], 2),
+                  util::Table::num(psnr[static_cast<size_t>(p)], 2),
+                  paper[p]});
+    }
+    q.print();
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * Figs. 23 + 24 + 26(left) — output quality under the three
+ * retention-shaping policies: MSE and PSNR per policy per profile.
+ * The paper's (surprising) observation: the log policy — the most
+ * aggressive energy saver — has the best MSE and PSNR of the three,
+ * with quality similar across policies by PSNR.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace inc;
+using nvm::RetentionPolicy;
+
+int
+main()
+{
+    const auto traces = bench::benchTraces();
+
+    util::Table mse_t("Fig. 23 — MSE vs retention policy (median)");
+    util::Table psnr_t("Fig. 24 — PSNR vs retention policy (median)");
+    mse_t.setHeader({"policy", "profile 1", "profile 2", "profile 3"});
+    psnr_t.setHeader({"policy", "profile 1", "profile 2", "profile 3"});
+
+    for (RetentionPolicy policy :
+         {RetentionPolicy::linear, RetentionPolicy::log,
+          RetentionPolicy::parabola}) {
+        std::vector<std::string> mse_row{nvm::policyName(policy)};
+        std::vector<std::string> psnr_row{nvm::policyName(policy)};
+        for (int p = 0; p < 3; ++p) {
+            sim::SimConfig cfg = bench::incidentalConfig(4, 8, policy);
+            cfg.frame_period_factor = 0.75;
+            cfg.income_scale = 2.5;
+            sim::SystemSimulator s(kernels::makeKernel("median"),
+                                   &traces[static_cast<size_t>(p)], cfg);
+            const auto r = s.run();
+            mse_row.push_back(util::Table::num(r.mean_mse, 1));
+            psnr_row.push_back(util::Table::num(r.mean_psnr, 1));
+        }
+        mse_t.addRow(mse_row);
+        psnr_t.addRow(psnr_row);
+    }
+    mse_t.print();
+    psnr_t.print();
+    std::printf("paper: PSNR similar across policies (~30-80 dB band); "
+                "log surprisingly best on MSE — low-bit errors stay "
+                "within the kernels' tolerance (Sec. 8.4)\n");
+    return 0;
+}

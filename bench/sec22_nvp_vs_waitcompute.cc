@@ -1,0 +1,80 @@
+/**
+ * Sec. 2.2 — NVP-based execution vs. the wait-compute paradigm.
+ *
+ * The paper re-implements its prior NVP model [24] and observes the NVP
+ * outperforming wait-compute by 2.2-5x across the watch traces. The gap
+ * comes from the ESD's losses: charge/discharge conversion efficiency,
+ * supercap leakage comparable to the harvester's income, and the
+ * minimum charging current (GZ115: 20 uA).
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace inc;
+
+int
+main()
+{
+    const auto kernel = kernels::makeKernel("sobel");
+    sim::FunctionalConfig cal;
+    const auto f = sim::runFunctional(kernel, cal);
+
+    util::Table table("Sec. 2.2 — NVP vs wait-compute forward progress");
+    table.setHeader({"profile", "wait-compute FP", "NVP FP", "NVP gain"});
+
+    double gain_sum = 0.0;
+    int gain_count = 0;
+    for (const auto &trace : bench::benchTraces()) {
+        sim::WaitComputeConfig wc;
+        wc.cycles_per_frame = f.cyclesPerFrame();
+        wc.instructions_per_frame =
+            static_cast<double>(f.instructions) /
+            static_cast<double>(f.outputs.size());
+        // A better-than-typical ESD (8 uW leakage) so the wait-compute
+        // side completes work even on the low-power profiles; harsher
+        // ESDs only widen the NVP's advantage.
+        wc.leak_nj_per_ms = 8.0;
+        const auto rw = sim::runWaitCompute(trace, wc);
+
+        sim::SimConfig cfg = bench::baselineConfig();
+        cfg.income_scale = 1.0; // identical front-end income for both
+        cfg.frame_period_factor = 0.25;
+        sim::SystemSimulator nvp(kernel, &trace, cfg);
+        const auto rn = nvp.run();
+
+        const double gain =
+            rw.forward_progress
+                ? static_cast<double>(rn.forward_progress) /
+                      static_cast<double>(rw.forward_progress)
+                : 0.0;
+        if (rw.forward_progress) {
+            gain_sum += gain;
+            ++gain_count;
+        }
+        table.addRow({trace.name(),
+                      util::Table::integer(static_cast<long long>(
+                          rw.forward_progress)),
+                      util::Table::integer(static_cast<long long>(
+                          rn.forward_progress)),
+                      rw.forward_progress
+                          ? util::Table::num(gain, 2) + "x"
+                          : "inf (WC completed nothing)"});
+    }
+    table.print();
+    if (gain_count) {
+        std::printf("mean NVP gain on profiles where wait-compute "
+                    "completes work: %.2fx; on the remaining %d "
+                    "profiles the ESD's leakage and minimum charging "
+                    "current starve wait-compute entirely (the paper's "
+                    "'incoming power may not be sufficient compared to "
+                    "leakage in the ESD'), making the NVP's advantage "
+                    "unbounded there. Paper: 2.2x-5x.\n",
+                    gain_sum / gain_count,
+                    5 - gain_count);
+    } else {
+        std::printf("wait-compute completed nothing on any profile\n");
+    }
+    return 0;
+}

@@ -1,0 +1,43 @@
+; Annotated-assembly demo of the paper's Sec. 5 programming model:
+; a per-frame byte-inversion "kernel" with the incidental pragmas in
+; place. Assemble and run it with:
+;
+;   nvpsim asm examples/programs/incidental_demo.s --run
+;
+; Memory layout: a 4-slot input ring of 64-byte frames at 0x400 and the
+; matching output ring at 0x600.
+
+.region src 0x400 256
+.region out 0x600 256
+
+#pragma ac incidental(src, 2, 8, linear)
+#pragma ac incidental_recover_from(r15)
+#pragma ac recompute(out, 6)
+#pragma ac assemble(out, higherbits)
+
+        acen 1
+        acset 0x0006        ; r1, r2 hold approximable pixel data
+        ldi r15, 0          ; frame induction variable
+frame_loop:
+        markrp r15, 0x0800  ; resume point; match on r11
+        andi r13, r15, 3    ; ring slot = frame % 4
+        slli r13, r13, 6    ; * 64 bytes
+        ldi r10, 0x400
+        add r14, r13, r10   ; input slot base
+        ldi r10, 0x600
+        add r13, r13, r10   ; output slot base
+        ldi r11, 0
+pixel_loop:
+        add r10, r14, r11
+        ld8 r1, 0(r10)
+        ldi r2, 255
+        sub r1, r2, r1      ; invert
+        add r10, r13, r11
+        st8 r1, 0(r10)
+        addi r11, r11, 1
+        ldi r10, 64
+        blt r11, r10, pixel_loop
+        addi r15, r15, 1
+        ldi r10, 4          ; stop after four frames when run standalone
+        blt r15, r10, frame_loop
+        halt

@@ -1,0 +1,92 @@
+#include "approx/bitwidth_controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace inc::approx
+{
+
+BitwidthController::BitwidthController(BitwidthConfig config)
+    : config_(config)
+{
+    if (config_.min_bits < 1 || config_.max_bits > 8 ||
+        config_.min_bits > config_.max_bits) {
+        util::fatal("BitwidthConfig bits must satisfy 1 <= min <= max <= 8"
+                    " (got %d..%d)",
+                    config_.min_bits, config_.max_bits);
+    }
+    if (config_.fixed_bits < 1 || config_.fixed_bits > 8)
+        util::fatal("BitwidthConfig fixed_bits must be 1..8");
+    if (config_.low_energy_frac >= config_.high_energy_frac)
+        util::fatal("BitwidthConfig energy fractions must be increasing");
+}
+
+int
+BitwidthController::dynamicBits(double energy_frac, int lo, int hi) const
+{
+    const double t =
+        (energy_frac - config_.low_energy_frac) /
+        (config_.high_energy_frac - config_.low_energy_frac);
+    const int span = hi - lo;
+    const int bits =
+        lo + static_cast<int>(std::floor(t * (span + 1)));
+    return std::clamp(bits, lo, hi);
+}
+
+int
+BitwidthController::mainBits(double energy_frac) const
+{
+    switch (config_.mode) {
+      case ApproxMode::precise:
+        return 8;
+      case ApproxMode::fixed:
+        return config_.fixed_bits;
+      case ApproxMode::dynamic:
+        return dynamicBits(energy_frac, config_.min_bits,
+                           config_.max_bits);
+    }
+    util::panic("unhandled ApproxMode");
+}
+
+int
+BitwidthController::incidentalBits(double energy_frac) const
+{
+    return dynamicBits(energy_frac, config_.min_bits, config_.max_bits);
+}
+
+void
+BitwidthController::recordTick(int bits)
+{
+    if (bits < 0 || bits > 8)
+        util::panic("recordTick bits out of range: %d", bits);
+    ++ticks_[static_cast<size_t>(bits)];
+    ++total_ticks_;
+}
+
+std::uint64_t
+BitwidthController::ticksAt(int bits) const
+{
+    if (bits < 0 || bits > 8)
+        util::panic("ticksAt bits out of range: %d", bits);
+    return ticks_[static_cast<size_t>(bits)];
+}
+
+double
+BitwidthController::fractionAt(int bits) const
+{
+    if (total_ticks_ == 0)
+        return 0.0;
+    return static_cast<double>(ticksAt(bits)) /
+           static_cast<double>(total_ticks_);
+}
+
+void
+BitwidthController::resetHistogram()
+{
+    ticks_.fill(0);
+    total_ticks_ = 0;
+}
+
+} // namespace inc::approx

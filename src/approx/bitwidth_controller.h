@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Power-tracking bitwidth control (paper Secs. 3.1, 4, 8.3).
+ *
+ * The approximation control unit sets the number of precise datapath and
+ * memory bits per component from the available power level: between the
+ * pragma's minbits (quality floor) and maxbits. Approximation is
+ * *passive* — it is induced by insufficient power on a computation that
+ * is precise by default — so with a full capacitor the controller returns
+ * maxbits and precision degrades as reserves fall.
+ */
+
+#ifndef INC_APPROX_BITWIDTH_CONTROLLER_H
+#define INC_APPROX_BITWIDTH_CONTROLLER_H
+
+#include <array>
+#include <cstdint>
+
+namespace inc::approx
+{
+
+/** How the main lane's precision is chosen. */
+enum class ApproxMode
+{
+    precise, ///< always 8 bits (baseline NVP)
+    fixed,   ///< fixed reduced bitwidth (Figs. 11-16)
+    dynamic  ///< tracks stored energy within [minbits, maxbits]
+};
+
+/** Configuration of the bitwidth controller. */
+struct BitwidthConfig
+{
+    ApproxMode mode = ApproxMode::precise;
+    int fixed_bits = 8; ///< used by ApproxMode::fixed
+    int min_bits = 1;   ///< dynamic floor (pragma minbits)
+    int max_bits = 8;   ///< dynamic ceiling (pragma maxbits)
+
+    /**
+     * Stored-energy fractions (of capacitor capacity) mapped to min_bits
+     * and max_bits respectively; linear in between.
+     */
+    double low_energy_frac = 0.15;
+    double high_energy_frac = 0.75;
+};
+
+/**
+ * Maps the live energy state to a bitwidth and records the utilization
+ * histogram that Fig. 18 plots (time spent at each bitwidth plus OFF).
+ */
+class BitwidthController
+{
+  public:
+    explicit BitwidthController(BitwidthConfig config = {});
+
+    const BitwidthConfig &config() const { return config_; }
+
+    /**
+     * Current bitwidth for the main lane given the stored-energy fraction
+     * in [0,1]. Clamped to [1,8] always.
+     */
+    int mainBits(double energy_frac) const;
+
+    /**
+     * Bitwidth for an incidental lane: always dynamic within
+     * [min_bits, max_bits] regardless of mode (Table 2: "full precision
+     * in the current iteration and dynamic bitwidth for incidental loop
+     * executions").
+     */
+    int incidentalBits(double energy_frac) const;
+
+    /** Record one 0.1 ms tick at bitwidth @p bits (0 = system off). */
+    void recordTick(int bits);
+
+    /** Ticks recorded at @p bits (0 = off). */
+    std::uint64_t ticksAt(int bits) const;
+
+    /** Fraction of ticks at @p bits; 0 if nothing recorded. */
+    double fractionAt(int bits) const;
+
+    std::uint64_t totalTicks() const { return total_ticks_; }
+
+    void resetHistogram();
+
+  private:
+    int dynamicBits(double energy_frac, int lo, int hi) const;
+
+    BitwidthConfig config_;
+    std::array<std::uint64_t, 9> ticks_{}; ///< [0]=off, [1..8]=bits
+    std::uint64_t total_ticks_ = 0;
+};
+
+} // namespace inc::approx
+
+#endif // INC_APPROX_BITWIDTH_CONTROLLER_H

@@ -1,0 +1,119 @@
+#include "core/policy_advisor.h"
+
+#include "trace/outage_stats.h"
+#include "util/logging.h"
+
+namespace inc::core
+{
+
+namespace
+{
+/** Outages longer than this count as "long" (100 ms). */
+constexpr std::uint64_t kLongOutageSamples = 1000;
+} // namespace
+
+void
+PolicyAdvisor::addSample(double power_uw)
+{
+    ++samples_;
+    power_sum_ += power_uw;
+    if (power_uw < trace::kOperationThresholdUw) {
+        ++outage_samples_;
+        ++current_run_;
+        if (current_run_ == kLongOutageSamples)
+            ++long_outages_;
+    } else {
+        if (current_run_ > 0)
+            ++emergencies_;
+        current_run_ = 0;
+    }
+}
+
+void
+PolicyAdvisor::addTrace(const trace::PowerTrace &trace)
+{
+    for (double s : trace.samples())
+        addSample(s);
+}
+
+PowerFeatures
+PolicyAdvisor::features() const
+{
+    PowerFeatures f;
+    if (samples_ == 0)
+        return f;
+    f.mean_uw = power_sum_ / static_cast<double>(samples_);
+    const double seconds =
+        static_cast<double>(samples_) * trace::kSamplePeriodSec;
+    f.emergencies_per_10s =
+        seconds > 0 ? static_cast<double>(emergencies_) * 10.0 / seconds
+                    : 0.0;
+    f.mean_outage_tenth_ms =
+        emergencies_ > 0 ? static_cast<double>(outage_samples_) /
+                               static_cast<double>(emergencies_)
+                         : 0.0;
+    f.long_outage_fraction =
+        emergencies_ > 0 ? static_cast<double>(long_outages_) /
+                               static_cast<double>(emergencies_)
+                         : 0.0;
+    return f;
+}
+
+PolicyAdvice
+PolicyAdvisor::recommend(bool quality_sensitive) const
+{
+    if (samples_ == 0)
+        util::fatal("PolicyAdvisor::recommend before any samples");
+    const PowerFeatures f = features();
+    PolicyAdvice advice;
+
+    // Backup shaping: linear for high-power periods (profiles 1 and 4
+    // average ~30-40 uW), parabola for low-power ones (Sec. 8.6). Long
+    // outages also argue for the conservative parabola — low-order bits
+    // would expire under any aggressive policy anyway.
+    if (f.mean_uw >= 25.0 && f.long_outage_fraction < 0.10) {
+        advice.backup = nvm::RetentionPolicy::linear;
+        advice.rationale = "high average power: linear shaping";
+    } else {
+        advice.backup = nvm::RetentionPolicy::parabola;
+        advice.rationale = "low power or long outages: parabola";
+    }
+
+    // Precision floor: the scarcer the energy, the lower the floor the
+    // programmer should accept ("set minbits lower if the application
+    // is to be run faster, but with low quality incidental outputs").
+    if (quality_sensitive)
+        advice.min_bits = 4;
+    else if (f.mean_uw >= 25.0)
+        advice.min_bits = 3;
+    else
+        advice.min_bits = 2;
+
+    // Recomputation compensates a low floor when emergencies leave
+    // surplus windows to spend (paper Table 2 pairs minbits 4 with two
+    // recompute passes for the quality-sensitive kernels).
+    advice.recompute_times =
+        quality_sensitive ? 2 : (advice.min_bits <= 2 ? 1 : 0);
+    return advice;
+}
+
+void
+PolicyAdvisor::apply(const PolicyAdvice &advice, ControllerConfig &config)
+{
+    config.backup_policy = advice.backup;
+    config.auto_recompute_times = advice.recompute_times;
+    config.recompute_min_bits = std::max(6, advice.min_bits);
+}
+
+void
+PolicyAdvisor::reset()
+{
+    samples_ = 0;
+    power_sum_ = 0.0;
+    emergencies_ = 0;
+    outage_samples_ = 0;
+    long_outages_ = 0;
+    current_run_ = 0;
+}
+
+} // namespace inc::core

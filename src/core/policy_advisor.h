@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Power-profile-driven policy selection (paper Sec. 8.6).
+ *
+ * The paper's tuning guidance: choose minbits first to clear the QoS
+ * floor, use linear retention shaping "when average power is expected
+ * to be higher (profiles 1, 4) and parabola when average power is low
+ * (profiles 2, 3, 5)", and — when the expected power characteristics
+ * are unknown — apply "a lookup table or machine learning based mapping
+ * from the sampled power to configurations".
+ *
+ * PolicyAdvisor is that lookup table: it ingests sampled power online
+ * (or a whole trace), reduces it to the features the paper's guidance
+ * keys on (mean power, emergency rate, outage-duration spread), and
+ * emits a recommended incidental configuration.
+ */
+
+#ifndef INC_CORE_POLICY_ADVISOR_H
+#define INC_CORE_POLICY_ADVISOR_H
+
+#include <cstdint>
+
+#include "core/config.h"
+#include "trace/power_trace.h"
+
+namespace inc::core
+{
+
+/** Power features the advisor keys on. */
+struct PowerFeatures
+{
+    double mean_uw = 0.0;
+    double emergencies_per_10s = 0.0;
+    double mean_outage_tenth_ms = 0.0;
+    double long_outage_fraction = 0.0; ///< outages > 100 ms
+};
+
+/** A recommended incidental configuration. */
+struct PolicyAdvice
+{
+    nvm::RetentionPolicy backup = nvm::RetentionPolicy::linear;
+    int min_bits = 2;
+    int recompute_times = 0;
+    std::string rationale;
+};
+
+/** Online power sampler + lookup-table policy selection. */
+class PolicyAdvisor
+{
+  public:
+    PolicyAdvisor() = default;
+
+    /** Feed one 0.1 ms power sample (uW). */
+    void addSample(double power_uw);
+
+    /** Feed a whole trace. */
+    void addTrace(const trace::PowerTrace &trace);
+
+    /** Features accumulated so far. */
+    PowerFeatures features() const;
+
+    /** Number of samples ingested. */
+    std::uint64_t samples() const { return samples_; }
+
+    /**
+     * The lookup table: map the accumulated features to a
+     * configuration per the paper's guidance. @p quality_sensitive
+     * biases toward higher minbits and recomputation (kernels like
+     * sobel that degrade sharply under approximation).
+     */
+    PolicyAdvice recommend(bool quality_sensitive = false) const;
+
+    /** Apply a recommendation onto a controller configuration. */
+    static void apply(const PolicyAdvice &advice,
+                      ControllerConfig &config);
+
+    void reset();
+
+  private:
+    std::uint64_t samples_ = 0;
+    double power_sum_ = 0.0;
+    std::uint64_t emergencies_ = 0;
+    std::uint64_t outage_samples_ = 0;
+    std::uint64_t long_outages_ = 0;
+    std::uint64_t current_run_ = 0; ///< length of the in-flight outage
+};
+
+} // namespace inc::core
+
+#endif // INC_CORE_POLICY_ADVISOR_H

@@ -1,0 +1,60 @@
+#include "core/recompute.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace inc::core
+{
+
+void
+RecomputeQueue::request(std::uint16_t frame, int min_bits, int passes)
+{
+    if (passes <= 0)
+        return;
+    if (min_bits < 1 || min_bits > 8)
+        util::fatal("recompute min_bits must be 1..8, got %d", min_bits);
+    for (RecomputeRequest &r : queue_) {
+        if (r.frame == frame) {
+            r.min_bits = std::max(r.min_bits, min_bits);
+            r.passes_left = std::max(r.passes_left, passes);
+            return;
+        }
+    }
+    queue_.push_back({frame, min_bits, passes});
+}
+
+RecomputeRequest
+RecomputeQueue::takePass()
+{
+    if (queue_.empty())
+        util::panic("RecomputeQueue::takePass on empty queue");
+    RecomputeRequest pass = queue_.front();
+    if (--queue_.front().passes_left <= 0)
+        queue_.pop_front();
+    pass.passes_left = 1;
+    return pass;
+}
+
+const RecomputeRequest &
+RecomputeQueue::front() const
+{
+    if (queue_.empty())
+        util::panic("RecomputeQueue::front on empty queue");
+    return queue_.front();
+}
+
+int
+RecomputeQueue::dropStale(std::uint32_t oldest_live_frame)
+{
+    const auto before = queue_.size();
+    queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
+                                [oldest_live_frame](
+                                    const RecomputeRequest &r) {
+                                    return r.frame < oldest_live_frame;
+                                }),
+                 queue_.end());
+    return static_cast<int>(before - queue_.size());
+}
+
+} // namespace inc::core

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Recompute-and-combine work queue (paper Secs. 3.1, 8.5).
+ *
+ * When low-quality incidental output turns out to be "interesting", the
+ * programmer (or an automatic policy) requests recomputation: the frame
+ * is re-run through the incidental SIMD path at a guaranteed minimum
+ * bitwidth and its output is merged into the versioned memory, keeping
+ * the higher-precision sub-components. The queue tracks how many passes
+ * remain per frame.
+ */
+
+#ifndef INC_CORE_RECOMPUTE_H
+#define INC_CORE_RECOMPUTE_H
+
+#include <cstdint>
+#include <deque>
+
+namespace inc::core
+{
+
+/** One outstanding recompute request. */
+struct RecomputeRequest
+{
+    std::uint16_t frame = 0;
+    int min_bits = 4;        ///< precision floor for the passes
+    int passes_left = 1;
+};
+
+/** FIFO of recompute work. */
+class RecomputeQueue
+{
+  public:
+    /** Queue @p passes recompute passes of @p frame at >= @p min_bits.
+     *  Requests for an already-queued frame update it in place. */
+    void request(std::uint16_t frame, int min_bits, int passes);
+
+    bool empty() const { return queue_.empty(); }
+    std::size_t size() const { return queue_.size(); }
+
+    /**
+     * Take one pass of work: returns the front request and decrements
+     * its remaining passes (popping it when exhausted). Must not be
+     * called on an empty queue.
+     */
+    RecomputeRequest takePass();
+
+    /** Peek without consuming. */
+    const RecomputeRequest &front() const;
+
+    /** Drop requests whose frame is older than @p oldest_live_frame. */
+    int dropStale(std::uint32_t oldest_live_frame);
+
+    void clear() { queue_.clear(); }
+
+  private:
+    std::deque<RecomputeRequest> queue_;
+};
+
+} // namespace inc::core
+
+#endif // INC_CORE_RECOMPUTE_H

@@ -1,0 +1,340 @@
+#include "isa/assembler.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace inc::isa
+{
+
+namespace
+{
+
+struct Token
+{
+    std::string text;
+};
+
+/** Strip comments and split a line into label / mnemonic / operands. */
+struct ParsedLine
+{
+    std::string label;
+    std::string mnemonic;
+    std::vector<std::string> operands;
+};
+
+std::string
+trim(const std::string &s)
+{
+    size_t a = 0, b = s.size();
+    while (a < b && std::isspace(static_cast<unsigned char>(s[a])))
+        ++a;
+    while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1])))
+        --b;
+    return s.substr(a, b - a);
+}
+
+bool
+parseLine(const std::string &raw, ParsedLine &out, std::string &error)
+{
+    std::string line = raw;
+    const size_t semi = line.find_first_of(";#");
+    if (semi != std::string::npos)
+        line = line.substr(0, semi);
+    line = trim(line);
+    out = {};
+    if (line.empty())
+        return true;
+
+    const size_t colon = line.find(':');
+    if (colon != std::string::npos) {
+        out.label = trim(line.substr(0, colon));
+        if (out.label.empty()) {
+            error = "empty label";
+            return false;
+        }
+        for (char c : out.label) {
+            if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+                error = "bad label character in '" + out.label + "'";
+                return false;
+            }
+        }
+        line = trim(line.substr(colon + 1));
+        if (line.empty())
+            return true;
+    }
+
+    std::istringstream in(line);
+    in >> out.mnemonic;
+    std::string rest;
+    std::getline(in, rest);
+    rest = trim(rest);
+    if (!rest.empty()) {
+        std::string cell;
+        for (char c : rest) {
+            if (c == ',') {
+                out.operands.push_back(trim(cell));
+                cell.clear();
+            } else {
+                cell.push_back(c);
+            }
+        }
+        out.operands.push_back(trim(cell));
+    }
+    return true;
+}
+
+bool
+parseReg(const std::string &tok, std::uint8_t &reg)
+{
+    if (tok.size() < 2 || (tok[0] != 'r' && tok[0] != 'R'))
+        return false;
+    char *end = nullptr;
+    const long v = std::strtol(tok.c_str() + 1, &end, 10);
+    if (*end != '\0' || v < 0 || v >= kNumRegs)
+        return false;
+    reg = static_cast<std::uint8_t>(v);
+    return true;
+}
+
+bool
+parseImm(const std::string &tok, std::uint16_t &imm)
+{
+    if (tok.empty())
+        return false;
+    char *end = nullptr;
+    const long v = std::strtol(tok.c_str(), &end, 0);
+    if (*end != '\0' || v < -32768 || v > 65535)
+        return false;
+    imm = static_cast<std::uint16_t>(v);
+    return true;
+}
+
+/** "offset(base)" memory operand. */
+bool
+parseMemOperand(const std::string &tok, std::uint8_t &base,
+                std::uint16_t &offset)
+{
+    const size_t open = tok.find('(');
+    const size_t close = tok.find(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open)
+        return false;
+    const std::string off = trim(tok.substr(0, open));
+    const std::string reg = trim(tok.substr(open + 1, close - open - 1));
+    if (!parseReg(reg, base))
+        return false;
+    if (off.empty()) {
+        offset = 0;
+        return true;
+    }
+    return parseImm(off, offset);
+}
+
+bool
+parseAssembleMode(const std::string &tok, std::uint16_t &imm)
+{
+    if (tok == "higherbits") {
+        imm = static_cast<std::uint16_t>(AssembleMode::higherbits);
+        return true;
+    }
+    if (tok == "sum") {
+        imm = static_cast<std::uint16_t>(AssembleMode::sum);
+        return true;
+    }
+    if (tok == "max") {
+        imm = static_cast<std::uint16_t>(AssembleMode::max);
+        return true;
+    }
+    if (tok == "min") {
+        imm = static_cast<std::uint16_t>(AssembleMode::min);
+        return true;
+    }
+    return parseImm(tok, imm);
+}
+
+} // namespace
+
+AssembleResult
+assemble(const std::string &source)
+{
+    AssembleResult result;
+    std::map<std::string, std::uint16_t> labels;
+
+    // Pass 1: collect labels.
+    {
+        std::istringstream in(source);
+        std::string raw;
+        int lineno = 0;
+        std::uint16_t pc = 0;
+        while (std::getline(in, raw)) {
+            ++lineno;
+            ParsedLine pl;
+            std::string err;
+            if (!parseLine(raw, pl, err)) {
+                result.error = util::format("line %d: %s", lineno,
+                                            err.c_str());
+                return result;
+            }
+            if (!pl.label.empty()) {
+                if (labels.count(pl.label)) {
+                    result.error = util::format(
+                        "line %d: duplicate label '%s'", lineno,
+                        pl.label.c_str());
+                    return result;
+                }
+                labels[pl.label] = pc;
+            }
+            if (!pl.mnemonic.empty())
+                ++pc;
+        }
+    }
+
+    // Pass 2: encode instructions.
+    std::vector<Instruction> code;
+    std::istringstream in(source);
+    std::string raw;
+    int lineno = 0;
+
+    auto fail = [&result, &lineno](const std::string &msg) {
+        result.error = util::format("line %d: %s", lineno, msg.c_str());
+        return result;
+    };
+
+    auto resolveTarget = [&labels](const std::string &tok,
+                                   std::uint16_t &imm) {
+        const auto it = labels.find(tok);
+        if (it != labels.end()) {
+            imm = it->second;
+            return true;
+        }
+        return parseImm(tok, imm);
+    };
+
+    while (std::getline(in, raw)) {
+        ++lineno;
+        ParsedLine pl;
+        std::string err;
+        if (!parseLine(raw, pl, err))
+            return fail(err);
+        if (pl.mnemonic.empty())
+            continue;
+
+        const Op op = opFromName(pl.mnemonic);
+        if (op == Op::num_ops)
+            return fail("unknown mnemonic '" + pl.mnemonic + "'");
+
+        Instruction inst;
+        inst.op = op;
+        const auto &ops = pl.operands;
+        const OpClass cls = opClass(op);
+
+        auto needOperands = [&ops](size_t n) { return ops.size() == n; };
+
+        switch (op) {
+          case Op::nop:
+          case Op::halt:
+            if (!needOperands(0))
+                return fail("expected no operands");
+            break;
+          case Op::ldi:
+            if (!needOperands(2) || !parseReg(ops[0], inst.rd) ||
+                !parseImm(ops[1], inst.imm))
+                return fail("expected: ldi rd, imm");
+            break;
+          case Op::mov:
+            if (!needOperands(2) || !parseReg(ops[0], inst.rd) ||
+                !parseReg(ops[1], inst.rs1))
+                return fail("expected: mov rd, rs");
+            break;
+          case Op::jmp:
+            if (!needOperands(1) || !resolveTarget(ops[0], inst.imm))
+                return fail("expected: jmp label");
+            break;
+          case Op::jal:
+            if (!needOperands(2) || !parseReg(ops[0], inst.rd) ||
+                !resolveTarget(ops[1], inst.imm))
+                return fail("expected: jal rd, label");
+            break;
+          case Op::jr:
+            if (!needOperands(1) || !parseReg(ops[0], inst.rs1))
+                return fail("expected: jr rs");
+            break;
+          case Op::ld8:
+          case Op::ld8s:
+          case Op::ld16:
+            if (!needOperands(2) || !parseReg(ops[0], inst.rd) ||
+                !parseMemOperand(ops[1], inst.rs1, inst.imm))
+                return fail("expected: " + pl.mnemonic +
+                            " rd, offset(base)");
+            break;
+          case Op::st8:
+          case Op::st16:
+            if (!needOperands(2) || !parseReg(ops[0], inst.rs2) ||
+                !parseMemOperand(ops[1], inst.rs1, inst.imm))
+                return fail("expected: " + pl.mnemonic +
+                            " value, offset(base)");
+            break;
+          case Op::markrp:
+            if (!needOperands(2) || !parseReg(ops[0], inst.rs1) ||
+                !parseImm(ops[1], inst.imm))
+                return fail("expected: markrp frame_reg, mask");
+            break;
+          case Op::acset:
+          case Op::acclr:
+          case Op::acen:
+            if (!needOperands(1) || !parseImm(ops[0], inst.imm))
+                return fail("expected: " + pl.mnemonic + " imm");
+            break;
+          case Op::assem:
+            if (!needOperands(3) || !parseReg(ops[0], inst.rs1) ||
+                !parseReg(ops[1], inst.rs2) ||
+                !parseAssembleMode(ops[2], inst.imm))
+                return fail("expected: assem base, len, mode");
+            break;
+          default:
+            if (cls == OpClass::branch) {
+                if (!needOperands(3) || !parseReg(ops[0], inst.rs1) ||
+                    !parseReg(ops[1], inst.rs2) ||
+                    !resolveTarget(ops[2], inst.imm))
+                    return fail("expected: " + pl.mnemonic +
+                                " rs1, rs2, label");
+            } else if (readsRs2(op)) {
+                // R-type
+                if (!needOperands(3) || !parseReg(ops[0], inst.rd) ||
+                    !parseReg(ops[1], inst.rs1) ||
+                    !parseReg(ops[2], inst.rs2))
+                    return fail("expected: " + pl.mnemonic +
+                                " rd, rs1, rs2");
+            } else {
+                // I-type
+                if (!needOperands(3) || !parseReg(ops[0], inst.rd) ||
+                    !parseReg(ops[1], inst.rs1) ||
+                    !parseImm(ops[2], inst.imm))
+                    return fail("expected: " + pl.mnemonic +
+                                " rd, rs1, imm");
+            }
+            break;
+        }
+        code.push_back(inst);
+    }
+
+    result.ok = true;
+    result.program = Program(std::move(code), std::move(labels));
+    return result;
+}
+
+Program
+assembleOrDie(const std::string &source)
+{
+    AssembleResult r = assemble(source);
+    if (!r.ok)
+        util::fatal("assembly failed: %s", r.error.c_str());
+    return std::move(r.program);
+}
+
+} // namespace inc::isa

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Two-pass text assembler.
+ *
+ * Syntax (one instruction per line; ';' or '#' start comments):
+ *
+ *   label:
+ *       ldi   r1, 42          ; decimal, 0x.. hex, -n negatives
+ *       add   r2, r1, r3
+ *       ld8   r4, 5(r2)       ; loads/stores: offset(base)
+ *       st8   r4, 0(r2)       ; store value r4 at r2+0
+ *       beq   r1, r0, label
+ *       jmp   label
+ *       markrp r5, 0x0030
+ *       acen  1
+ *       assem r1, r2, higherbits
+ *
+ * Errors are reported with line numbers via util::fatal in assembleOrDie,
+ * or returned as a message in AssembleResult.
+ */
+
+#ifndef INC_ISA_ASSEMBLER_H
+#define INC_ISA_ASSEMBLER_H
+
+#include <string>
+
+#include "isa/program.h"
+
+namespace inc::isa
+{
+
+/** Outcome of an assembly attempt. */
+struct AssembleResult
+{
+    bool ok = false;
+    Program program;
+    std::string error; ///< "line N: message" when !ok
+};
+
+/** Assemble @p source; never terminates the process. */
+AssembleResult assemble(const std::string &source);
+
+/** Assemble @p source; fatal() with the error message on failure. */
+Program assembleOrDie(const std::string &source);
+
+} // namespace inc::isa
+
+#endif // INC_ISA_ASSEMBLER_H

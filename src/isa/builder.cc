@@ -1,0 +1,251 @@
+#include "isa/builder.h"
+
+#include "util/logging.h"
+
+namespace inc::isa
+{
+
+Label
+ProgramBuilder::makeLabel(const std::string &name)
+{
+    label_addrs_.push_back(-1);
+    label_names_.push_back(name);
+    return Label{static_cast<int>(label_addrs_.size()) - 1};
+}
+
+void
+ProgramBuilder::bind(Label label)
+{
+    if (!label.valid() ||
+        label.id >= static_cast<int>(label_addrs_.size()))
+        util::panic("bind: invalid label");
+    if (label_addrs_[static_cast<size_t>(label.id)] != -1)
+        util::panic("bind: label already bound");
+    pending_binds_.push_back(label.id);
+}
+
+Label
+ProgramBuilder::here(const std::string &name)
+{
+    Label l = makeLabel(name);
+    bind(l);
+    return l;
+}
+
+void
+ProgramBuilder::emit(Op op, std::uint8_t rd, std::uint8_t rs1,
+                     std::uint8_t rs2, std::uint16_t imm)
+{
+    if (finished_)
+        util::panic("ProgramBuilder reused after finish()");
+    for (int id : pending_binds_)
+        label_addrs_[static_cast<size_t>(id)] =
+            static_cast<int>(code_.size());
+    pending_binds_.clear();
+    code_.push_back(Instruction{op, rd, rs1, rs2, imm});
+}
+
+void ProgramBuilder::nop() { emit(Op::nop, 0, 0, 0, 0); }
+void ProgramBuilder::halt() { emit(Op::halt, 0, 0, 0, 0); }
+
+void
+ProgramBuilder::ldi(Reg rd, std::uint16_t imm)
+{
+    emit(Op::ldi, rd, 0, 0, imm);
+}
+
+void ProgramBuilder::mov(Reg rd, Reg rs) { emit(Op::mov, rd, rs, 0, 0); }
+
+#define INC_RTYPE(fn, op)                                                 \
+    void ProgramBuilder::fn(Reg rd, Reg a, Reg b)                         \
+    {                                                                     \
+        emit(Op::op, rd, a, b, 0);                                        \
+    }
+
+INC_RTYPE(add, add)
+INC_RTYPE(sub, sub)
+INC_RTYPE(mul, mul)
+INC_RTYPE(divu, divu)
+INC_RTYPE(remu, remu)
+INC_RTYPE(and_, and_)
+INC_RTYPE(or_, or_)
+INC_RTYPE(xor_, xor_)
+INC_RTYPE(sll, sll)
+INC_RTYPE(srl, srl)
+INC_RTYPE(sra, sra)
+INC_RTYPE(slt, slt)
+INC_RTYPE(sltu, sltu)
+INC_RTYPE(min, min)
+INC_RTYPE(max, max)
+INC_RTYPE(minu, minu)
+INC_RTYPE(maxu, maxu)
+#undef INC_RTYPE
+
+void
+ProgramBuilder::addi(Reg rd, Reg a, std::int16_t imm)
+{
+    emit(Op::addi, rd, a, 0, static_cast<std::uint16_t>(imm));
+}
+
+#define INC_ITYPE(fn, op)                                                 \
+    void ProgramBuilder::fn(Reg rd, Reg a, std::uint16_t imm)             \
+    {                                                                     \
+        emit(Op::op, rd, a, 0, imm);                                      \
+    }
+
+INC_ITYPE(andi, andi)
+INC_ITYPE(ori, ori)
+INC_ITYPE(xori, xori)
+INC_ITYPE(slli, slli)
+INC_ITYPE(srli, srli)
+INC_ITYPE(srai, srai)
+INC_ITYPE(sltiu, sltiu)
+#undef INC_ITYPE
+
+void
+ProgramBuilder::slti(Reg rd, Reg a, std::int16_t imm)
+{
+    emit(Op::slti, rd, a, 0, static_cast<std::uint16_t>(imm));
+}
+
+void
+ProgramBuilder::ld8(Reg rd, Reg base, std::int16_t offset)
+{
+    emit(Op::ld8, rd, base, 0, static_cast<std::uint16_t>(offset));
+}
+
+void
+ProgramBuilder::ld8s(Reg rd, Reg base, std::int16_t offset)
+{
+    emit(Op::ld8s, rd, base, 0, static_cast<std::uint16_t>(offset));
+}
+
+void
+ProgramBuilder::ld16(Reg rd, Reg base, std::int16_t offset)
+{
+    emit(Op::ld16, rd, base, 0, static_cast<std::uint16_t>(offset));
+}
+
+void
+ProgramBuilder::st8(Reg value, Reg base, std::int16_t offset)
+{
+    emit(Op::st8, 0, base, value, static_cast<std::uint16_t>(offset));
+}
+
+void
+ProgramBuilder::st16(Reg value, Reg base, std::int16_t offset)
+{
+    emit(Op::st16, 0, base, value, static_cast<std::uint16_t>(offset));
+}
+
+void
+ProgramBuilder::emitBranch(Op op, Reg a, Reg b, Label target)
+{
+    if (!target.valid())
+        util::panic("branch to invalid label");
+    fixups_.push_back({code_.size(), target.id});
+    emit(op, 0, a, b, 0);
+}
+
+void ProgramBuilder::beq(Reg a, Reg b, Label t) { emitBranch(Op::beq, a, b, t); }
+void ProgramBuilder::bne(Reg a, Reg b, Label t) { emitBranch(Op::bne, a, b, t); }
+void ProgramBuilder::blt(Reg a, Reg b, Label t) { emitBranch(Op::blt, a, b, t); }
+void ProgramBuilder::bge(Reg a, Reg b, Label t) { emitBranch(Op::bge, a, b, t); }
+void ProgramBuilder::bltu(Reg a, Reg b, Label t) { emitBranch(Op::bltu, a, b, t); }
+void ProgramBuilder::bgeu(Reg a, Reg b, Label t) { emitBranch(Op::bgeu, a, b, t); }
+
+void
+ProgramBuilder::jmp(Label target)
+{
+    if (!target.valid())
+        util::panic("jmp to invalid label");
+    fixups_.push_back({code_.size(), target.id});
+    emit(Op::jmp, 0, 0, 0, 0);
+}
+
+void
+ProgramBuilder::jal(Reg rd, Label target)
+{
+    if (!target.valid())
+        util::panic("jal to invalid label");
+    fixups_.push_back({code_.size(), target.id});
+    emit(Op::jal, rd, 0, 0, 0);
+}
+
+void ProgramBuilder::jr(Reg rs) { emit(Op::jr, 0, rs, 0, 0); }
+
+void
+ProgramBuilder::markResume(Reg frame_reg, std::uint16_t match_mask)
+{
+    emit(Op::markrp, 0, frame_reg, 0, match_mask);
+}
+
+void
+ProgramBuilder::acSet(std::uint16_t reg_mask)
+{
+    emit(Op::acset, 0, 0, 0, reg_mask);
+}
+
+void
+ProgramBuilder::acClear(std::uint16_t reg_mask)
+{
+    emit(Op::acclr, 0, 0, 0, reg_mask);
+}
+
+void
+ProgramBuilder::acEnable(bool on)
+{
+    emit(Op::acen, 0, 0, 0, on ? 1 : 0);
+}
+
+void
+ProgramBuilder::assemble(Reg base, Reg len, AssembleMode mode)
+{
+    emit(Op::assem, 0, base, len, static_cast<std::uint16_t>(mode));
+}
+
+void
+ProgramBuilder::neg(Reg rd, Reg rs)
+{
+    sub(rd, r0, rs);
+}
+
+void
+ProgramBuilder::abs_(Reg rd, Reg rs, Reg tmp)
+{
+    neg(tmp, rs);
+    max(rd, rs, tmp);
+}
+
+Program
+ProgramBuilder::finish()
+{
+    if (finished_)
+        util::panic("ProgramBuilder::finish called twice");
+    // Bind any labels pointing just past the last instruction.
+    for (int id : pending_binds_)
+        label_addrs_[static_cast<size_t>(id)] =
+            static_cast<int>(code_.size());
+    pending_binds_.clear();
+
+    for (const Fixup &f : fixups_) {
+        const int addr = label_addrs_[static_cast<size_t>(f.label_id)];
+        if (addr < 0) {
+            util::fatal("unbound label '%s' referenced",
+                        label_names_[static_cast<size_t>(f.label_id)]
+                            .c_str());
+        }
+        code_[f.inst_index].imm = static_cast<std::uint16_t>(addr);
+    }
+
+    std::map<std::string, std::uint16_t> labels;
+    for (size_t i = 0; i < label_addrs_.size(); ++i) {
+        if (!label_names_[i].empty() && label_addrs_[i] >= 0)
+            labels[label_names_[i]] =
+                static_cast<std::uint16_t>(label_addrs_[i]);
+    }
+    finished_ = true;
+    return Program(std::move(code_), std::move(labels));
+}
+
+} // namespace inc::isa

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * ProgramBuilder: an IRBuilder-style API for composing programs in C++.
+ *
+ * The kernel library (src/kernels) writes its testbenches through this
+ * class; it provides one method per mnemonic, label handles with forward
+ * references, and a handful of pseudo-instructions. finish() patches all
+ * label references and returns an immutable Program.
+ */
+
+#ifndef INC_ISA_BUILDER_H
+#define INC_ISA_BUILDER_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace inc::isa
+{
+
+/** Register names. r0 is hardwired to zero. */
+enum Reg : std::uint8_t
+{
+    r0 = 0, r1, r2, r3, r4, r5, r6, r7,
+    r8, r9, r10, r11, r12, r13, r14, r15
+};
+
+/** Opaque label handle issued by ProgramBuilder. */
+struct Label
+{
+    int id = -1;
+    bool valid() const { return id >= 0; }
+};
+
+/** Fluent program constructor with label patching. */
+class ProgramBuilder
+{
+  public:
+    ProgramBuilder() = default;
+
+    /** Create an unbound label (optionally named for disassembly). */
+    Label makeLabel(const std::string &name = "");
+
+    /** Bind @p label to the next emitted instruction. */
+    void bind(Label label);
+
+    /** Create a label already bound to the next instruction. */
+    Label here(const std::string &name = "");
+
+    /** Number of instructions emitted so far. */
+    std::uint16_t pc() const
+    {
+        return static_cast<std::uint16_t>(code_.size());
+    }
+
+    // System
+    void nop();
+    void halt();
+
+    // Moves / immediates
+    void ldi(Reg rd, std::uint16_t imm);
+    void mov(Reg rd, Reg rs);
+
+    // R-type arithmetic / logic
+    void add(Reg rd, Reg a, Reg b);
+    void sub(Reg rd, Reg a, Reg b);
+    void mul(Reg rd, Reg a, Reg b);
+    void divu(Reg rd, Reg a, Reg b);
+    void remu(Reg rd, Reg a, Reg b);
+    void and_(Reg rd, Reg a, Reg b);
+    void or_(Reg rd, Reg a, Reg b);
+    void xor_(Reg rd, Reg a, Reg b);
+    void sll(Reg rd, Reg a, Reg b);
+    void srl(Reg rd, Reg a, Reg b);
+    void sra(Reg rd, Reg a, Reg b);
+    void slt(Reg rd, Reg a, Reg b);
+    void sltu(Reg rd, Reg a, Reg b);
+    void min(Reg rd, Reg a, Reg b);
+    void max(Reg rd, Reg a, Reg b);
+    void minu(Reg rd, Reg a, Reg b);
+    void maxu(Reg rd, Reg a, Reg b);
+
+    // I-type arithmetic / logic
+    void addi(Reg rd, Reg a, std::int16_t imm);
+    void andi(Reg rd, Reg a, std::uint16_t imm);
+    void ori(Reg rd, Reg a, std::uint16_t imm);
+    void xori(Reg rd, Reg a, std::uint16_t imm);
+    void slli(Reg rd, Reg a, std::uint16_t sh);
+    void srli(Reg rd, Reg a, std::uint16_t sh);
+    void srai(Reg rd, Reg a, std::uint16_t sh);
+    void slti(Reg rd, Reg a, std::int16_t imm);
+    void sltiu(Reg rd, Reg a, std::uint16_t imm);
+
+    // Memory: address = base + signed offset
+    void ld8(Reg rd, Reg base, std::int16_t offset = 0);
+    void ld8s(Reg rd, Reg base, std::int16_t offset = 0);
+    void ld16(Reg rd, Reg base, std::int16_t offset = 0);
+    void st8(Reg value, Reg base, std::int16_t offset = 0);
+    void st16(Reg value, Reg base, std::int16_t offset = 0);
+
+    // Control flow
+    void beq(Reg a, Reg b, Label target);
+    void bne(Reg a, Reg b, Label target);
+    void blt(Reg a, Reg b, Label target);
+    void bge(Reg a, Reg b, Label target);
+    void bltu(Reg a, Reg b, Label target);
+    void bgeu(Reg a, Reg b, Label target);
+    void jmp(Label target);
+    void jal(Reg rd, Label target);
+    void jr(Reg rs);
+
+    // Incidental computing
+    /**
+     * Record a resume point here: @p frame_reg carries the frame
+     * induction variable; @p match_mask is the compiler-generated bitmask
+     * of registers that must match for SIMD adoption (paper Sec. 4).
+     */
+    void markResume(Reg frame_reg, std::uint16_t match_mask);
+    void acSet(std::uint16_t reg_mask);
+    void acClear(std::uint16_t reg_mask);
+    void acEnable(bool on);
+    void assemble(Reg base, Reg len, AssembleMode mode);
+
+    // Pseudo-instructions
+    /** rd = -rs (sub rd, r0, rs). */
+    void neg(Reg rd, Reg rs);
+    /** rd = |rs| via branchless max(rs, -rs); clobbers @p tmp. */
+    void abs_(Reg rd, Reg rs, Reg tmp);
+
+    /** Patch labels and return the program. Builder stays reusable-free. */
+    Program finish();
+
+  private:
+    void emit(Op op, std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2,
+              std::uint16_t imm);
+    void emitBranch(Op op, Reg a, Reg b, Label target);
+
+    struct Fixup
+    {
+        std::size_t inst_index;
+        int label_id;
+    };
+
+    std::vector<Instruction> code_;
+    std::vector<int> label_addrs_;         // -1 until bound
+    std::vector<std::string> label_names_;
+    std::vector<Fixup> fixups_;
+    std::vector<int> pending_binds_;       // labels bound to next inst
+    bool finished_ = false;
+};
+
+} // namespace inc::isa
+
+#endif // INC_ISA_BUILDER_H

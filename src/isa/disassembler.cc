@@ -1,0 +1,104 @@
+#include "isa/disassembler.h"
+
+#include "util/logging.h"
+
+namespace inc::isa
+{
+
+namespace
+{
+
+std::string
+reg(std::uint8_t r)
+{
+    return util::format("r%u", r);
+}
+
+std::string
+modeName(std::uint16_t imm)
+{
+    switch (static_cast<AssembleMode>(imm)) {
+      case AssembleMode::higherbits: return "higherbits";
+      case AssembleMode::sum: return "sum";
+      case AssembleMode::max: return "max";
+      case AssembleMode::min: return "min";
+    }
+    return util::format("%u", imm);
+}
+
+} // namespace
+
+std::string
+disassemble(const Instruction &inst)
+{
+    const std::string &m = opName(inst.op);
+    const OpClass cls = opClass(inst.op);
+
+    switch (inst.op) {
+      case Op::nop:
+      case Op::halt:
+        return m;
+      case Op::ldi:
+        return m + " " + reg(inst.rd) + ", " +
+               util::format("%u", inst.imm);
+      case Op::mov:
+        return m + " " + reg(inst.rd) + ", " + reg(inst.rs1);
+      case Op::jmp:
+        return m + " " + util::format("%u", inst.imm);
+      case Op::jal:
+        return m + " " + reg(inst.rd) + ", " +
+               util::format("%u", inst.imm);
+      case Op::jr:
+        return m + " " + reg(inst.rs1);
+      case Op::ld8:
+      case Op::ld8s:
+      case Op::ld16:
+        return m + " " + reg(inst.rd) + ", " +
+               util::format("%d", static_cast<std::int16_t>(inst.imm)) +
+               "(" + reg(inst.rs1) + ")";
+      case Op::st8:
+      case Op::st16:
+        return m + " " + reg(inst.rs2) + ", " +
+               util::format("%d", static_cast<std::int16_t>(inst.imm)) +
+               "(" + reg(inst.rs1) + ")";
+      case Op::markrp:
+        return m + " " + reg(inst.rs1) + ", " +
+               util::format("0x%x", inst.imm);
+      case Op::acset:
+      case Op::acclr:
+        return m + " " + util::format("0x%x", inst.imm);
+      case Op::acen:
+        return m + " " + util::format("%u", inst.imm);
+      case Op::assem:
+        return m + " " + reg(inst.rs1) + ", " + reg(inst.rs2) + ", " +
+               modeName(inst.imm);
+      default:
+        break;
+    }
+
+    if (cls == OpClass::branch) {
+        return m + " " + reg(inst.rs1) + ", " + reg(inst.rs2) + ", " +
+               util::format("%u", inst.imm);
+    }
+    if (readsRs2(inst.op)) {
+        return m + " " + reg(inst.rd) + ", " + reg(inst.rs1) + ", " +
+               reg(inst.rs2);
+    }
+    return m + " " + reg(inst.rd) + ", " + reg(inst.rs1) + ", " +
+           util::format("%d", static_cast<std::int16_t>(inst.imm));
+}
+
+std::string
+disassemble(const Program &program)
+{
+    std::string out;
+    for (std::uint16_t pc = 0; pc < program.size(); ++pc) {
+        const std::string label = program.labelAt(pc);
+        if (!label.empty())
+            out += label + ":\n";
+        out += "    " + disassemble(program.at(pc)) + "\n";
+    }
+    return out;
+}
+
+} // namespace inc::isa

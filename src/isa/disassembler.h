@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Disassembly back to the assembler's text syntax (round-trips through
+ * assemble() for canonical programs; used by tests and debug dumps).
+ */
+
+#ifndef INC_ISA_DISASSEMBLER_H
+#define INC_ISA_DISASSEMBLER_H
+
+#include <string>
+
+#include "isa/program.h"
+
+namespace inc::isa
+{
+
+/** Render one instruction (no label prefix). */
+std::string disassemble(const Instruction &inst);
+
+/** Render a whole program, emitting known labels. */
+std::string disassemble(const Program &program);
+
+} // namespace inc::isa
+
+#endif // INC_ISA_DISASSEMBLER_H

@@ -1,0 +1,94 @@
+#include "isa/encoding.h"
+
+namespace inc::isa
+{
+
+namespace
+{
+
+/** R-type ops use rs2; everything else carries imm16. */
+bool
+usesRs2Field(Op op)
+{
+    return readsRs2(op) && opClass(op) != OpClass::branch &&
+           op != Op::st8 && op != Op::st16 && op != Op::assem;
+}
+
+} // namespace
+
+std::uint32_t
+encode(const Instruction &inst)
+{
+    std::uint32_t w = 0;
+    w |= static_cast<std::uint32_t>(inst.op) << 24;
+    w |= (static_cast<std::uint32_t>(inst.rd) & 0xF) << 20;
+    w |= (static_cast<std::uint32_t>(inst.rs1) & 0xF) << 16;
+    if (usesRs2Field(inst.op)) {
+        w |= (static_cast<std::uint32_t>(inst.rs2) & 0xF) << 12;
+    } else if (readsRs2(inst.op)) {
+        // Branches, stores and assem need rs2 *and* imm16: pack rs2 into
+        // the rd field (those ops never write a destination).
+        w &= ~(0xFu << 20);
+        w |= (static_cast<std::uint32_t>(inst.rs2) & 0xF) << 20;
+        w |= inst.imm;
+    } else {
+        w |= inst.imm;
+    }
+    return w;
+}
+
+std::optional<Instruction>
+decode(std::uint32_t word)
+{
+    const auto opcode = static_cast<std::uint8_t>(word >> 24);
+    if (opcode >= static_cast<std::uint8_t>(Op::num_ops))
+        return std::nullopt;
+    Instruction inst;
+    inst.op = static_cast<Op>(opcode);
+    if (usesRs2Field(inst.op)) {
+        inst.rd = static_cast<std::uint8_t>((word >> 20) & 0xF);
+        inst.rs1 = static_cast<std::uint8_t>((word >> 16) & 0xF);
+        inst.rs2 = static_cast<std::uint8_t>((word >> 12) & 0xF);
+    } else if (readsRs2(inst.op)) {
+        inst.rs2 = static_cast<std::uint8_t>((word >> 20) & 0xF);
+        inst.rs1 = static_cast<std::uint8_t>((word >> 16) & 0xF);
+        inst.imm = static_cast<std::uint16_t>(word & 0xFFFF);
+    } else {
+        inst.rd = static_cast<std::uint8_t>((word >> 20) & 0xF);
+        inst.rs1 = static_cast<std::uint8_t>((word >> 16) & 0xF);
+        inst.imm = static_cast<std::uint16_t>(word & 0xFFFF);
+    }
+    // Normalize fields the op does not use so decode(encode(x)) == x for
+    // canonical instructions.
+    if (!writesRd(inst.op) && !readsRs2(inst.op))
+        inst.rd = 0;
+    if (!readsRs1(inst.op))
+        inst.rs1 = 0;
+    return inst;
+}
+
+std::vector<std::uint32_t>
+encodeAll(const std::vector<Instruction> &code)
+{
+    std::vector<std::uint32_t> words;
+    words.reserve(code.size());
+    for (const auto &inst : code)
+        words.push_back(encode(inst));
+    return words;
+}
+
+std::optional<std::vector<Instruction>>
+decodeAll(const std::vector<std::uint32_t> &words)
+{
+    std::vector<Instruction> code;
+    code.reserve(words.size());
+    for (const auto w : words) {
+        auto inst = decode(w);
+        if (!inst)
+            return std::nullopt;
+        code.push_back(*inst);
+    }
+    return code;
+}
+
+} // namespace inc::isa

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Binary instruction encoding.
+ *
+ * Instructions encode into 32-bit words:
+ *
+ *   [31:24] opcode
+ *   [23:20] rd
+ *   [19:16] rs1
+ *   [15:12] rs2 (R-type) — overlaps imm[15:12] for I-type ops
+ *   [15:0]  imm16 (I-type / branch targets / masks)
+ *
+ * R-type ops leave imm's low 12 bits zero; I-type ops leave rs2 zero at
+ * decode. Decoding an unknown opcode returns std::nullopt.
+ */
+
+#ifndef INC_ISA_ENCODING_H
+#define INC_ISA_ENCODING_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace inc::isa
+{
+
+/** Encode one instruction into its 32-bit word. */
+std::uint32_t encode(const Instruction &inst);
+
+/** Decode a 32-bit word; nullopt if the opcode is invalid. */
+std::optional<Instruction> decode(std::uint32_t word);
+
+/** Encode a whole instruction sequence. */
+std::vector<std::uint32_t> encodeAll(const std::vector<Instruction> &code);
+
+/**
+ * Decode a whole image; returns nullopt if any word is invalid.
+ */
+std::optional<std::vector<Instruction>>
+decodeAll(const std::vector<std::uint32_t> &words);
+
+} // namespace inc::isa
+
+#endif // INC_ISA_ENCODING_H

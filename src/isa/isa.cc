@@ -1,0 +1,156 @@
+#include "isa/isa.h"
+
+#include <array>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace inc::isa
+{
+
+namespace
+{
+
+struct OpInfo
+{
+    std::string name;
+    OpClass cls;
+    int cycles;
+    bool data_op;
+    bool writes_rd;
+    bool reads_rs1;
+    bool reads_rs2;
+};
+
+const std::array<OpInfo, static_cast<size_t>(Op::num_ops)> &
+table()
+{
+    static const std::array<OpInfo, static_cast<size_t>(Op::num_ops)> t = {{
+        //  name      class              cyc data  wrd    rs1    rs2
+        {"nop",    OpClass::system,      1, false, false, false, false},
+        {"halt",   OpClass::system,      1, false, false, false, false},
+        {"ldi",    OpClass::alu,         1, false, true,  false, false},
+        {"mov",    OpClass::alu,         1, true,  true,  true,  false},
+        {"add",    OpClass::alu,         1, true,  true,  true,  true},
+        {"sub",    OpClass::alu,         1, true,  true,  true,  true},
+        {"mul",    OpClass::mul,         4, true,  true,  true,  true},
+        {"divu",   OpClass::div,         8, true,  true,  true,  true},
+        {"remu",   OpClass::div,         8, true,  true,  true,  true},
+        {"and",    OpClass::alu,         1, true,  true,  true,  true},
+        {"or",     OpClass::alu,         1, true,  true,  true,  true},
+        {"xor",    OpClass::alu,         1, true,  true,  true,  true},
+        {"sll",    OpClass::alu,         1, true,  true,  true,  true},
+        {"srl",    OpClass::alu,         1, true,  true,  true,  true},
+        {"sra",    OpClass::alu,         1, true,  true,  true,  true},
+        {"slt",    OpClass::alu,         1, true,  true,  true,  true},
+        {"sltu",   OpClass::alu,         1, true,  true,  true,  true},
+        {"min",    OpClass::alu,         1, true,  true,  true,  true},
+        {"max",    OpClass::alu,         1, true,  true,  true,  true},
+        {"minu",   OpClass::alu,         1, true,  true,  true,  true},
+        {"maxu",   OpClass::alu,         1, true,  true,  true,  true},
+        {"addi",   OpClass::alu,         1, true,  true,  true,  false},
+        {"andi",   OpClass::alu,         1, true,  true,  true,  false},
+        {"ori",    OpClass::alu,         1, true,  true,  true,  false},
+        {"xori",   OpClass::alu,         1, true,  true,  true,  false},
+        {"slli",   OpClass::alu,         1, true,  true,  true,  false},
+        {"srli",   OpClass::alu,         1, true,  true,  true,  false},
+        {"srai",   OpClass::alu,         1, true,  true,  true,  false},
+        {"slti",   OpClass::alu,         1, true,  true,  true,  false},
+        {"sltiu",  OpClass::alu,         1, true,  true,  true,  false},
+        {"ld8",    OpClass::load,        2, true,  true,  true,  false},
+        {"ld8s",   OpClass::load,        2, true,  true,  true,  false},
+        {"ld16",   OpClass::load,        2, true,  true,  true,  false},
+        {"st8",    OpClass::store,       2, false, false, true,  true},
+        {"st16",   OpClass::store,       2, false, false, true,  true},
+        {"beq",    OpClass::branch,      1, false, false, true,  true},
+        {"bne",    OpClass::branch,      1, false, false, true,  true},
+        {"blt",    OpClass::branch,      1, false, false, true,  true},
+        {"bge",    OpClass::branch,      1, false, false, true,  true},
+        {"bltu",   OpClass::branch,      1, false, false, true,  true},
+        {"bgeu",   OpClass::branch,      1, false, false, true,  true},
+        {"jmp",    OpClass::jump,        2, false, false, false, false},
+        {"jal",    OpClass::jump,        2, false, true,  false, false},
+        {"jr",     OpClass::jump,        2, false, false, true,  false},
+        {"markrp", OpClass::incidental,  1, false, false, true,  false},
+        {"acset",  OpClass::incidental,  1, false, false, false, false},
+        {"acclr",  OpClass::incidental,  1, false, false, false, false},
+        {"acen",   OpClass::incidental,  1, false, false, false, false},
+        {"assem",  OpClass::incidental,  1, false, false, true,  true},
+    }};
+    return t;
+}
+
+const OpInfo &
+info(Op op)
+{
+    const auto idx = static_cast<size_t>(op);
+    if (idx >= table().size())
+        util::panic("invalid opcode %zu", idx);
+    return table()[idx];
+}
+
+} // namespace
+
+const std::string &
+opName(Op op)
+{
+    return info(op).name;
+}
+
+Op
+opFromName(const std::string &name)
+{
+    static const std::unordered_map<std::string, Op> lookup = [] {
+        std::unordered_map<std::string, Op> m;
+        for (size_t i = 0; i < table().size(); ++i)
+            m.emplace(table()[i].name, static_cast<Op>(i));
+        return m;
+    }();
+    const auto it = lookup.find(name);
+    return it == lookup.end() ? Op::num_ops : it->second;
+}
+
+OpClass
+opClass(Op op)
+{
+    return info(op).cls;
+}
+
+int
+opCycles(Op op)
+{
+    return info(op).cycles;
+}
+
+bool
+isDataOp(Op op)
+{
+    return info(op).data_op;
+}
+
+bool
+writesRd(Op op)
+{
+    return info(op).writes_rd;
+}
+
+bool
+readsRs1(Op op)
+{
+    return info(op).reads_rs1;
+}
+
+bool
+readsRs2(Op op)
+{
+    return info(op).reads_rs2;
+}
+
+bool
+isControlFlow(Op op)
+{
+    const OpClass c = info(op).cls;
+    return c == OpClass::branch || c == OpClass::jump;
+}
+
+} // namespace inc::isa

@@ -1,0 +1,68 @@
+#include "isa/program.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace inc::isa
+{
+
+namespace
+{
+const Instruction kHalt{Op::halt, 0, 0, 0, 0};
+} // namespace
+
+Program::Program(std::vector<Instruction> code,
+                 std::map<std::string, std::uint16_t> labels)
+    : code_(std::move(code)), labels_(std::move(labels))
+{
+    for (const auto &[name, addr] : labels_) {
+        if (addr > code_.size()) {
+            util::fatal("label '%s' at %u beyond program end (%zu)",
+                        name.c_str(), addr, code_.size());
+        }
+    }
+}
+
+const Instruction &
+Program::at(std::uint16_t pc) const
+{
+    if (pc >= code_.size())
+        return kHalt;
+    return code_[pc];
+}
+
+bool
+Program::hasLabel(const std::string &name) const
+{
+    return labels_.count(name) > 0;
+}
+
+std::uint16_t
+Program::labelAddress(const std::string &name) const
+{
+    const auto it = labels_.find(name);
+    if (it == labels_.end())
+        util::fatal("unknown label '%s'", name.c_str());
+    return it->second;
+}
+
+std::string
+Program::labelAt(std::uint16_t pc) const
+{
+    for (const auto &[name, addr] : labels_) {
+        if (addr == pc)
+            return name;
+    }
+    return "";
+}
+
+std::size_t
+Program::countOp(Op op) const
+{
+    return static_cast<std::size_t>(
+        std::count_if(code_.begin(), code_.end(),
+                      [op](const Instruction &i) { return i.op == op; }));
+}
+
+} // namespace inc::isa

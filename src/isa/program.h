@@ -1,0 +1,60 @@
+/**
+ * @file
+ * A fully resolved program image: instruction sequence plus the label
+ * map produced by the assembler / builder (kept for disassembly and for
+ * locating pragma-marked points such as resume PCs).
+ */
+
+#ifndef INC_ISA_PROGRAM_H
+#define INC_ISA_PROGRAM_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace inc::isa
+{
+
+/** An assembled program. */
+class Program
+{
+  public:
+    Program() = default;
+    explicit Program(std::vector<Instruction> code,
+                     std::map<std::string, std::uint16_t> labels = {});
+
+    std::size_t size() const { return code_.size(); }
+    bool empty() const { return code_.empty(); }
+
+    /** Instruction at @p pc; out-of-range PCs fetch a halt. */
+    const Instruction &at(std::uint16_t pc) const;
+
+    const std::vector<Instruction> &code() const { return code_; }
+    const std::map<std::string, std::uint16_t> &labels() const
+    {
+        return labels_;
+    }
+
+    /** True if @p name is a known label. */
+    bool hasLabel(const std::string &name) const;
+
+    /** Address of label @p name; fatal() if missing. */
+    std::uint16_t labelAddress(const std::string &name) const;
+
+    /** Label at @p pc, empty string if none. */
+    std::string labelAt(std::uint16_t pc) const;
+
+    /** Count of instructions whose op matches @p op. */
+    std::size_t countOp(Op op) const;
+
+  private:
+    std::vector<Instruction> code_;
+    std::map<std::string, std::uint16_t> labels_;
+};
+
+} // namespace inc::isa
+
+#endif // INC_ISA_PROGRAM_H

@@ -1,0 +1,99 @@
+#include "kernels/common.h"
+
+#include "util/logging.h"
+
+namespace inc::kernels
+{
+
+core::FrameLayout
+MemoryPlan::layout() const
+{
+    core::FrameLayout l;
+    l.in_base = in_base;
+    l.in_bytes = in_bytes;
+    l.in_slots = in_slots;
+    l.out_base = out_base;
+    l.out_bytes = out_bytes;
+    l.out_slots = out_slots;
+    return l;
+}
+
+MemoryPlan
+planMemory(std::uint32_t in_bytes, std::uint32_t out_bytes,
+           std::uint32_t scratch_bytes, std::uint32_t const_bytes)
+{
+    // Deeper frame rings keep interrupted frames alive longer for
+    // incidental adoption; pick the deepest power-of-two depth that
+    // fits the 64 KiB data memory.
+    for (int slots : {8, 4, 2}) {
+        MemoryPlan plan;
+        plan.in_slots = slots;
+        plan.out_slots = slots;
+        plan.in_bytes = in_bytes;
+        plan.out_bytes = out_bytes;
+        plan.scratch_bytes = scratch_bytes;
+        plan.in_base = plan.const_base + const_bytes;
+        plan.out_base = plan.in_base +
+                        in_bytes * static_cast<std::uint32_t>(slots);
+        plan.scratch_base =
+            plan.out_base + out_bytes * static_cast<std::uint32_t>(slots);
+        if (plan.scratch_base + scratch_bytes <= isa::kDataMemBytes)
+            return plan;
+    }
+    util::fatal("memory plan exceeds data memory even with 2-deep rings "
+                "(in=%u out=%u scratch=%u)",
+                in_bytes, out_bytes, scratch_bytes);
+}
+
+int
+log2Exact(std::uint32_t value)
+{
+    if (value == 0 || (value & (value - 1)) != 0)
+        util::fatal("expected a power of two, got %u", value);
+    int n = 0;
+    while ((value >> n) != 1)
+        ++n;
+    return n;
+}
+
+isa::Label
+emitFrameLoopHead(isa::ProgramBuilder &b, const MemoryPlan &plan,
+                  std::uint16_t ac_regs, std::uint16_t match_mask,
+                  isa::Reg tmp)
+{
+    using namespace isa;
+    b.acEnable(true);
+    b.acSet(ac_regs);
+    b.ldi(kFrameReg, 0);
+
+    Label frame_loop = b.here("frame_loop");
+    b.markResume(kFrameReg, match_mask);
+
+    auto emitSlotBase = [&b, tmp](Reg dst, std::uint32_t base,
+                                  std::uint32_t bytes, int slots) {
+        b.andi(dst, kFrameReg,
+               static_cast<std::uint16_t>(slots - 1));
+        if ((bytes & (bytes - 1)) == 0) {
+            b.slli(dst, dst,
+                   static_cast<std::uint16_t>(log2Exact(bytes)));
+        } else {
+            b.ldi(tmp, static_cast<std::uint16_t>(bytes));
+            b.mul(dst, dst, tmp);
+        }
+        b.ldi(tmp, static_cast<std::uint16_t>(base));
+        b.add(dst, dst, tmp);
+    };
+
+    emitSlotBase(kInBase, plan.in_base, plan.in_bytes, plan.in_slots);
+    emitSlotBase(kOutBase, plan.out_base, plan.out_bytes, plan.out_slots);
+    return frame_loop;
+}
+
+void
+emitFrameLoopTail(isa::ProgramBuilder &b, isa::Label frame_loop)
+{
+    b.addi(kFrameReg, kFrameReg, 1);
+    b.jmp(frame_loop);
+}
+
+} // namespace inc::kernels

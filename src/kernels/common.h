@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Shared scaffolding for the kernel builders: memory-plan computation and
+ * the standard frame-loop prologue (acen/acset, markrp, ring-slot base
+ * address computation).
+ */
+
+#ifndef INC_KERNELS_COMMON_H
+#define INC_KERNELS_COMMON_H
+
+#include <cstdint>
+
+#include "isa/builder.h"
+#include "kernels/kernel.h"
+
+namespace inc::kernels
+{
+
+/** Resolved data-memory layout for one kernel instance. */
+struct MemoryPlan
+{
+    std::uint32_t const_base = 0x0100; ///< constant tables
+    std::uint32_t in_base = 0;
+    std::uint32_t in_bytes = 0;
+    int in_slots = 4;
+    std::uint32_t out_base = 0;
+    std::uint32_t out_bytes = 0;
+    int out_slots = 4;
+    std::uint32_t scratch_base = 0;
+    std::uint32_t scratch_bytes = 0;
+
+    core::FrameLayout layout() const;
+};
+
+/**
+ * Lay out rings and scratch after the constant area. fatal() if the plan
+ * exceeds the 64 KiB data memory.
+ */
+MemoryPlan planMemory(std::uint32_t in_bytes, std::uint32_t out_bytes,
+                      std::uint32_t scratch_bytes = 0,
+                      std::uint32_t const_bytes = 0x0300);
+
+/** Registers with fixed roles in every kernel. */
+constexpr isa::Reg kFrameReg = isa::r15;
+constexpr isa::Reg kInBase = isa::r14;
+constexpr isa::Reg kOutBase = isa::r13;
+constexpr isa::Reg kRowReg = isa::r12;
+constexpr isa::Reg kColReg = isa::r11;
+
+/** Bitmask helper for register masks. */
+constexpr std::uint16_t
+regMask(std::initializer_list<isa::Reg> regs)
+{
+    std::uint16_t mask = 0;
+    for (isa::Reg r : regs)
+        mask |= static_cast<std::uint16_t>(1u << r);
+    return mask;
+}
+
+/**
+ * Emit the standard kernel prologue and frame-loop header:
+ *
+ *   acen 1; acset ac_regs
+ *   r15 = 0
+ * frame_loop:
+ *   markrp r15, match_mask
+ *   r14 = in_base  + (r15 % in_slots)  * in_bytes
+ *   r13 = out_base + (r15 % out_slots) * out_bytes
+ *
+ * Returns the frame-loop label; the caller emits the body, then calls
+ * emitFrameLoopTail. @p tmp is clobbered.
+ */
+isa::Label emitFrameLoopHead(isa::ProgramBuilder &b, const MemoryPlan &plan,
+                             std::uint16_t ac_regs,
+                             std::uint16_t match_mask,
+                             isa::Reg tmp = isa::r10);
+
+/** Emit "r15 += 1; jmp frame_loop". */
+void emitFrameLoopTail(isa::ProgramBuilder &b, isa::Label frame_loop);
+
+/** log2 of a power of two; fatal() otherwise. */
+int log2Exact(std::uint32_t value);
+
+} // namespace inc::kernels
+
+#endif // INC_KERNELS_COMMON_H

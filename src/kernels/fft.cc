@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Row-wise radix-2 FFT testbench (spectrum analysis, as in the paper's
+ * gas-sensing / water-quality motivating workloads). Each image row is a
+ * W-point signal; the kernel computes an in-place fixed-point FFT (Q6
+ * twiddles, per-stage halving) in lane-private versioned scratch and
+ * writes the |re|+|im| magnitude per bin. The golden model reproduces
+ * the 16-bit wrapping arithmetic bit-exactly.
+ *
+ * The butterflies are fully unrolled at program-build time, so twiddle
+ * factors are immediates and the scratch is absolutely addressed.
+ */
+
+#include <cmath>
+#include <cstdlib>
+
+#include "kernels/common.h"
+
+namespace inc::kernels
+{
+
+namespace
+{
+
+int
+bitrev(int value, int bits)
+{
+    int out = 0;
+    for (int i = 0; i < bits; ++i) {
+        out = (out << 1) | (value & 1);
+        value >>= 1;
+    }
+    return out;
+}
+
+/** 16-bit ALU semantics mirrored for the golden model. */
+std::uint16_t
+mul16(std::uint16_t a, std::uint16_t b)
+{
+    return static_cast<std::uint16_t>(static_cast<std::uint32_t>(a) * b);
+}
+
+std::uint16_t
+sra16(std::uint16_t a, int sh)
+{
+    return static_cast<std::uint16_t>(static_cast<std::int16_t>(a) >> sh);
+}
+
+struct Twiddle
+{
+    std::uint16_t wr;
+    std::uint16_t wi;
+};
+
+Twiddle
+twiddle(int j, int m)
+{
+    const double angle = -2.0 * M_PI * j / m;
+    const auto wr = static_cast<std::int16_t>(
+        std::lround(std::cos(angle) * 64.0));
+    const auto wi = static_cast<std::int16_t>(
+        std::lround(std::sin(angle) * 64.0));
+    return {static_cast<std::uint16_t>(wr),
+            static_cast<std::uint16_t>(wi)};
+}
+
+std::vector<std::uint8_t>
+goldenFft(const std::vector<std::uint8_t> &in, int w, int h)
+{
+    const int log2w = [w] {
+        int n = 0;
+        while ((w >> n) != 1)
+            ++n;
+        return n;
+    }();
+    std::vector<std::uint8_t> out(static_cast<size_t>(w) * h, 0);
+    std::vector<std::uint16_t> re(static_cast<size_t>(w));
+    std::vector<std::uint16_t> im(static_cast<size_t>(w));
+
+    for (int y = 0; y < h; ++y) {
+        for (int i = 0; i < w; ++i) {
+            const std::uint8_t p =
+                in[static_cast<size_t>(y * w + bitrev(i, log2w))];
+            re[static_cast<size_t>(i)] =
+                static_cast<std::uint16_t>(p >> 2);
+            im[static_cast<size_t>(i)] = 0;
+        }
+        for (int s = 1; s <= log2w; ++s) {
+            const int m = 1 << s;
+            const int half = m >> 1;
+            for (int k = 0; k < w; k += m) {
+                for (int j = 0; j < half; ++j) {
+                    const auto [wr, wi] = twiddle(j, m);
+                    const size_t i1 = static_cast<size_t>(k + j);
+                    const size_t i2 = i1 + static_cast<size_t>(half);
+                    const std::uint16_t tr = sra16(
+                        static_cast<std::uint16_t>(mul16(re[i2], wr) -
+                                                   mul16(im[i2], wi)),
+                        6);
+                    const std::uint16_t ti = sra16(
+                        static_cast<std::uint16_t>(mul16(re[i2], wi) +
+                                                   mul16(im[i2], wr)),
+                        6);
+                    const std::uint16_t r1 = re[i1];
+                    const std::uint16_t m1 = im[i1];
+                    re[i1] = sra16(static_cast<std::uint16_t>(r1 + tr), 1);
+                    re[i2] = sra16(static_cast<std::uint16_t>(r1 - tr), 1);
+                    im[i1] = sra16(static_cast<std::uint16_t>(m1 + ti), 1);
+                    im[i2] = sra16(static_cast<std::uint16_t>(m1 - ti), 1);
+                }
+            }
+        }
+        for (int i = 0; i < w; ++i) {
+            auto absv = [](std::uint16_t v) {
+                const auto s = static_cast<std::int16_t>(v);
+                const auto n = static_cast<std::int16_t>(-s);
+                return static_cast<std::uint16_t>(std::max(s, n));
+            };
+            const std::uint16_t mag = static_cast<std::uint16_t>(
+                (absv(re[static_cast<size_t>(i)]) +
+                 absv(im[static_cast<size_t>(i)])) >>
+                2);
+            out[static_cast<size_t>(y * w + i)] = static_cast<std::uint8_t>(
+                std::min<std::uint16_t>(mag, 255));
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+Kernel
+makeFft(int width, int height)
+{
+    using namespace isa;
+    const int log2w = log2Exact(static_cast<std::uint32_t>(width));
+    const auto bytes =
+        static_cast<std::uint32_t>(width) * static_cast<std::uint32_t>(
+                                                height);
+
+    Kernel k;
+    k.name = "fft";
+    k.width = width;
+    k.height = height;
+    k.scene = util::SceneKind::texture;
+    k.adoption_safe = false; // re/im planes live in memory scratch
+    k.ac_reg_mask = regMask({r1, r2, r3, r4, r5, r6});
+    k.match_mask = regMask({kRowReg});
+
+    const auto scratch_bytes = static_cast<std::uint32_t>(4 * width);
+    const MemoryPlan plan = planMemory(bytes, bytes, scratch_bytes);
+    k.layout = plan.layout();
+    k.scratch_base = plan.scratch_base;
+    k.scratch_bytes = scratch_bytes;
+
+    const std::uint32_t re_base = plan.scratch_base;
+    const std::uint32_t im_base =
+        plan.scratch_base + 2 * static_cast<std::uint32_t>(width);
+    auto reAddr = [re_base](int i) {
+        return static_cast<std::int16_t>(re_base +
+                                         2 * static_cast<unsigned>(i));
+    };
+    auto imAddr = [im_base](int i) {
+        return static_cast<std::int16_t>(im_base +
+                                         2 * static_cast<unsigned>(i));
+    };
+
+    ProgramBuilder b;
+    Label frame_loop =
+        emitFrameLoopHead(b, plan, k.ac_reg_mask, k.match_mask);
+
+    b.ldi(kRowReg, 0);
+    Label y_loop = b.here("y_loop");
+
+    // Row base addresses: r9 input, r8 output.
+    b.slli(r9, kRowReg, static_cast<std::uint16_t>(log2w));
+    b.add(r8, r9, kOutBase);
+    b.add(r9, r9, kInBase);
+
+    // Bit-reversed load with >>2 prescale; imaginary parts zeroed.
+    for (int i = 0; i < width; ++i) {
+        b.ld8(r1, r9, static_cast<std::int16_t>(bitrev(i, log2w)));
+        b.srli(r1, r1, 2);
+        b.st16(r1, r0, reAddr(i));
+        b.st16(r0, r0, imAddr(i));
+    }
+
+    // Unrolled butterflies, Q6 twiddle immediates.
+    for (int s = 1; s <= log2w; ++s) {
+        const int m = 1 << s;
+        const int half = m >> 1;
+        for (int kk = 0; kk < width; kk += m) {
+            for (int j = 0; j < half; ++j) {
+                const auto [wr, wi] = twiddle(j, m);
+                const int i1 = kk + j;
+                const int i2 = i1 + half;
+                b.ld16(r1, r0, reAddr(i2));
+                b.ld16(r2, r0, imAddr(i2));
+                b.ldi(r3, wr);
+                b.mul(r4, r1, r3);
+                b.ldi(r3, wi);
+                b.mul(r5, r2, r3);
+                b.sub(r4, r4, r5);
+                b.srai(r4, r4, 6); // tr
+                b.ldi(r3, wi);
+                b.mul(r5, r1, r3);
+                b.ldi(r3, wr);
+                b.mul(r6, r2, r3);
+                b.add(r5, r5, r6);
+                b.srai(r5, r5, 6); // ti
+                b.ld16(r1, r0, reAddr(i1));
+                b.ld16(r2, r0, imAddr(i1));
+                b.add(r6, r1, r4);
+                b.srai(r6, r6, 1);
+                b.st16(r6, r0, reAddr(i1));
+                b.sub(r6, r1, r4);
+                b.srai(r6, r6, 1);
+                b.st16(r6, r0, reAddr(i2));
+                b.add(r6, r2, r5);
+                b.srai(r6, r6, 1);
+                b.st16(r6, r0, imAddr(i1));
+                b.sub(r6, r2, r5);
+                b.srai(r6, r6, 1);
+                b.st16(r6, r0, imAddr(i2));
+            }
+        }
+    }
+
+    // Magnitude per bin: min(255, (|re| + |im|) >> 2).
+    for (int i = 0; i < width; ++i) {
+        b.ld16(r1, r0, reAddr(i));
+        b.abs_(r1, r1, r3);
+        b.ld16(r2, r0, imAddr(i));
+        b.abs_(r2, r2, r3);
+        b.add(r1, r1, r2);
+        b.srli(r1, r1, 2);
+        b.ldi(r3, 255);
+        b.min(r1, r1, r3);
+        b.st8(r1, r8, static_cast<std::int16_t>(i));
+    }
+
+    b.addi(kRowReg, kRowReg, 1);
+    b.ldi(r9, static_cast<std::uint16_t>(height));
+    b.blt(kRowReg, r9, y_loop);
+
+    emitFrameLoopTail(b, frame_loop);
+    k.program = b.finish();
+
+    k.make_input = [](const util::SceneGenerator &scene, int frame) {
+        return scene.frame(frame).data();
+    };
+    k.golden = [width, height](const std::vector<std::uint8_t> &in) {
+        return goldenFft(in, width, height);
+    };
+    return k;
+}
+
+} // namespace inc::kernels

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Integral image: 2D prefix sums in 16-bit wrapping arithmetic; each
+ * output pixel is the high byte of the running sum (a display-scaled
+ * integral image, as in the paper's Fig. 11 testbench). Column sums are
+ * kept in lane-private versioned scratch, so interrupted frames are
+ * restarted from the frame top rather than adopted mid-loop
+ * (adoption_safe = false).
+ */
+
+#include <cstdint>
+
+#include "kernels/common.h"
+
+namespace inc::kernels
+{
+
+namespace
+{
+
+std::vector<std::uint8_t>
+goldenIntegral(const std::vector<std::uint8_t> &in, int w, int h)
+{
+    std::vector<std::uint8_t> out(static_cast<size_t>(w) * h, 0);
+    std::vector<std::uint16_t> col(static_cast<size_t>(w), 0);
+    for (int y = 0; y < h; ++y) {
+        std::uint16_t rowsum = 0;
+        for (int x = 0; x < w; ++x) {
+            rowsum = static_cast<std::uint16_t>(
+                rowsum + in[static_cast<size_t>(y * w + x)]);
+            col[static_cast<size_t>(x)] = static_cast<std::uint16_t>(
+                col[static_cast<size_t>(x)] + rowsum);
+            out[static_cast<size_t>(y * w + x)] =
+                static_cast<std::uint8_t>(col[static_cast<size_t>(x)] >>
+                                          8);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+Kernel
+makeIntegral(int width, int height)
+{
+    using namespace isa;
+    const int log2w = log2Exact(static_cast<std::uint32_t>(width));
+    const auto bytes =
+        static_cast<std::uint32_t>(width) * static_cast<std::uint32_t>(
+                                                height);
+
+    Kernel k;
+    k.name = "integral";
+    k.width = width;
+    k.height = height;
+    k.scene = util::SceneKind::blobs;
+    k.adoption_safe = false; // column sums live in memory scratch
+    k.ac_reg_mask = regMask({r1, r2, r3});
+    k.match_mask = regMask({kRowReg, kColReg});
+
+    const auto scratch_bytes = static_cast<std::uint32_t>(2 * width);
+    const MemoryPlan plan = planMemory(bytes, bytes, scratch_bytes);
+    k.layout = plan.layout();
+    k.scratch_base = plan.scratch_base;
+    k.scratch_bytes = scratch_bytes;
+
+    ProgramBuilder b;
+    Label frame_loop =
+        emitFrameLoopHead(b, plan, k.ac_reg_mask, k.match_mask);
+
+    // Zero the per-column running sums.
+    b.ldi(kColReg, 0);
+    Label zero_loop = b.here("zero_cols");
+    b.slli(r10, kColReg, 1);
+    b.ldi(r9, static_cast<std::uint16_t>(plan.scratch_base));
+    b.add(r10, r10, r9);
+    b.st16(r0, r10, 0);
+    b.addi(kColReg, kColReg, 1);
+    b.ldi(r9, static_cast<std::uint16_t>(width));
+    b.blt(kColReg, r9, zero_loop);
+
+    b.ldi(kRowReg, 0);
+    Label y_loop = b.here("y_loop");
+    b.ldi(r1, 0); // rowsum
+    b.ldi(kColReg, 0);
+    Label x_loop = b.here("x_loop");
+
+    // rowsum += pixel
+    b.slli(r10, kRowReg, static_cast<std::uint16_t>(log2w));
+    b.add(r10, r10, kColReg);
+    b.add(r10, r10, kInBase);
+    b.ld8(r2, r10, 0);
+    b.add(r1, r1, r2);
+
+    // col[x] += rowsum; out = col[x] >> 8
+    b.slli(r10, kColReg, 1);
+    b.ldi(r9, static_cast<std::uint16_t>(plan.scratch_base));
+    b.add(r10, r10, r9);
+    b.ld16(r3, r10, 0);
+    b.add(r3, r3, r1);
+    b.st16(r3, r10, 0);
+    b.srli(r2, r3, 8);
+
+    b.slli(r10, kRowReg, static_cast<std::uint16_t>(log2w));
+    b.add(r10, r10, kColReg);
+    b.add(r10, r10, kOutBase);
+    b.st8(r2, r10, 0);
+
+    b.addi(kColReg, kColReg, 1);
+    b.ldi(r9, static_cast<std::uint16_t>(width));
+    b.blt(kColReg, r9, x_loop);
+    b.addi(kRowReg, kRowReg, 1);
+    b.ldi(r9, static_cast<std::uint16_t>(height));
+    b.blt(kRowReg, r9, y_loop);
+
+    emitFrameLoopTail(b, frame_loop);
+    k.program = b.finish();
+
+    k.make_input = [](const util::SceneGenerator &scene, int frame) {
+        return scene.frame(frame).data();
+    };
+    k.golden = [width, height](const std::vector<std::uint8_t> &in) {
+        return goldenIntegral(in, width, height);
+    };
+    return k;
+}
+
+} // namespace inc::kernels

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * JPEG encode testbench, reduced to its compute-dominant core: per 8x8
+ * block, the DC term (block mean) and a rate estimate from the quantized
+ * sum of absolute differences against the DC (the SAD loop mirrors the
+ * motion-estimation workload the paper applies incidental computing to;
+ * approximation error affects the estimated output *size*, matching the
+ * paper's Table 2 QoS definition for JPEG).
+ *
+ * Output: (W/8)*(H/8) blocks x 2 bytes = [DC, rate].
+ */
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "kernels/common.h"
+
+namespace inc::kernels
+{
+
+namespace
+{
+
+std::vector<std::uint8_t>
+goldenJpeg(const std::vector<std::uint8_t> &in, int w, int h)
+{
+    const int bw = w / 8;
+    const int bh = h / 8;
+    std::vector<std::uint8_t> out(static_cast<size_t>(bw) * bh * 2, 0);
+    for (int by = 0; by < bh; ++by) {
+        for (int bx = 0; bx < bw; ++bx) {
+            int sum = 0;
+            for (int dy = 0; dy < 8; ++dy) {
+                for (int dx = 0; dx < 8; ++dx) {
+                    sum += in[static_cast<size_t>((by * 8 + dy) * w +
+                                                  bx * 8 + dx)];
+                }
+            }
+            const int dc = sum >> 6;
+            int sad = 0;
+            for (int dy = 0; dy < 8; ++dy) {
+                for (int dx = 0; dx < 8; ++dx) {
+                    const int p = in[static_cast<size_t>(
+                        (by * 8 + dy) * w + bx * 8 + dx)];
+                    sad += std::abs(p - dc);
+                }
+            }
+            const int rate = std::min(255, sad >> 4);
+            const size_t base =
+                static_cast<size_t>((by * bw + bx) * 2);
+            out[base] = static_cast<std::uint8_t>(dc);
+            out[base + 1] = static_cast<std::uint8_t>(rate);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+Kernel
+makeJpegEncode(int width, int height)
+{
+    using namespace isa;
+    const int log2w = log2Exact(static_cast<std::uint32_t>(width));
+    const int bw = width / 8;
+    const int bh = height / 8;
+    const auto in_bytes =
+        static_cast<std::uint32_t>(width) * static_cast<std::uint32_t>(
+                                                height);
+    const auto out_bytes = static_cast<std::uint32_t>(bw * bh * 2);
+
+    Kernel k;
+    k.name = "jpeg.encode";
+    k.width = width;
+    k.height = height;
+    k.scene = util::SceneKind::scene;
+    k.ac_reg_mask = regMask({r1, r2, r3, r4, r5});
+    k.match_mask = regMask({kRowReg, kColReg, r8, r7});
+
+    const MemoryPlan plan = planMemory(in_bytes, out_bytes);
+    k.layout = plan.layout();
+
+    ProgramBuilder b;
+    Label frame_loop =
+        emitFrameLoopHead(b, plan, k.ac_reg_mask, k.match_mask);
+
+    b.ldi(kRowReg, 0); // by
+    Label by_loop = b.here("by_loop");
+    b.ldi(kColReg, 0); // bx
+    Label bx_loop = b.here("bx_loop");
+
+    // Helper: r10 = input address of block pixel (r8=dy, r7=dx).
+    auto emitPixelAddr = [&]() {
+        b.slli(r10, kRowReg, 3);
+        b.add(r10, r10, r8);
+        b.slli(r10, r10, static_cast<std::uint16_t>(log2w));
+        b.add(r10, r10, r7);
+        b.slli(r9, kColReg, 3);
+        b.add(r10, r10, r9);
+        b.add(r10, r10, kInBase);
+    };
+
+    // Pass 1: block sum -> DC.
+    b.ldi(r1, 0);
+    b.ldi(r8, 0);
+    Label sum_dy = b.here("sum_dy");
+    b.ldi(r7, 0);
+    Label sum_dx = b.here("sum_dx");
+    emitPixelAddr();
+    b.ld8(r2, r10, 0);
+    b.add(r1, r1, r2);
+    b.addi(r7, r7, 1);
+    b.ldi(r9, 8);
+    b.blt(r7, r9, sum_dx);
+    b.addi(r8, r8, 1);
+    b.ldi(r9, 8);
+    b.blt(r8, r9, sum_dy);
+    b.srli(r4, r1, 6); // DC
+
+    // Pass 2: SAD against DC.
+    b.ldi(r5, 0);
+    b.ldi(r8, 0);
+    Label sad_dy = b.here("sad_dy");
+    b.ldi(r7, 0);
+    Label sad_dx = b.here("sad_dx");
+    emitPixelAddr();
+    b.ld8(r2, r10, 0);
+    b.sub(r3, r2, r4);
+    b.abs_(r3, r3, r2);
+    b.add(r5, r5, r3);
+    b.addi(r7, r7, 1);
+    b.ldi(r9, 8);
+    b.blt(r7, r9, sad_dx);
+    b.addi(r8, r8, 1);
+    b.ldi(r9, 8);
+    b.blt(r8, r9, sad_dy);
+
+    b.srli(r5, r5, 4);
+    b.ldi(r9, 255);
+    b.min(r5, r5, r9); // rate
+
+    // Store [DC, rate] at out_base + (by*bw + bx)*2.
+    b.ldi(r9, static_cast<std::uint16_t>(bw));
+    b.mul(r10, kRowReg, r9);
+    b.add(r10, r10, kColReg);
+    b.slli(r10, r10, 1);
+    b.add(r10, r10, kOutBase);
+    b.st8(r4, r10, 0);
+    b.st8(r5, r10, 1);
+
+    b.addi(kColReg, kColReg, 1);
+    b.ldi(r9, static_cast<std::uint16_t>(bw));
+    b.blt(kColReg, r9, bx_loop);
+    b.addi(kRowReg, kRowReg, 1);
+    b.ldi(r9, static_cast<std::uint16_t>(bh));
+    b.blt(kRowReg, r9, by_loop);
+
+    emitFrameLoopTail(b, frame_loop);
+    k.program = b.finish();
+
+    k.make_input = [](const util::SceneGenerator &scene, int frame) {
+        return scene.frame(frame).data();
+    };
+    k.golden = [width, height](const std::vector<std::uint8_t> &in) {
+        return goldenJpeg(in, width, height);
+    };
+    return k;
+}
+
+} // namespace inc::kernels

@@ -1,0 +1,47 @@
+#include "kernels/kernel.h"
+
+#include "util/logging.h"
+
+namespace inc::kernels
+{
+
+std::vector<std::string>
+kernelNames()
+{
+    return {"sobel",          "median",       "integral",
+            "susan.corners",  "susan.edges",  "susan.smoothing",
+            "jpeg.encode",    "fft",          "tiff2bw",
+            "tiff2rgba"};
+}
+
+Kernel
+makeKernel(const std::string &name, int width, int height)
+{
+    if (width < 8 || height < 8)
+        util::fatal("kernel frames must be at least 8x8");
+    if (name == "sobel")
+        return makeSobel(width, height);
+    if (name == "median")
+        return makeMedian(width, height);
+    if (name == "integral")
+        return makeIntegral(width, height);
+    if (name == "susan.corners")
+        return makeSusanCorners(width, height);
+    if (name == "susan.edges")
+        return makeSusanEdges(width, height);
+    if (name == "susan.smoothing")
+        return makeSusanSmoothing(width, height);
+    if (name == "jpeg.encode")
+        return makeJpegEncode(width, height);
+    if (name == "fft")
+        return makeFft(width, height);
+    if (name == "tiff2bw")
+        return makeTiff2Bw(width, height);
+    if (name == "tiff2rgba")
+        return makeTiff2Rgba(width, height);
+    if (name == "patmatch")
+        return makePatMatch(width, height);
+    util::fatal("unknown kernel '%s'", name.c_str());
+}
+
+} // namespace inc::kernels

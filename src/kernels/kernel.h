@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The testbench kernels (paper Sec. 7, Fig. 28).
+ *
+ * The paper evaluates image-processing / pattern-matching kernels from
+ * MiBench compiled for its modified 8051. We hand-write the equivalent
+ * kernels for our ISA through ProgramBuilder, each paired with a golden
+ * C++ reference that reproduces the precise program bit-exactly (used
+ * for output-quality scoring and correctness tests).
+ *
+ * Common structure: an infinite frame loop opened by markrp (the
+ * incidental_recover_from pragma), per-frame input/output ring slots
+ * addressed from the frame induction register, and branchless inner data
+ * operations so incidental SIMD lanes never diverge.
+ *
+ * Register conventions:
+ *   r15 frame induction variable (markrp register)
+ *   r14 input slot base      r13 output slot base
+ *   r12, r11 row/column induction variables (in the compiler match mask)
+ *   r1..r10 kernel data and temporaries (AC-flagged as appropriate)
+ */
+
+#ifndef INC_KERNELS_KERNEL_H
+#define INC_KERNELS_KERNEL_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "isa/program.h"
+#include "util/image.h"
+
+namespace inc::kernels
+{
+
+/** A fully described testbench kernel. */
+struct Kernel
+{
+    std::string name;
+    int width = 32;
+    int height = 32;
+
+    isa::Program program;
+    core::FrameLayout layout;
+
+    /** Versioned lane-private scratch (0 bytes when unused). */
+    std::uint32_t scratch_base = 0;
+    std::uint32_t scratch_bytes = 0;
+
+    /** Frame induction register (markrp rs1). */
+    int frame_reg = 15;
+
+    /**
+     * True when interrupted frames may be adopted mid-loop as SIMD lanes.
+     * Kernels that carry state in memory scratch (integral, fft) cannot
+     * be resumed mid-frame — the paper's compiler places the same
+     * restriction on loop-carried dependences — and are instead
+     * restarted from the frame top by history spawning.
+     */
+    bool adoption_safe = true;
+
+    /** Compiler-generated adoption match mask (markrp imm). */
+    std::uint16_t match_mask = 0;
+
+    /** AC-flagged data registers (program acsets this; kept for docs). */
+    std::uint16_t ac_reg_mask = 0;
+
+    /** Constant tables to preload into data memory. */
+    std::vector<std::pair<std::uint32_t, std::vector<std::uint8_t>>>
+        init_blocks;
+
+    /** Build the input-frame bytes for frame @p index. */
+    std::function<std::vector<std::uint8_t>(const util::SceneGenerator &,
+                                            int)> make_input;
+
+    /** Golden reference: input frame bytes -> precise output bytes. */
+    std::function<std::vector<std::uint8_t>(
+        const std::vector<std::uint8_t> &)> golden;
+
+    /** Scene flavour this kernel is typically evaluated on. */
+    util::SceneKind scene = util::SceneKind::scene;
+};
+
+/** Names of all registered kernels (Fig. 28 testbench set). */
+std::vector<std::string> kernelNames();
+
+/**
+ * Construct a kernel by name ("sobel", "median", "integral",
+ * "susan.corners", "susan.edges", "susan.smoothing", "jpeg.encode",
+ * "fft", "tiff2bw", "tiff2rgba"). Width/height must be powers of two.
+ * fatal() on unknown names.
+ */
+Kernel makeKernel(const std::string &name, int width = 32,
+                  int height = 32);
+
+// Individual factories (one per translation unit).
+Kernel makeSobel(int width, int height);
+Kernel makeMedian(int width, int height);
+Kernel makeIntegral(int width, int height);
+Kernel makeSusanCorners(int width, int height);
+Kernel makeSusanEdges(int width, int height);
+Kernel makeSusanSmoothing(int width, int height);
+Kernel makeJpegEncode(int width, int height);
+Kernel makeFft(int width, int height);
+Kernel makeTiff2Bw(int width, int height);
+Kernel makeTiff2Rgba(int width, int height);
+
+/**
+ * Extension kernel beyond the paper's Fig. 28 set: 8x8 template
+ * matching (the pattern-matching archetype the paper's Sec. 2.1
+ * motivates). Constructible via makeKernel("patmatch") but excluded
+ * from kernelNames() so the Fig. 28 reproduction stays exact.
+ */
+Kernel makePatMatch(int width, int height);
+
+} // namespace inc::kernels
+
+#endif // INC_KERNELS_KERNEL_H

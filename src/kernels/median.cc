@@ -1,0 +1,135 @@
+/**
+ * @file
+ * 3x3 median filter using a 19-exchange sorting network (branchless
+ * min/max ops, safe for incidental SIMD). Borders are left unwritten.
+ */
+
+#include <algorithm>
+#include <array>
+
+#include "kernels/common.h"
+
+namespace inc::kernels
+{
+
+namespace
+{
+
+std::vector<std::uint8_t>
+goldenMedian(const std::vector<std::uint8_t> &in, int w, int h)
+{
+    std::vector<std::uint8_t> out(static_cast<size_t>(w) * h, 0);
+    for (int y = 1; y < h - 1; ++y) {
+        for (int x = 1; x < w - 1; ++x) {
+            std::array<std::uint8_t, 9> v;
+            int i = 0;
+            for (int dy = -1; dy <= 1; ++dy) {
+                for (int dx = -1; dx <= 1; ++dx) {
+                    v[static_cast<size_t>(i++)] =
+                        in[static_cast<size_t>((y + dy) * w + (x + dx))];
+                }
+            }
+            std::nth_element(v.begin(), v.begin() + 4, v.end());
+            out[static_cast<size_t>(y * w + x)] = v[4];
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+Kernel
+makeMedian(int width, int height)
+{
+    using namespace isa;
+    const auto w16 = static_cast<std::int16_t>(width);
+    const int log2w = log2Exact(static_cast<std::uint32_t>(width));
+    const auto bytes =
+        static_cast<std::uint32_t>(width) * static_cast<std::uint32_t>(
+                                                height);
+
+    Kernel k;
+    k.name = "median";
+    k.width = width;
+    k.height = height;
+    k.scene = util::SceneKind::texture;
+    // r10 doubles as the exchange-network temporary and the address
+    // register; it stays precise (non-AC) so addresses are never noisy —
+    // the window registers still receive noise at every max/mov
+    // write-back.
+    k.ac_reg_mask = regMask({r1, r2, r3, r4, r5, r6, r7, r8, r9});
+    k.match_mask = regMask({kRowReg, kColReg});
+
+    const MemoryPlan plan = planMemory(bytes, bytes);
+    k.layout = plan.layout();
+
+    ProgramBuilder b;
+    Label frame_loop =
+        emitFrameLoopHead(b, plan, k.ac_reg_mask, k.match_mask);
+
+    b.ldi(kRowReg, 1);
+    Label y_loop = b.here("y_loop");
+    b.ldi(kColReg, 1);
+    Label x_loop = b.here("x_loop");
+
+    // r10 = input address of the window center.
+    b.slli(r10, kRowReg, static_cast<std::uint16_t>(log2w));
+    b.add(r10, r10, kColReg);
+    b.add(r10, r10, kInBase);
+
+    const std::int16_t offs[9] = {
+        static_cast<std::int16_t>(-w16 - 1),
+        static_cast<std::int16_t>(-w16),
+        static_cast<std::int16_t>(-w16 + 1),
+        -1, 0, 1,
+        static_cast<std::int16_t>(w16 - 1),
+        w16,
+        static_cast<std::int16_t>(w16 + 1)};
+    const Reg window[9] = {r1, r2, r3, r4, r5, r6, r7, r8, r9};
+    for (int i = 0; i < 9; ++i)
+        b.ld8(window[static_cast<size_t>(i)], r10,
+              offs[static_cast<size_t>(i)]);
+
+    // Paeth's 19-exchange median-of-9 network; median lands in slot 4
+    // (register r5). cx(a,b): a <- min, b <- max, via temp r10.
+    auto cx = [&b, &window](int i, int j) {
+        const Reg a = window[static_cast<size_t>(i)];
+        const Reg c = window[static_cast<size_t>(j)];
+        b.min(r10, a, c);
+        b.max(c, a, c);
+        b.mov(a, r10);
+    };
+    cx(1, 2); cx(4, 5); cx(7, 8);
+    cx(0, 1); cx(3, 4); cx(6, 7);
+    cx(1, 2); cx(4, 5); cx(7, 8);
+    cx(0, 3); cx(5, 8); cx(4, 7);
+    cx(3, 6); cx(1, 4); cx(2, 5);
+    cx(4, 7); cx(4, 2); cx(6, 4);
+    cx(4, 2);
+
+    // Output address and store (recompute index from y/x).
+    b.slli(r10, kRowReg, static_cast<std::uint16_t>(log2w));
+    b.add(r10, r10, kColReg);
+    b.add(r10, r10, kOutBase);
+    b.st8(r5, r10, 0);
+
+    b.addi(kColReg, kColReg, 1);
+    b.ldi(r10, static_cast<std::uint16_t>(width - 1));
+    b.blt(kColReg, r10, x_loop);
+    b.addi(kRowReg, kRowReg, 1);
+    b.ldi(r10, static_cast<std::uint16_t>(height - 1));
+    b.blt(kRowReg, r10, y_loop);
+
+    emitFrameLoopTail(b, frame_loop);
+    k.program = b.finish();
+
+    k.make_input = [](const util::SceneGenerator &scene, int frame) {
+        return scene.frame(frame).data();
+    };
+    k.golden = [width, height](const std::vector<std::uint8_t> &in) {
+        return goldenMedian(in, width, height);
+    };
+    return k;
+}
+
+} // namespace inc::kernels

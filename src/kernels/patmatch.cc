@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Template matching (extension kernel, beyond the Fig. 28 set).
+ *
+ * The paper motivates its workloads as "image processing and pattern
+ * matching kernels" (Secs. 2.1, 7); this kernel is the pattern-matching
+ * archetype: slide an 8x8 template over the frame and emit the inverted,
+ * scaled sum of absolute differences per position — bright pixels mark
+ * template hits. Branchless inner loops (abs via neg/max) keep it safe
+ * for incidental SIMD adoption.
+ *
+ * Construct with makeKernel("patmatch"); it is not part of
+ * kernelNames() so the Fig. 28 reproduction remains the paper's exact
+ * testbench set.
+ */
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "kernels/common.h"
+
+namespace inc::kernels
+{
+
+namespace
+{
+
+constexpr int kTemplateSize = 8;
+
+/** The sought pattern: a bright diagonal bar on a dark field. */
+std::vector<std::uint8_t>
+templatePattern()
+{
+    std::vector<std::uint8_t> pattern(kTemplateSize * kTemplateSize, 32);
+    for (int y = 0; y < kTemplateSize; ++y) {
+        for (int x = 0; x < kTemplateSize; ++x) {
+            if (std::abs(x - y) <= 1) {
+                pattern[static_cast<size_t>(y * kTemplateSize + x)] =
+                    220;
+            }
+        }
+    }
+    return pattern;
+}
+
+std::vector<std::uint8_t>
+goldenPatMatch(const std::vector<std::uint8_t> &in, int w, int h)
+{
+    const auto pattern = templatePattern();
+    std::vector<std::uint8_t> out(static_cast<size_t>(w) * h, 0);
+    for (int y = 0; y + kTemplateSize <= h; ++y) {
+        for (int x = 0; x + kTemplateSize <= w; ++x) {
+            int sad = 0;
+            for (int dy = 0; dy < kTemplateSize; ++dy) {
+                for (int dx = 0; dx < kTemplateSize; ++dx) {
+                    const int p = in[static_cast<size_t>(
+                        (y + dy) * w + (x + dx))];
+                    const int t = pattern[static_cast<size_t>(
+                        dy * kTemplateSize + dx)];
+                    sad += std::abs(p - t);
+                }
+            }
+            // Invert and scale: perfect match -> 255, poor match -> 0.
+            const int score = 255 - std::min(255, sad >> 6);
+            out[static_cast<size_t>(y * w + x)] =
+                static_cast<std::uint8_t>(score);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+Kernel
+makePatMatch(int width, int height)
+{
+    using namespace isa;
+    const int log2w = log2Exact(static_cast<std::uint32_t>(width));
+    const auto bytes =
+        static_cast<std::uint32_t>(width) * static_cast<std::uint32_t>(
+                                                height);
+
+    Kernel k;
+    k.name = "patmatch";
+    k.width = width;
+    k.height = height;
+    k.scene = util::SceneKind::scene;
+    k.ac_reg_mask = regMask({r1, r2, r3, r5});
+    k.match_mask = regMask({kRowReg, kColReg, r8, r7});
+
+    const MemoryPlan plan = planMemory(bytes, bytes);
+    k.layout = plan.layout();
+    k.init_blocks.push_back({plan.const_base, templatePattern()});
+
+    ProgramBuilder b;
+    Label frame_loop =
+        emitFrameLoopHead(b, plan, k.ac_reg_mask, k.match_mask);
+
+    b.ldi(kRowReg, 0); // y
+    Label y_loop = b.here("y_loop");
+    b.ldi(kColReg, 0); // x
+    Label x_loop = b.here("x_loop");
+
+    b.ldi(r5, 0); // SAD accumulator
+    b.ldi(r8, 0); // dy
+    Label dy_loop = b.here("dy_loop");
+    b.ldi(r7, 0); // dx
+    Label dx_loop = b.here("dx_loop");
+
+    // r10 = input address of (x+dx, y+dy).
+    b.add(r10, kRowReg, r8);
+    b.slli(r10, r10, static_cast<std::uint16_t>(log2w));
+    b.add(r10, r10, kColReg);
+    b.add(r10, r10, r7);
+    b.add(r10, r10, kInBase);
+    b.ld8(r1, r10, 0);
+
+    // r9 = template address of (dx, dy).
+    b.slli(r9, r8, 3);
+    b.add(r9, r9, r7);
+    b.ldi(r10, static_cast<std::uint16_t>(plan.const_base));
+    b.add(r9, r9, r10);
+    b.ld8(r2, r9, 0);
+
+    b.sub(r3, r1, r2);
+    b.abs_(r3, r3, r2);
+    b.add(r5, r5, r3);
+
+    b.addi(r7, r7, 1);
+    b.ldi(r9, kTemplateSize);
+    b.blt(r7, r9, dx_loop);
+    b.addi(r8, r8, 1);
+    b.ldi(r9, kTemplateSize);
+    b.blt(r8, r9, dy_loop);
+
+    // score = 255 - min(255, sad >> 6)
+    b.srli(r5, r5, 6);
+    b.ldi(r9, 255);
+    b.min(r5, r5, r9);
+    b.sub(r5, r9, r5);
+
+    b.slli(r10, kRowReg, static_cast<std::uint16_t>(log2w));
+    b.add(r10, r10, kColReg);
+    b.add(r10, r10, kOutBase);
+    b.st8(r5, r10, 0);
+
+    b.addi(kColReg, kColReg, 1);
+    b.ldi(r9, static_cast<std::uint16_t>(width - kTemplateSize + 1));
+    b.blt(kColReg, r9, x_loop);
+    b.addi(kRowReg, kRowReg, 1);
+    b.ldi(r9, static_cast<std::uint16_t>(height - kTemplateSize + 1));
+    b.blt(kRowReg, r9, y_loop);
+
+    emitFrameLoopTail(b, frame_loop);
+    k.program = b.finish();
+
+    k.make_input = [](const util::SceneGenerator &scene, int frame) {
+        return scene.frame(frame).data();
+    };
+    k.golden = [width, height](const std::vector<std::uint8_t> &in) {
+        return goldenPatMatch(in, width, height);
+    };
+    return k;
+}
+
+} // namespace inc::kernels

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Sobel edge detection (3x3 gradient magnitude, |Gx| + |Gy|, clamped).
+ * Border pixels are left unwritten (zero), as in the golden reference.
+ */
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "kernels/common.h"
+#include "util/logging.h"
+
+namespace inc::kernels
+{
+
+namespace
+{
+
+std::vector<std::uint8_t>
+goldenSobel(const std::vector<std::uint8_t> &in, int w, int h)
+{
+    std::vector<std::uint8_t> out(static_cast<size_t>(w) * h, 0);
+    auto px = [&in, w](int x, int y) {
+        return static_cast<int>(in[static_cast<size_t>(y * w + x)]);
+    };
+    for (int y = 1; y < h - 1; ++y) {
+        for (int x = 1; x < w - 1; ++x) {
+            const int gx = (px(x + 1, y - 1) + 2 * px(x + 1, y) +
+                            px(x + 1, y + 1)) -
+                           (px(x - 1, y - 1) + 2 * px(x - 1, y) +
+                            px(x - 1, y + 1));
+            const int gy = (px(x - 1, y + 1) + 2 * px(x, y + 1) +
+                            px(x + 1, y + 1)) -
+                           (px(x - 1, y - 1) + 2 * px(x, y - 1) +
+                            px(x + 1, y - 1));
+            const int mag = std::min(255, std::abs(gx) + std::abs(gy));
+            out[static_cast<size_t>(y * w + x)] =
+                static_cast<std::uint8_t>(mag);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+Kernel
+makeSobel(int width, int height)
+{
+    using namespace isa;
+    const auto w16 = static_cast<std::int16_t>(width);
+    const int log2w = log2Exact(static_cast<std::uint32_t>(width));
+    const auto bytes =
+        static_cast<std::uint32_t>(width) * static_cast<std::uint32_t>(
+                                                height);
+
+    Kernel k;
+    k.name = "sobel";
+    k.width = width;
+    k.height = height;
+    k.scene = util::SceneKind::scene;
+    k.ac_reg_mask = regMask({r1, r2, r3, r4});
+    k.match_mask = regMask({kRowReg, kColReg});
+
+    const MemoryPlan plan = planMemory(bytes, bytes);
+    k.layout = plan.layout();
+
+    ProgramBuilder b;
+    Label frame_loop =
+        emitFrameLoopHead(b, plan, k.ac_reg_mask, k.match_mask);
+
+    b.ldi(kRowReg, 1);
+    Label y_loop = b.here("y_loop");
+    b.ldi(kColReg, 1);
+    Label x_loop = b.here("x_loop");
+
+    // r10 = y*W + x; r9 = input address of the window center.
+    b.slli(r10, kRowReg, static_cast<std::uint16_t>(log2w));
+    b.add(r10, r10, kColReg);
+    b.add(r9, r10, kInBase);
+
+    // Gx: right column minus left column (1,2,1 weights).
+    b.ld8(r1, r9, static_cast<std::int16_t>(1 - w16));
+    b.ld8(r2, r9, 1);
+    b.slli(r2, r2, 1);
+    b.add(r1, r1, r2);
+    b.ld8(r2, r9, static_cast<std::int16_t>(1 + w16));
+    b.add(r1, r1, r2);
+    b.ld8(r2, r9, static_cast<std::int16_t>(-1 - w16));
+    b.ld8(r3, r9, -1);
+    b.slli(r3, r3, 1);
+    b.add(r2, r2, r3);
+    b.ld8(r3, r9, static_cast<std::int16_t>(w16 - 1));
+    b.add(r2, r2, r3);
+    b.sub(r1, r1, r2); // gx
+
+    // Gy: bottom row minus top row.
+    b.ld8(r2, r9, static_cast<std::int16_t>(w16 - 1));
+    b.ld8(r3, r9, w16);
+    b.slli(r3, r3, 1);
+    b.add(r2, r2, r3);
+    b.ld8(r3, r9, static_cast<std::int16_t>(w16 + 1));
+    b.add(r2, r2, r3);
+    b.ld8(r3, r9, static_cast<std::int16_t>(-w16 - 1));
+    b.ld8(r4, r9, static_cast<std::int16_t>(-w16));
+    b.slli(r4, r4, 1);
+    b.add(r3, r3, r4);
+    b.ld8(r4, r9, static_cast<std::int16_t>(1 - w16));
+    b.add(r3, r3, r4);
+    b.sub(r2, r2, r3); // gy
+
+    // |gx| + |gy|, clamped to 255.
+    b.abs_(r1, r1, r3);
+    b.abs_(r2, r2, r3);
+    b.add(r1, r1, r2);
+    b.ldi(r3, 255);
+    b.min(r1, r1, r3);
+
+    b.add(r10, r10, kOutBase);
+    b.st8(r1, r10, 0);
+
+    b.addi(kColReg, kColReg, 1);
+    b.ldi(r10, static_cast<std::uint16_t>(width - 1));
+    b.blt(kColReg, r10, x_loop);
+    b.addi(kRowReg, kRowReg, 1);
+    b.ldi(r10, static_cast<std::uint16_t>(height - 1));
+    b.blt(kRowReg, r10, y_loop);
+
+    emitFrameLoopTail(b, frame_loop);
+    k.program = b.finish();
+
+    k.make_input = [](const util::SceneGenerator &scene, int frame) {
+        return scene.frame(frame).data();
+    };
+    k.golden = [width, height](const std::vector<std::uint8_t> &in) {
+        return goldenSobel(in, width, height);
+    };
+    return k;
+}
+
+} // namespace inc::kernels

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * SUSAN-family kernels (corners, edges, smoothing) on a 3x3 USAN window.
+ *
+ * Each interior pixel's USAN count n is the number of neighbours whose
+ * absolute difference from the nucleus is within the brightness
+ * threshold. The three testbenches share that core:
+ *
+ *   corners   : out = clamp((g_c - n) * 63),  g_c = 4
+ *   edges     : out = clamp((g_e - n) * 42),  g_e = 6
+ *   smoothing : out = (c + sum of similar neighbours) / (1 + n)
+ *
+ * All data-dependent choices are branchless (abs via neg/max, the
+ * similarity test via sltiu), keeping incidental SIMD lanes convergent.
+ */
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "kernels/common.h"
+
+namespace inc::kernels
+{
+
+namespace
+{
+
+constexpr int kThreshold = 15;
+constexpr int kCornerG = 4;
+constexpr int kCornerScale = 63;
+constexpr int kEdgeG = 6;
+constexpr int kEdgeScale = 42;
+
+enum class SusanVariant
+{
+    corners,
+    edges,
+    smoothing
+};
+
+std::vector<std::uint8_t>
+goldenSusan(const std::vector<std::uint8_t> &in, int w, int h,
+            SusanVariant variant)
+{
+    std::vector<std::uint8_t> out(static_cast<size_t>(w) * h, 0);
+    auto px = [&in, w](int x, int y) {
+        return static_cast<int>(in[static_cast<size_t>(y * w + x)]);
+    };
+    for (int y = 1; y < h - 1; ++y) {
+        for (int x = 1; x < w - 1; ++x) {
+            const int c = px(x, y);
+            int n = 0;
+            int sum = c;
+            for (int dy = -1; dy <= 1; ++dy) {
+                for (int dx = -1; dx <= 1; ++dx) {
+                    if (dx == 0 && dy == 0)
+                        continue;
+                    const int p = px(x + dx, y + dy);
+                    const int s = std::abs(p - c) <= kThreshold ? 1 : 0;
+                    n += s;
+                    sum += p * s;
+                }
+            }
+            int value = 0;
+            switch (variant) {
+              case SusanVariant::corners:
+                value = std::min(255,
+                                 std::max(0, kCornerG - n) * kCornerScale);
+                break;
+              case SusanVariant::edges:
+                value = std::min(255,
+                                 std::max(0, kEdgeG - n) * kEdgeScale);
+                break;
+              case SusanVariant::smoothing:
+                value = sum / (1 + n);
+                break;
+            }
+            out[static_cast<size_t>(y * w + x)] =
+                static_cast<std::uint8_t>(value);
+        }
+    }
+    return out;
+}
+
+Kernel
+makeSusan(int width, int height, SusanVariant variant,
+          const std::string &name)
+{
+    using namespace isa;
+    const auto w16 = static_cast<std::int16_t>(width);
+    const int log2w = log2Exact(static_cast<std::uint32_t>(width));
+    const auto bytes =
+        static_cast<std::uint32_t>(width) * static_cast<std::uint32_t>(
+                                                height);
+
+    Kernel k;
+    k.name = name;
+    k.width = width;
+    k.height = height;
+    k.scene = variant == SusanVariant::smoothing
+                  ? util::SceneKind::texture
+                  : util::SceneKind::scene;
+    // Pixel values (r1, r2), differences (r3) and the brightness sum
+    // (r6) are approximable; the similarity flag (r4) and USAN count
+    // (r5) feed the divisor / response scaling and stay precise — a
+    // noisy divisor would make quality collapse at any bitwidth rather
+    // than degrade gradually.
+    k.ac_reg_mask = regMask({r1, r2, r3, r6});
+    k.match_mask = regMask({kRowReg, kColReg});
+
+    const MemoryPlan plan = planMemory(bytes, bytes);
+    k.layout = plan.layout();
+
+    ProgramBuilder b;
+    Label frame_loop =
+        emitFrameLoopHead(b, plan, k.ac_reg_mask, k.match_mask);
+
+    b.ldi(kRowReg, 1);
+    Label y_loop = b.here("y_loop");
+    b.ldi(kColReg, 1);
+    Label x_loop = b.here("x_loop");
+
+    // r9 = input address of the nucleus.
+    b.slli(r10, kRowReg, static_cast<std::uint16_t>(log2w));
+    b.add(r10, r10, kColReg);
+    b.add(r9, r10, kInBase);
+
+    b.ld8(r1, r9, 0); // nucleus
+    b.ldi(r5, 0);     // n
+    if (variant == SusanVariant::smoothing)
+        b.mov(r6, r1); // sum starts at the nucleus
+
+    const std::int16_t offs[8] = {
+        static_cast<std::int16_t>(-w16 - 1),
+        static_cast<std::int16_t>(-w16),
+        static_cast<std::int16_t>(-w16 + 1),
+        -1, 1,
+        static_cast<std::int16_t>(w16 - 1),
+        w16,
+        static_cast<std::int16_t>(w16 + 1)};
+    for (std::int16_t off : offs) {
+        b.ld8(r2, r9, off);
+        b.sub(r3, r2, r1);
+        b.abs_(r3, r3, r4);
+        b.sltiu(r4, r3, kThreshold + 1); // s = |p-c| <= t
+        b.add(r5, r5, r4);
+        if (variant == SusanVariant::smoothing) {
+            b.mul(r4, r4, r2); // p*s
+            b.add(r6, r6, r4);
+        }
+    }
+
+    switch (variant) {
+      case SusanVariant::corners:
+        b.ldi(r2, kCornerG);
+        b.sub(r2, r2, r5);
+        b.max(r2, r2, r0);
+        b.ldi(r3, kCornerScale);
+        b.mul(r2, r2, r3);
+        b.ldi(r3, 255);
+        b.min(r2, r2, r3);
+        break;
+      case SusanVariant::edges:
+        b.ldi(r2, kEdgeG);
+        b.sub(r2, r2, r5);
+        b.max(r2, r2, r0);
+        b.ldi(r3, kEdgeScale);
+        b.mul(r2, r2, r3);
+        b.ldi(r3, 255);
+        b.min(r2, r2, r3);
+        break;
+      case SusanVariant::smoothing:
+        b.addi(r5, r5, 1);
+        b.divu(r2, r6, r5);
+        break;
+    }
+
+    b.add(r10, r10, kOutBase);
+    b.st8(r2, r10, 0);
+
+    b.addi(kColReg, kColReg, 1);
+    b.ldi(r10, static_cast<std::uint16_t>(width - 1));
+    b.blt(kColReg, r10, x_loop);
+    b.addi(kRowReg, kRowReg, 1);
+    b.ldi(r10, static_cast<std::uint16_t>(height - 1));
+    b.blt(kRowReg, r10, y_loop);
+
+    emitFrameLoopTail(b, frame_loop);
+    k.program = b.finish();
+
+    k.make_input = [](const util::SceneGenerator &scene, int frame) {
+        return scene.frame(frame).data();
+    };
+    k.golden = [width, height, variant](
+                   const std::vector<std::uint8_t> &in) {
+        return goldenSusan(in, width, height, variant);
+    };
+    return k;
+}
+
+} // namespace
+
+Kernel
+makeSusanCorners(int width, int height)
+{
+    return makeSusan(width, height, SusanVariant::corners,
+                     "susan.corners");
+}
+
+Kernel
+makeSusanEdges(int width, int height)
+{
+    return makeSusan(width, height, SusanVariant::edges, "susan.edges");
+}
+
+Kernel
+makeSusanSmoothing(int width, int height)
+{
+    return makeSusan(width, height, SusanVariant::smoothing,
+                     "susan.smoothing");
+}
+
+} // namespace inc::kernels

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * MiBench tiff-tool testbenches.
+ *
+ * tiff2bw: planar-RGB frame (three correlated scene planes) to
+ * luminance, out = (28*R + 151*G + 77*B) >> 8 (the tool's integer
+ * weights).
+ *
+ * tiff2rgba: grayscale frame to RGBA with a gamma lookup table in
+ * constant memory; out pixels are {L[p], L[p], L[p], 255}.
+ */
+
+#include <cmath>
+
+#include "kernels/common.h"
+
+namespace inc::kernels
+{
+
+namespace
+{
+
+std::vector<std::uint8_t>
+goldenTiff2Bw(const std::vector<std::uint8_t> &in, int w, int h)
+{
+    const size_t plane = static_cast<size_t>(w) * h;
+    std::vector<std::uint8_t> out(plane, 0);
+    for (size_t i = 0; i < plane; ++i) {
+        const unsigned v = 28u * in[i] + 151u * in[plane + i] +
+                           77u * in[2 * plane + i];
+        out[i] = static_cast<std::uint8_t>(v >> 8);
+    }
+    return out;
+}
+
+std::vector<std::uint8_t>
+gammaLut()
+{
+    std::vector<std::uint8_t> lut(256);
+    for (int i = 0; i < 256; ++i) {
+        lut[static_cast<size_t>(i)] = static_cast<std::uint8_t>(
+            std::lround(255.0 * std::pow(i / 255.0, 1.0 / 1.8)));
+    }
+    return lut;
+}
+
+std::vector<std::uint8_t>
+goldenTiff2Rgba(const std::vector<std::uint8_t> &in, int w, int h)
+{
+    const std::vector<std::uint8_t> lut = gammaLut();
+    const size_t plane = static_cast<size_t>(w) * h;
+    std::vector<std::uint8_t> out(plane * 4, 0);
+    for (size_t i = 0; i < plane; ++i) {
+        const std::uint8_t l = lut[in[i]];
+        out[4 * i] = l;
+        out[4 * i + 1] = l;
+        out[4 * i + 2] = l;
+        out[4 * i + 3] = 255;
+    }
+    return out;
+}
+
+} // namespace
+
+Kernel
+makeTiff2Bw(int width, int height)
+{
+    using namespace isa;
+    const auto plane =
+        static_cast<std::uint32_t>(width) * static_cast<std::uint32_t>(
+                                                height);
+
+    Kernel k;
+    k.name = "tiff2bw";
+    k.width = width;
+    k.height = height;
+    k.scene = util::SceneKind::scene;
+    k.ac_reg_mask = regMask({r1, r2, r3});
+    k.match_mask = regMask({kColReg});
+
+    const MemoryPlan plan = planMemory(3 * plane, plane);
+    k.layout = plan.layout();
+
+    ProgramBuilder b;
+    Label frame_loop =
+        emitFrameLoopHead(b, plan, k.ac_reg_mask, k.match_mask);
+
+    // Flat pixel loop (r11 = linear index).
+    b.ldi(kColReg, 0);
+    Label px_loop = b.here("px_loop");
+
+    b.add(r10, kInBase, kColReg);
+    b.ld8(r1, r10, 0); // R
+    b.ldi(r9, 28);
+    b.mul(r1, r1, r9);
+    b.ld8(r2, r10, static_cast<std::int16_t>(plane)); // G
+    b.ldi(r9, 151);
+    b.mul(r2, r2, r9);
+    b.add(r1, r1, r2);
+    b.ld8(r2, r10, static_cast<std::int16_t>(2 * plane)); // B
+    b.ldi(r9, 77);
+    b.mul(r2, r2, r9);
+    b.add(r1, r1, r2);
+    b.srli(r1, r1, 8);
+
+    b.add(r10, kOutBase, kColReg);
+    b.st8(r1, r10, 0);
+
+    b.addi(kColReg, kColReg, 1);
+    b.ldi(r9, static_cast<std::uint16_t>(plane));
+    b.bltu(kColReg, r9, px_loop);
+
+    emitFrameLoopTail(b, frame_loop);
+    k.program = b.finish();
+
+    // Input: three correlated planes (consecutive scene frames).
+    k.make_input = [plane](const util::SceneGenerator &scene, int frame) {
+        std::vector<std::uint8_t> bytes;
+        bytes.reserve(3 * plane);
+        for (int c = 0; c < 3; ++c) {
+            const auto img = scene.frame(3 * frame + c);
+            bytes.insert(bytes.end(), img.data().begin(),
+                         img.data().end());
+        }
+        return bytes;
+    };
+    k.golden = [width, height](const std::vector<std::uint8_t> &in) {
+        return goldenTiff2Bw(in, width, height);
+    };
+    return k;
+}
+
+Kernel
+makeTiff2Rgba(int width, int height)
+{
+    using namespace isa;
+    const auto plane =
+        static_cast<std::uint32_t>(width) * static_cast<std::uint32_t>(
+                                                height);
+
+    Kernel k;
+    k.name = "tiff2rgba";
+    k.width = width;
+    k.height = height;
+    k.scene = util::SceneKind::blobs;
+    k.ac_reg_mask = regMask({r1, r2, r3});
+    k.match_mask = regMask({kColReg});
+
+    const MemoryPlan plan = planMemory(plane, 4 * plane);
+    k.layout = plan.layout();
+    k.init_blocks.push_back({plan.const_base, gammaLut()});
+
+    ProgramBuilder b;
+    Label frame_loop =
+        emitFrameLoopHead(b, plan, k.ac_reg_mask, k.match_mask);
+
+    b.ldi(kColReg, 0);
+    Label px_loop = b.here("px_loop");
+
+    b.add(r10, kInBase, kColReg);
+    b.ld8(r1, r10, 0);
+    // Gamma LUT lookup.
+    b.ldi(r9, static_cast<std::uint16_t>(plan.const_base));
+    b.add(r9, r9, r1);
+    b.ld8(r2, r9, 0);
+
+    b.slli(r10, kColReg, 2);
+    b.add(r10, r10, kOutBase);
+    b.st8(r2, r10, 0);
+    b.st8(r2, r10, 1);
+    b.st8(r2, r10, 2);
+    b.ldi(r3, 255);
+    b.st8(r3, r10, 3);
+
+    b.addi(kColReg, kColReg, 1);
+    b.ldi(r9, static_cast<std::uint16_t>(plane));
+    b.bltu(kColReg, r9, px_loop);
+
+    emitFrameLoopTail(b, frame_loop);
+    k.program = b.finish();
+
+    k.make_input = [](const util::SceneGenerator &scene, int frame) {
+        return scene.frame(frame).data();
+    };
+    k.golden = [width, height](const std::vector<std::uint8_t> &in) {
+        return goldenTiff2Rgba(in, width, height);
+    };
+    return k;
+}
+
+} // namespace inc::kernels

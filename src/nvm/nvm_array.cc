@@ -1,0 +1,126 @@
+#include "nvm/nvm_array.h"
+
+#include <algorithm>
+
+#include "util/bit_ops.h"
+#include "util/logging.h"
+
+namespace inc::nvm
+{
+
+void
+RetentionFailureCounts::reset()
+{
+    violations.fill(0);
+    flips.fill(0);
+}
+
+std::uint64_t
+RetentionFailureCounts::totalViolations() const
+{
+    std::uint64_t sum = 0;
+    for (auto v : violations)
+        sum += v;
+    return sum;
+}
+
+NvmArray::NvmArray(std::size_t size, util::Rng rng)
+    : bytes_(size, 0), meta_(size),
+      region_policy_(size, static_cast<std::uint8_t>(RetentionPolicy::full)),
+      rng_(rng)
+{
+}
+
+void
+NvmArray::setRegionPolicy(std::size_t addr, std::size_t len,
+                          RetentionPolicy policy)
+{
+    if (addr + len > bytes_.size())
+        util::panic("setRegionPolicy out of range: %zu+%zu", addr, len);
+    std::fill(region_policy_.begin() + static_cast<long>(addr),
+              region_policy_.begin() + static_cast<long>(addr + len),
+              static_cast<std::uint8_t>(policy));
+}
+
+RetentionPolicy
+NvmArray::regionPolicy(std::size_t addr) const
+{
+    if (addr >= bytes_.size())
+        util::panic("regionPolicy out of range: %zu", addr);
+    return static_cast<RetentionPolicy>(region_policy_[addr]);
+}
+
+double
+NvmArray::write(std::size_t addr, std::uint8_t value, double now)
+{
+    if (addr >= bytes_.size())
+        util::panic("NvmArray::write out of range: %zu", addr);
+    bytes_[addr] = value;
+    Meta &m = meta_[addr];
+    m.write_time = now;
+    m.policy = region_policy_[addr];
+    m.expired_upto = 0;
+    const double energy = energy_table_.wordEnergyFj(
+        static_cast<RetentionPolicy>(m.policy));
+    write_energy_fj_ += energy;
+    return energy;
+}
+
+int
+NvmArray::expiredCutoff(RetentionPolicy policy, double age_tenth_ms)
+{
+    if (policy == RetentionPolicy::full)
+        return age_tenth_ms >= retentionTenthMs(policy, 1) ? 8 : 0;
+    int cutoff = 0;
+    for (int b = 1; b <= 8; ++b) {
+        if (retentionTenthMs(policy, b) < age_tenth_ms)
+            cutoff = b;
+        else
+            break; // retention is monotone in bit index
+    }
+    return cutoff;
+}
+
+void
+NvmArray::settle(std::size_t addr, double now)
+{
+    Meta &m = meta_[addr];
+    const auto policy = static_cast<RetentionPolicy>(m.policy);
+    if (policy == RetentionPolicy::full)
+        return;
+    const double age = now - m.write_time;
+    const int cutoff = expiredCutoff(policy, age);
+    if (cutoff <= m.expired_upto)
+        return;
+    std::uint8_t v = bytes_[addr];
+    for (int b = m.expired_upto + 1; b <= cutoff; ++b) {
+        const unsigned idx = static_cast<unsigned>(b - 1);
+        const bool old_bit = util::bit(v, idx);
+        const bool new_bit = rng_.nextBool();
+        v = static_cast<std::uint8_t>(util::setBit(v, idx, new_bit));
+        ++failures_.violations[idx];
+        if (new_bit != old_bit)
+            ++failures_.flips[idx];
+    }
+    bytes_[addr] = v;
+    m.expired_upto = static_cast<std::uint8_t>(cutoff);
+}
+
+std::uint8_t
+NvmArray::read(std::size_t addr, double now)
+{
+    if (addr >= bytes_.size())
+        util::panic("NvmArray::read out of range: %zu", addr);
+    settle(addr, now);
+    return bytes_[addr];
+}
+
+std::uint8_t
+NvmArray::peek(std::size_t addr) const
+{
+    if (addr >= bytes_.size())
+        util::panic("NvmArray::peek out of range: %zu", addr);
+    return bytes_[addr];
+}
+
+} // namespace inc::nvm

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Retention-tracked nonvolatile byte array.
+ *
+ * Backs both the NVP's backup store and the approximable ("incidental")
+ * data regions. Every byte carries the retention policy it was written
+ * under and its write timestamp; when a byte is read, any bit whose shaped
+ * retention has been outlived since the write settles into a random state
+ * (Bernoulli 1/2), exactly once. Per-bit-index violation counters feed the
+ * Fig. 22 analysis.
+ *
+ * Retention for a policy is monotonically increasing in bit index, so
+ * "which bits expired" is a single cutoff index per (policy, age).
+ */
+
+#ifndef INC_NVM_NVM_ARRAY_H
+#define INC_NVM_NVM_ARRAY_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "nvm/retention_policy.h"
+#include "util/rng.h"
+
+namespace inc::nvm
+{
+
+/** Per-bit retention-violation counters (index 0 -> bit 1 = LSB). */
+struct RetentionFailureCounts
+{
+    std::array<std::uint64_t, 8> violations{}; ///< expired bit events
+    std::array<std::uint64_t, 8> flips{};      ///< of those, value changed
+
+    void reset();
+    std::uint64_t totalViolations() const;
+};
+
+/** Retention-tracked NVM byte array with lazy decay. */
+class NvmArray
+{
+  public:
+    /**
+     * @param size  array size in bytes
+     * @param rng   seeded generator for decay randomization
+     */
+    NvmArray(std::size_t size, util::Rng rng);
+
+    std::size_t size() const { return bytes_.size(); }
+
+    /**
+     * Declare the retention policy used for writes into
+     * [@p addr, @p addr + @p len). Default everywhere: full retention.
+     */
+    void setRegionPolicy(std::size_t addr, std::size_t len,
+                         RetentionPolicy policy);
+
+    /** Policy governing writes to @p addr. */
+    RetentionPolicy regionPolicy(std::size_t addr) const;
+
+    /**
+     * Write @p value at @p addr at time @p now (0.1 ms units). Returns the
+     * write energy in fJ under the region's policy.
+     */
+    double write(std::size_t addr, std::uint8_t value, double now);
+
+    /**
+     * Read @p addr at time @p now, settling any newly expired bits first.
+     */
+    std::uint8_t read(std::size_t addr, double now);
+
+    /** Read without decay (debug / golden checks only). */
+    std::uint8_t peek(std::size_t addr) const;
+
+    /** Decay statistics accumulated so far. */
+    const RetentionFailureCounts &failures() const { return failures_; }
+    void resetFailures() { failures_.reset(); }
+
+    /** Total write energy charged so far, fJ. */
+    double totalWriteEnergyFj() const { return write_energy_fj_; }
+    void resetEnergy() { write_energy_fj_ = 0.0; }
+
+    /**
+     * Highest bit index (1..8) whose shaped retention under @p policy is
+     * below @p age_tenth_ms; 0 if none expired.
+     */
+    static int expiredCutoff(RetentionPolicy policy, double age_tenth_ms);
+
+  private:
+    struct Meta
+    {
+        double write_time = 0.0;     ///< 0.1 ms units
+        std::uint8_t policy = 0;     ///< RetentionPolicy
+        std::uint8_t expired_upto = 0; ///< bits 1..N already settled
+    };
+
+    void settle(std::size_t addr, double now);
+
+    std::vector<std::uint8_t> bytes_;
+    std::vector<Meta> meta_;
+    std::vector<std::uint8_t> region_policy_;
+    util::Rng rng_;
+    RetentionFailureCounts failures_;
+    RetentionEnergyTable energy_table_;
+    double write_energy_fj_ = 0.0;
+};
+
+} // namespace inc::nvm
+
+#endif // INC_NVM_NVM_ARRAY_H

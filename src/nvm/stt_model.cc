@@ -1,0 +1,121 @@
+#include "nvm/stt_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace inc::nvm
+{
+
+SttParams
+sttDefaultParams()
+{
+    return SttParams{};
+}
+
+SttParams
+reramParams()
+{
+    SttParams p;
+    p.i_ref_ua = 45.0;              // filamentary set/reset currents
+    p.cell_resistance_ohm = 12000.0;
+    p.tau_c_ns = 4.0;               // slower filament formation
+    p.gamma = 0.9;                  // weaker retention/current coupling
+    p.nominal_pulse_ns = 8.0;
+    return p;
+}
+
+SttParams
+feramParams()
+{
+    SttParams p;
+    p.i_ref_ua = 20.0;              // polarization switching
+    p.cell_resistance_ohm = 5000.0;
+    p.tau_c_ns = 0.3;               // fast domain switching
+    p.gamma = 0.55;                 // retention barely moves the current
+    p.nominal_pulse_ns = 2.0;
+    return p;
+}
+
+SttParams
+pcramParams()
+{
+    SttParams p;
+    p.i_ref_ua = 300.0;             // melt/quench programming
+    p.cell_resistance_ohm = 3000.0;
+    p.tau_c_ns = 10.0;
+    p.gamma = 1.2;                  // strongly retention-coupled
+    p.nominal_pulse_ns = 20.0;
+    return p;
+}
+
+SttModel::SttModel(SttParams params) : params_(params)
+{
+    if (params_.tau0_sec <= 0 || params_.i_ref_ua <= 0 ||
+        params_.delta_ref <= 0) {
+        util::fatal("SttParams must be positive");
+    }
+}
+
+double
+SttModel::thermalStability(double retention_sec) const
+{
+    if (retention_sec <= params_.tau0_sec) {
+        // Shorter than the attempt period: no barrier at all. Clamp to a
+        // tiny positive Delta to keep downstream math finite.
+        return 1.0;
+    }
+    return std::log(retention_sec / params_.tau0_sec);
+}
+
+double
+SttModel::criticalCurrentUa(double retention_sec) const
+{
+    const double delta = thermalStability(retention_sec);
+    return params_.i_ref_ua *
+           std::pow(delta / params_.delta_ref, params_.gamma);
+}
+
+double
+SttModel::writeCurrentUa(double pulse_ns, double retention_sec) const
+{
+    if (pulse_ns <= 0)
+        util::panic("writeCurrentUa: pulse width must be positive");
+    const double ic0 = criticalCurrentUa(retention_sec);
+    const double delta = thermalStability(retention_sec);
+
+    // Precessional regime: steep 1/tw growth for very short pulses.
+    const double precessional = ic0 * (1.0 + params_.tau_c_ns / pulse_ns);
+
+    // Thermal-activation regime: mild logarithmic relief for long pulses.
+    const double tw_sec = pulse_ns * 1e-9;
+    const double relief = std::log(tw_sec / params_.tau0_sec) / delta;
+    const double thermal = ic0 * std::max(0.1, 1.0 - std::max(0.0, relief));
+
+    return std::max(precessional, thermal);
+}
+
+double
+SttModel::writeEnergyFj(double pulse_ns, double retention_sec) const
+{
+    const double i_amp = writeCurrentUa(pulse_ns, retention_sec) * 1e-6;
+    const double e_joule = i_amp * i_amp * params_.cell_resistance_ohm *
+                           pulse_ns * 1e-9;
+    return e_joule * 1e15;
+}
+
+double
+SttModel::writeEnergyFj(double retention_sec) const
+{
+    return writeEnergyFj(params_.nominal_pulse_ns, retention_sec);
+}
+
+double
+SttModel::savingVsBaseline(double retention_sec) const
+{
+    const double base = writeEnergyFj(kRetention1day);
+    return 1.0 - writeEnergyFj(retention_sec) / base;
+}
+
+} // namespace inc::nvm

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * STT-RAM write-current / retention-time device model (paper Fig. 4).
+ *
+ * The paper exploits the STT-RAM property that retention time is
+ * exponential in the thermal stability factor Delta, while the write
+ * current needed to switch a cell grows with Delta and shrinks with pulse
+ * width. Relaxing retention from 1 day to 10 ms therefore saves ~77 % of
+ * write energy (Sec. 3.2).
+ *
+ * We model both switching regimes (refs [12, 58, 63] of the paper):
+ *
+ *  - precessional (ns pulses):  I(tw) = Ic0(Delta) * (1 + tau_c / tw)
+ *  - thermal activation (long): I(tw) = Ic0(Delta) * (1 - ln(tw/tau0)/Delta)
+ *
+ * with Delta(T_ret) = ln(T_ret / tau0), tau0 = 1 ns, and
+ * Ic0(Delta) = I_ref * (Delta / Delta_ref)^gamma. gamma is calibrated so
+ * that the 1 day -> 10 ms relaxation saves exactly the paper's 77 % of
+ * write energy at the nominal pulse width.
+ */
+
+#ifndef INC_NVM_STT_MODEL_H
+#define INC_NVM_STT_MODEL_H
+
+namespace inc::nvm
+{
+
+/** Named retention durations used in the paper's Fig. 4, in seconds. */
+constexpr double kRetention10ms = 10e-3;
+constexpr double kRetention1s = 1.0;
+constexpr double kRetention1min = 60.0;
+constexpr double kRetention1day = 86400.0;
+
+/** Parameters of the STT-RAM cell model. */
+struct SttParams
+{
+    double tau0_sec = 1e-9;      ///< attempt period (1 ns)
+    double i_ref_ua = 120.0;     ///< critical current at Delta_ref, uA
+    double delta_ref = 32.0;     ///< reference thermal stability (~1 day)
+    double gamma = 1.0672;       ///< Ic0 ~ Delta^gamma (calibrated)
+    double tau_c_ns = 1.0;       ///< precessional constant, ns
+    double cell_resistance_ohm = 2000.0;
+    double nominal_pulse_ns = 3.0; ///< operating pulse width
+};
+
+/**
+ * Device presets. The paper notes the same retention/write-energy
+ * trade-off exists in ReRAM, PCRAM and FeRAM (Sec. 4, refs [42, 56, 72])
+ * and that its dynamic retention control extends to them; these presets
+ * re-parameterize the same two-regime model for those device classes.
+ * STT-RAM remains the default ("chosen mainly for endurance concerns
+ * for the backup rate associated with this specific energy harvester",
+ * footnote 1).
+ */
+SttParams sttDefaultParams();
+/** ReRAM: higher cell resistance, slower but lower-current switching. */
+SttParams reramParams();
+/** FeRAM: polarization switching — fast, low current, weaker
+ *  retention/current coupling. */
+SttParams feramParams();
+/** PCRAM: high programming current, strongly retention-coupled. */
+SttParams pcramParams();
+
+/** Analytic STT-RAM write model. */
+class SttModel
+{
+  public:
+    explicit SttModel(SttParams params = {});
+
+    const SttParams &params() const { return params_; }
+
+    /** Thermal stability factor for a retention target in seconds. */
+    double thermalStability(double retention_sec) const;
+
+    /** Critical current Ic0 in uA for a retention target. */
+    double criticalCurrentUa(double retention_sec) const;
+
+    /**
+     * Write current in uA required to switch within @p pulse_ns for a cell
+     * provisioned for @p retention_sec. Combines both regimes by taking
+     * the max (the binding constraint).
+     */
+    double writeCurrentUa(double pulse_ns, double retention_sec) const;
+
+    /** Per-bit write energy in femtojoules: I^2 * R * tw. */
+    double writeEnergyFj(double pulse_ns, double retention_sec) const;
+
+    /** Write energy at the nominal pulse width. */
+    double writeEnergyFj(double retention_sec) const;
+
+    /**
+     * Energy-saving fraction of writing at @p retention_sec relative to
+     * the 1-day baseline (0.77 for 10 ms with default calibration).
+     */
+    double savingVsBaseline(double retention_sec) const;
+
+  private:
+    SttParams params_;
+};
+
+} // namespace inc::nvm
+
+#endif // INC_NVM_STT_MODEL_H

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Behavioural model of the dynamic-retention write circuit (paper Fig. 7).
+ *
+ * The proposed circuit controls retention through two knobs:
+ *
+ *  - write current, selected from a small bank of current-mirror taps
+ *    (I1..I8, distinct PMOS W/L ratios) through a MUX array driven by the
+ *    "Write Current Configuration";
+ *  - write pulse width, terminated by comparing a high-frequency 4-bit
+ *    counter against a per-column threshold in the nonvolatile "Write Time
+ *    Configuration" (once the counter reaches the threshold the GND
+ *    connection is broken).
+ *
+ * Given a target retention, the driver picks the (tap, counter) pair with
+ * the lowest write energy whose current suffices to switch the cell within
+ * the timed pulse. The paper bounds the overhead at < 200 transistors per
+ * STT-RAM sub-array; overheadTransistors() reports our model's estimate.
+ */
+
+#ifndef INC_NVM_WRITE_DRIVER_H
+#define INC_NVM_WRITE_DRIVER_H
+
+#include <array>
+
+#include "nvm/stt_model.h"
+
+namespace inc::nvm
+{
+
+/** A chosen write operating point. */
+struct WritePoint
+{
+    int tap_index = 0;      ///< current-mirror tap, 0..7 (I1..I8)
+    int counter_value = 0;  ///< 4-bit pulse-termination count, 1..15
+    double current_ua = 0.0;
+    double pulse_ns = 0.0;
+    double energy_fj = 0.0;
+    bool feasible = false;  ///< false if no (tap, counter) pair suffices
+};
+
+/** Behavioural Fig. 7 write-driver model. */
+class WriteDriver
+{
+  public:
+    /**
+     * @param model     device model used for switching constraints
+     * @param clock_ns  period of the high-frequency pulse counter clock
+     */
+    explicit WriteDriver(SttModel model = SttModel(),
+                         double clock_ns = 0.7);
+
+    /** Current of mirror tap @p index (0..7), uA. */
+    double tapCurrentUa(int index) const;
+
+    /** Number of mirror taps (I1..I8). */
+    static constexpr int numTaps() { return 8; }
+
+    /** Maximum counter value (4-bit). */
+    static constexpr int maxCount() { return 15; }
+
+    /**
+     * Choose the minimum-energy feasible operating point for a retention
+     * target in seconds.
+     */
+    WritePoint selectOperatingPoint(double retention_sec) const;
+
+    /**
+     * Estimated transistor overhead per STT-RAM sub-array: mirror taps,
+     * MUX array, counter and comparators. The paper claims < 200.
+     */
+    int overheadTransistors() const;
+
+    const SttModel &model() const { return model_; }
+
+  private:
+    SttModel model_;
+    double clock_ns_;
+    std::array<double, 8> taps_ua_;
+};
+
+} // namespace inc::nvm
+
+#endif // INC_NVM_WRITE_DRIVER_H

@@ -1,0 +1,87 @@
+#include "nvp/approx_alu.h"
+
+#include <algorithm>
+
+#include "util/bit_ops.h"
+#include "util/logging.h"
+
+namespace inc::nvp
+{
+
+ApproxAlu::ApproxAlu(util::Rng rng) : rng_(rng) {}
+
+std::uint16_t
+ApproxAlu::compute(isa::Op op, std::uint16_t a, std::uint16_t b)
+{
+    using isa::Op;
+    const auto sa = static_cast<std::int16_t>(a);
+    const auto sb = static_cast<std::int16_t>(b);
+    switch (op) {
+      case Op::mov:
+        return a;
+      case Op::ldi:
+        return b;
+      case Op::add:
+      case Op::addi:
+        return static_cast<std::uint16_t>(a + b);
+      case Op::sub:
+        return static_cast<std::uint16_t>(a - b);
+      case Op::mul:
+        return static_cast<std::uint16_t>(
+            static_cast<std::uint32_t>(a) * b);
+      case Op::divu:
+        return b == 0 ? 0xFFFF : static_cast<std::uint16_t>(a / b);
+      case Op::remu:
+        return b == 0 ? a : static_cast<std::uint16_t>(a % b);
+      case Op::and_:
+      case Op::andi:
+        return static_cast<std::uint16_t>(a & b);
+      case Op::or_:
+      case Op::ori:
+        return static_cast<std::uint16_t>(a | b);
+      case Op::xor_:
+      case Op::xori:
+        return static_cast<std::uint16_t>(a ^ b);
+      case Op::sll:
+      case Op::slli:
+        return static_cast<std::uint16_t>(a << (b & 15));
+      case Op::srl:
+      case Op::srli:
+        return static_cast<std::uint16_t>(a >> (b & 15));
+      case Op::sra:
+      case Op::srai:
+        return static_cast<std::uint16_t>(sa >> (b & 15));
+      case Op::slt:
+      case Op::slti:
+        return sa < sb ? 1 : 0;
+      case Op::sltu:
+      case Op::sltiu:
+        return a < b ? 1 : 0;
+      case Op::min:
+        return static_cast<std::uint16_t>(std::min(sa, sb));
+      case Op::max:
+        return static_cast<std::uint16_t>(std::max(sa, sb));
+      case Op::minu:
+        return std::min(a, b);
+      case Op::maxu:
+        return std::max(a, b);
+      default:
+        util::panic("ApproxAlu::compute: non-data op '%s'",
+                    isa::opName(op).c_str());
+    }
+}
+
+std::uint16_t
+ApproxAlu::injectNoise(std::uint16_t value, int bits)
+{
+    if (bits >= 8)
+        return value;
+    if (bits < 1)
+        util::panic("injectNoise: bits out of range %d", bits);
+    const auto mask = static_cast<std::uint16_t>(
+        util::lowMask(static_cast<unsigned>(8 - bits)));
+    const auto noise = static_cast<std::uint16_t>(rng_.next());
+    return static_cast<std::uint16_t>((value & ~mask) | (noise & mask));
+}
+
+} // namespace inc::nvp

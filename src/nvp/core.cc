@@ -1,0 +1,315 @@
+#include "nvp/core.h"
+
+#include "util/bit_ops.h"
+#include "util/logging.h"
+
+namespace inc::nvp
+{
+
+Core::Core(const isa::Program *program, DataMemory *memory,
+           CoreConfig config, util::Rng rng)
+    : program_(program), mem_(memory), config_(config), alu_(rng.split())
+{
+    if (!program_ || !mem_)
+        util::panic("Core requires a program and a data memory");
+    if (config_.max_lanes < 1 || config_.max_lanes > kMaxLanes)
+        util::fatal("CoreConfig::max_lanes must be 1..%d", kMaxLanes);
+    lanes_[0].active = true;
+}
+
+const LaneInfo &
+Core::lane(int index) const
+{
+    if (index < 0 || index >= kMaxLanes)
+        util::panic("lane index out of range: %d", index);
+    return lanes_[static_cast<size_t>(index)];
+}
+
+int
+Core::activeLaneCount() const
+{
+    int count = 0;
+    for (const LaneInfo &l : lanes_) {
+        if (l.active)
+            ++count;
+    }
+    return count;
+}
+
+int
+Core::freeLane() const
+{
+    for (int i = 1; i < config_.max_lanes; ++i) {
+        if (!lanes_[static_cast<size_t>(i)].active)
+            return i;
+    }
+    return -1;
+}
+
+void
+Core::activateLane(int index, const RegSnapshot &regs, int bits,
+                   std::uint16_t frame)
+{
+    if (index < 1 || index >= config_.max_lanes)
+        util::panic("activateLane: bad lane %d", index);
+    LaneInfo &l = lanes_[static_cast<size_t>(index)];
+    if (l.active)
+        util::panic("activateLane: lane %d already active", index);
+    l.active = true;
+    l.bits = bits;
+    l.frame = frame;
+    rf_.load(index, regs);
+    mem_->clearLaneVersions(index);
+}
+
+void
+Core::deactivateLane(int index)
+{
+    if (index < 1 || index >= kMaxLanes)
+        util::panic("deactivateLane: bad lane %d", index);
+    LaneInfo &l = lanes_[static_cast<size_t>(index)];
+    if (!l.active)
+        return;
+    l.active = false;
+    mem_->clearLaneVersions(index);
+}
+
+void
+Core::deactivateAllLanes()
+{
+    for (int i = 1; i < kMaxLanes; ++i)
+        deactivateLane(i);
+}
+
+void
+Core::setLaneBits(int index, int bits)
+{
+    if (index < 0 || index >= kMaxLanes)
+        util::panic("setLaneBits: bad lane %d", index);
+    if (bits < 1 || bits > 8)
+        util::panic("setLaneBits: bits out of range %d", bits);
+    lanes_[static_cast<size_t>(index)].bits = bits;
+}
+
+int
+Core::incidentalBitsSum() const
+{
+    int sum = 0;
+    for (int i = 1; i < kMaxLanes; ++i) {
+        if (lanes_[static_cast<size_t>(i)].active)
+            sum += lanes_[static_cast<size_t>(i)].bits;
+    }
+    return sum;
+}
+
+std::uint64_t
+Core::totalInstret() const
+{
+    std::uint64_t total = 0;
+    for (const LaneInfo &l : lanes_)
+        total += l.instret;
+    return total;
+}
+
+int
+Core::effectiveBits(int lane) const
+{
+    if (!ac_en_)
+        return 8;
+    return lanes_[static_cast<size_t>(lane)].bits;
+}
+
+void
+Core::executeDataOp(const isa::Instruction &inst, int lane)
+{
+    const std::uint16_t a = rf_.read(lane, inst.rs1);
+    const std::uint16_t b = isa::readsRs2(inst.op)
+                                ? rf_.read(lane, inst.rs2)
+                                : inst.imm;
+    std::uint16_t result = ApproxAlu::compute(inst.op, a, b);
+    const int bits = effectiveBits(lane);
+    if (config_.approx_alu && bits < 8 && isa::isDataOp(inst.op) &&
+        rf_.isAc(inst.rd))
+        result = alu_.injectNoise(result, bits);
+    rf_.write(lane, inst.rd, result);
+}
+
+void
+Core::executeLoad(const isa::Instruction &inst, int lane)
+{
+    const std::uint32_t addr =
+        static_cast<std::uint16_t>(rf_.read(lane, inst.rs1) +
+                                   inst.imm);
+    const bool approx = config_.approx_mem && ac_en_;
+    const int bits = effectiveBits(lane);
+    std::uint16_t value = 0;
+    switch (inst.op) {
+      case isa::Op::ld8:
+        value = mem_->load8(lane, addr, bits, approx);
+        break;
+      case isa::Op::ld8s:
+        value = static_cast<std::uint16_t>(util::signExtend(
+            mem_->load8(lane, addr, bits, approx), 8));
+        break;
+      case isa::Op::ld16: {
+        const std::uint8_t lo = mem_->load8(lane, addr, bits, approx);
+        const std::uint8_t hi = mem_->load8(
+            lane, static_cast<std::uint16_t>(addr + 1), bits, approx);
+        value = static_cast<std::uint16_t>(lo | (hi << 8));
+        break;
+      }
+      default:
+        util::panic("executeLoad: not a load");
+    }
+    rf_.write(lane, inst.rd, value);
+}
+
+void
+Core::executeStore(const isa::Instruction &inst, int lane,
+                   StepResult &result)
+{
+    const std::uint32_t addr =
+        static_cast<std::uint16_t>(rf_.read(lane, inst.rs1) +
+                                   inst.imm);
+    const bool approx = config_.approx_mem && ac_en_;
+    const int bits = effectiveBits(lane);
+    const std::uint16_t value = rf_.read(lane, inst.rs2);
+    mem_->store8(lane, addr, static_cast<std::uint8_t>(value), bits,
+                 approx);
+    if (inst.op == isa::Op::st16) {
+        mem_->store8(lane, static_cast<std::uint16_t>(addr + 1),
+                     static_cast<std::uint8_t>(value >> 8), bits, approx);
+    }
+    if (lane == 0)
+        result.store_policy = mem_->policyAt(addr);
+}
+
+StepResult
+Core::step()
+{
+    StepResult result;
+    if (halted_) {
+        result.op = isa::Op::halt;
+        result.halted = true;
+        result.lanes_committed = 0;
+        return result;
+    }
+
+    const isa::Instruction &inst = program_->at(pc_);
+    result.op = inst.op;
+    result.cycles = isa::opCycles(inst.op);
+    result.lanes_committed = activeLaneCount();
+
+    std::uint16_t next_pc = static_cast<std::uint16_t>(pc_ + 1);
+    const isa::OpClass cls = isa::opClass(inst.op);
+
+    switch (cls) {
+      case isa::OpClass::system:
+        if (inst.op == isa::Op::halt) {
+            halted_ = true;
+            result.halted = true;
+        }
+        break;
+
+      case isa::OpClass::alu:
+      case isa::OpClass::mul:
+      case isa::OpClass::div:
+        for (int lane = 0; lane < kMaxLanes; ++lane) {
+            if (lanes_[static_cast<size_t>(lane)].active)
+                executeDataOp(inst, lane);
+        }
+        break;
+
+      case isa::OpClass::load:
+        for (int lane = 0; lane < kMaxLanes; ++lane) {
+            if (lanes_[static_cast<size_t>(lane)].active)
+                executeLoad(inst, lane);
+        }
+        break;
+
+      case isa::OpClass::store:
+        for (int lane = 0; lane < kMaxLanes; ++lane) {
+            if (lanes_[static_cast<size_t>(lane)].active)
+                executeStore(inst, lane, result);
+        }
+        break;
+
+      case isa::OpClass::branch: {
+        const std::uint16_t a = rf_.read(0, inst.rs1);
+        const std::uint16_t b = rf_.read(0, inst.rs2);
+        const auto sa = static_cast<std::int16_t>(a);
+        const auto sb = static_cast<std::int16_t>(b);
+        bool taken = false;
+        switch (inst.op) {
+          case isa::Op::beq: taken = a == b; break;
+          case isa::Op::bne: taken = a != b; break;
+          case isa::Op::blt: taken = sa < sb; break;
+          case isa::Op::bge: taken = sa >= sb; break;
+          case isa::Op::bltu: taken = a < b; break;
+          case isa::Op::bgeu: taken = a >= b; break;
+          default: util::panic("unhandled branch");
+        }
+        if (taken) {
+            next_pc = inst.imm;
+            ++result.cycles; // taken-branch bubble
+        }
+        break;
+      }
+
+      case isa::OpClass::jump:
+        if (inst.op == isa::Op::jmp) {
+            next_pc = inst.imm;
+        } else if (inst.op == isa::Op::jal) {
+            for (int lane = 0; lane < kMaxLanes; ++lane) {
+                if (lanes_[static_cast<size_t>(lane)].active)
+                    rf_.write(lane, inst.rd,
+                              static_cast<std::uint16_t>(pc_ + 1));
+            }
+            next_pc = inst.imm;
+        } else { // jr
+            next_pc = rf_.read(0, inst.rs1);
+        }
+        break;
+
+      case isa::OpClass::incidental:
+        switch (inst.op) {
+          case isa::Op::markrp:
+            has_resume_ = true;
+            resume_pc_ = pc_;
+            frame_reg_ = inst.rs1;
+            match_mask_ = inst.imm;
+            result.mark_resume = true;
+            result.resume_frame_value = rf_.read(0, inst.rs1);
+            break;
+          case isa::Op::acset:
+            rf_.orAcMask(inst.imm);
+            break;
+          case isa::Op::acclr:
+            rf_.clearAcMask(inst.imm);
+            break;
+          case isa::Op::acen:
+            ac_en_ = inst.imm != 0;
+            break;
+          case isa::Op::assem: {
+            const std::uint32_t base = rf_.read(0, inst.rs1);
+            const std::uint32_t len = rf_.read(0, inst.rs2);
+            result.assemble_bytes = mem_->assemble(
+                base, len, static_cast<isa::AssembleMode>(inst.imm));
+            result.cycles += static_cast<int>(2 * result.assemble_bytes);
+            break;
+          }
+          default:
+            util::panic("unhandled incidental op");
+        }
+        break;
+    }
+
+    for (LaneInfo &l : lanes_) {
+        if (l.active)
+            ++l.instret;
+    }
+    pc_ = next_pc;
+    return result;
+}
+
+} // namespace inc::nvp

@@ -1,0 +1,322 @@
+#include "nvp/memory.h"
+
+#include <algorithm>
+
+#include "util/bit_ops.h"
+#include "util/logging.h"
+
+namespace inc::nvp
+{
+
+DataMemory::DataMemory(util::Rng rng, std::size_t size)
+    : main_(size, 0), main_prec_(size, 0), rng_(rng)
+{
+}
+
+void
+DataMemory::checkAddr(std::uint32_t addr) const
+{
+    if (addr >= main_.size())
+        util::panic("data memory address out of range: %u", addr);
+}
+
+void
+DataMemory::addAcRegion(const AcRegion &region)
+{
+    if (region.start + region.length > main_.size())
+        util::fatal("AC region [%u, %u) out of memory bounds",
+                    region.start, region.start + region.length);
+    ac_regions_.push_back(region);
+}
+
+void
+DataMemory::addVersionedRegion(std::uint32_t start, std::uint32_t length,
+                               bool write_through)
+{
+    if (start + length > main_.size())
+        util::fatal("versioned region [%u, %u) out of memory bounds",
+                    start, start + length);
+    VersionedRegion region;
+    region.start = start;
+    region.length = length;
+    region.write_through = write_through;
+    region.cells.resize(length);
+    versioned_.push_back(std::move(region));
+}
+
+void
+DataMemory::clearRegions()
+{
+    ac_regions_.clear();
+    versioned_.clear();
+}
+
+nvm::RetentionPolicy
+DataMemory::policyAt(std::uint32_t addr) const
+{
+    for (const AcRegion &r : ac_regions_) {
+        if (r.contains(addr))
+            return r.policy;
+    }
+    return nvm::RetentionPolicy::full;
+}
+
+bool
+DataMemory::isAc(std::uint32_t addr) const
+{
+    for (const AcRegion &r : ac_regions_) {
+        if (r.contains(addr))
+            return true;
+    }
+    return false;
+}
+
+DataMemory::VersionedRegion *
+DataMemory::findVersioned(std::uint32_t addr)
+{
+    for (VersionedRegion &r : versioned_) {
+        if (addr >= r.start && addr < r.start + r.length)
+            return &r;
+    }
+    return nullptr;
+}
+
+const DataMemory::VersionedRegion *
+DataMemory::findVersioned(std::uint32_t addr) const
+{
+    for (const VersionedRegion &r : versioned_) {
+        if (addr >= r.start && addr < r.start + r.length)
+            return &r;
+    }
+    return nullptr;
+}
+
+namespace
+{
+
+std::uint8_t
+truncateToBits(std::uint8_t value, int bits)
+{
+    return static_cast<std::uint8_t>(
+        util::truncateLow(value, static_cast<unsigned>(bits), 8));
+}
+
+} // namespace
+
+std::uint8_t
+DataMemory::load8(int lane, std::uint32_t addr, int bits, bool approx_mem)
+{
+    checkAddr(addr);
+    std::uint8_t value = main_[addr];
+    if (lane > 0) {
+        if (const VersionedRegion *r = findVersioned(addr)) {
+            const auto &cell = r->cells[addr - r->start];
+            if (cell.written & (1u << lane))
+                value = cell.value[static_cast<size_t>(lane)];
+        }
+    }
+    if (approx_mem && bits < 8 && isAc(addr))
+        value = truncateToBits(value, bits);
+    return value;
+}
+
+void
+DataMemory::store8(int lane, std::uint32_t addr, std::uint8_t value,
+                   int bits, bool approx_mem)
+{
+    checkAddr(addr);
+    if (approx_mem && bits < 8 && isAc(addr))
+        value = truncateToBits(value, bits);
+
+    VersionedRegion *r = findVersioned(addr);
+    if (!r || lane == 0) {
+        main_[addr] = value;
+        main_prec_[addr] = static_cast<std::uint8_t>(bits);
+        return;
+    }
+    auto &cell = r->cells[addr - r->start];
+    cell.value[static_cast<size_t>(lane)] = value;
+    cell.prec[static_cast<size_t>(lane)] = static_cast<std::uint8_t>(bits);
+    cell.written |= static_cast<std::uint8_t>(1u << lane);
+    // Higher-bits write-through arbitration into the main version —
+    // output regions only; lane-private scratch never disturbs lane 0.
+    if (r->write_through && bits >= main_prec_[addr]) {
+        main_[addr] = value;
+        main_prec_[addr] = static_cast<std::uint8_t>(bits);
+    }
+}
+
+void
+DataMemory::resetVersionedRange(std::uint32_t start, std::uint32_t len)
+{
+    for (std::uint32_t addr = start; addr < start + len; ++addr) {
+        checkAddr(addr);
+        main_[addr] = 0;
+        main_prec_[addr] = 0;
+        if (VersionedRegion *r = findVersioned(addr))
+            r->cells[addr - r->start] = VersionedRegion::Cell{};
+    }
+}
+
+void
+DataMemory::clearLaneVersions(int lane)
+{
+    if (lane <= 0 || lane >= kMaxVersions)
+        util::panic("clearLaneVersions: bad lane %d", lane);
+    const auto mask = static_cast<std::uint8_t>(~(1u << lane));
+    for (VersionedRegion &r : versioned_) {
+        for (auto &cell : r.cells)
+            cell.written &= mask;
+    }
+}
+
+std::uint32_t
+DataMemory::assemble(std::uint32_t start, std::uint32_t len,
+                     isa::AssembleMode mode)
+{
+    std::uint32_t processed = 0;
+    for (std::uint32_t addr = start; addr < start + len; ++addr) {
+        checkAddr(addr);
+        VersionedRegion *r = findVersioned(addr);
+        if (!r)
+            continue;
+        auto &cell = r->cells[addr - r->start];
+        ++processed;
+        int value = main_[addr];
+        int prec = main_prec_[addr];
+        for (int lane = 1; lane < kMaxVersions; ++lane) {
+            if (!(cell.written & (1u << lane)))
+                continue;
+            const int lv = cell.value[static_cast<size_t>(lane)];
+            const int lp = cell.prec[static_cast<size_t>(lane)];
+            switch (mode) {
+              case isa::AssembleMode::higherbits:
+                if (lp > prec) {
+                    value = lv;
+                    prec = lp;
+                }
+                break;
+              case isa::AssembleMode::sum:
+                value = std::min(255, value + lv);
+                prec = std::max(prec, lp);
+                break;
+              case isa::AssembleMode::max:
+                value = std::max(value, lv);
+                prec = std::max(prec, lp);
+                break;
+              case isa::AssembleMode::min:
+                value = std::min(value, lv);
+                prec = std::max(prec, lp);
+                break;
+            }
+        }
+        cell.written = 0;
+        main_[addr] = static_cast<std::uint8_t>(value);
+        main_prec_[addr] = static_cast<std::uint8_t>(prec);
+    }
+    return processed;
+}
+
+int
+DataMemory::precisionAt(std::uint32_t addr) const
+{
+    checkAddr(addr);
+    return main_prec_[addr];
+}
+
+void
+DataMemory::applyOutageDecay(double duration_tenth_ms)
+{
+    for (const AcRegion &region : ac_regions_) {
+        if (region.policy == nvm::RetentionPolicy::full)
+            continue;
+        const int cutoff =
+            nvm::NvmArray::expiredCutoff(region.policy, duration_tenth_ms);
+        if (cutoff == 0)
+            continue;
+        // One violation event per (outage, bit index) — Fig. 22 counts.
+        for (int b = 1; b <= cutoff; ++b)
+            ++failures_.violations[static_cast<size_t>(b - 1)];
+
+        const auto mask =
+            static_cast<std::uint8_t>(util::lowMask(
+                static_cast<unsigned>(cutoff)));
+        for (std::uint32_t addr = region.start;
+             addr < region.start + region.length; ++addr) {
+            const std::uint8_t old = main_[addr];
+            const auto rnd = static_cast<std::uint8_t>(rng_.next());
+            const std::uint8_t neu =
+                static_cast<std::uint8_t>((old & ~mask) | (rnd & mask));
+            const std::uint8_t diff = old ^ neu;
+            if (diff) {
+                for (int b = 1; b <= cutoff; ++b) {
+                    if (util::bit(diff, static_cast<unsigned>(b - 1)))
+                        ++failures_.flips[static_cast<size_t>(b - 1)];
+                }
+                main_[addr] = neu;
+            }
+        }
+    }
+}
+
+std::uint8_t
+DataMemory::hostRead8(std::uint32_t addr) const
+{
+    checkAddr(addr);
+    return main_[addr];
+}
+
+void
+DataMemory::hostWrite8(std::uint32_t addr, std::uint8_t value)
+{
+    checkAddr(addr);
+    main_[addr] = value;
+}
+
+void
+DataMemory::hostWriteBlock(std::uint32_t addr,
+                           const std::vector<std::uint8_t> &data)
+{
+    if (addr + data.size() > main_.size())
+        util::panic("hostWriteBlock out of range");
+    std::copy(data.begin(), data.end(),
+              main_.begin() + static_cast<long>(addr));
+}
+
+std::vector<std::uint8_t>
+DataMemory::snapshot(std::uint32_t start, std::uint32_t len) const
+{
+    if (start + len > main_.size())
+        util::panic("snapshot out of range");
+    return std::vector<std::uint8_t>(
+        main_.begin() + static_cast<long>(start),
+        main_.begin() + static_cast<long>(start + len));
+}
+
+std::vector<std::uint8_t>
+DataMemory::precisionMask(std::uint32_t start, std::uint32_t len) const
+{
+    if (start + len > main_.size())
+        util::panic("precisionMask range out of bounds");
+    std::vector<std::uint8_t> mask(len, 0);
+    for (std::uint32_t i = 0; i < len; ++i)
+        mask[i] = main_prec_[start + i] > 0 ? 1 : 0;
+    return mask;
+}
+
+double
+DataMemory::coverage(std::uint32_t start, std::uint32_t len) const
+{
+    if (len == 0)
+        return 1.0;
+    if (start + len > main_.size())
+        util::panic("coverage range out of bounds");
+    std::uint32_t written = 0;
+    for (std::uint32_t addr = start; addr < start + len; ++addr) {
+        if (main_prec_[addr] > 0)
+            ++written;
+    }
+    return static_cast<double>(written) / static_cast<double>(len);
+}
+
+} // namespace inc::nvp

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * The NVP's nonvolatile data memory (paper Sec. 4, "Data memory").
+ *
+ * Three layers of behaviour on top of a flat 64 KiB byte array:
+ *
+ *  - AC regions: address ranges declared approximable by the
+ *    incidental(src, minbits, maxbits, policy) pragma. Loads/stores of
+ *    AC data are truncated to the active bitwidth when memory
+ *    approximation is enabled, and the region's retention-shaping policy
+ *    determines both the (discounted) write energy and which low-order
+ *    bits settle randomly across a power outage (applyOutageDecay).
+ *
+ *  - Versioned regions: ranges extended from 8 to 32 bits (4 versions)
+ *    with 3 bits of precision metadata per version, supporting
+ *    incidental SIMD lanes and recompute-and-combine. Lane 0 reads and
+ *    writes the main version; lanes 1-3 read their own version
+ *    (falling back to main when never written) and write through with
+ *    higher-bits arbitration: a write updates the main version iff its
+ *    precision is >= the main version's current precision tag.
+ *
+ *  - The assemble instruction's merge FSM: combine versions into main
+ *    over a range with one of the Table 1 modes.
+ */
+
+#ifndef INC_NVP_MEMORY_H
+#define INC_NVP_MEMORY_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "isa/isa.h"
+#include "nvm/nvm_array.h"
+#include "nvm/retention_policy.h"
+#include "util/rng.h"
+
+namespace inc::nvp
+{
+
+/** An approximable memory range and its backup retention policy. */
+struct AcRegion
+{
+    std::uint32_t start = 0;
+    std::uint32_t length = 0;
+    nvm::RetentionPolicy policy = nvm::RetentionPolicy::full;
+
+    bool contains(std::uint32_t addr) const
+    {
+        return addr >= start && addr < start + length;
+    }
+};
+
+/** The NVP data memory. */
+class DataMemory
+{
+  public:
+    /** Number of SIMD versions per word (paper: 8 -> 32 bits). */
+    static constexpr int kMaxVersions = 4;
+
+    explicit DataMemory(util::Rng rng,
+                        std::size_t size = isa::kDataMemBytes);
+
+    std::size_t size() const { return main_.size(); }
+
+    // ---- configuration -------------------------------------------------
+
+    /** Declare an approximable region with a retention policy. */
+    void addAcRegion(const AcRegion &region);
+
+    /**
+     * Declare a versioned (SIMD / RAC) region.
+     *
+     * @param write_through  when true (output regions), lane writes pass
+     *     into the main version under higher-bits arbitration; when
+     *     false (lane-private scratch), lane writes stay in their own
+     *     version and never disturb lane 0's data.
+     */
+    void addVersionedRegion(std::uint32_t start, std::uint32_t length,
+                            bool write_through = true);
+
+    /** Remove all region declarations (memory contents kept). */
+    void clearRegions();
+
+    /** Policy of the AC region containing @p addr (full if none). */
+    nvm::RetentionPolicy policyAt(std::uint32_t addr) const;
+
+    /** True if @p addr lies in a declared AC region. */
+    bool isAc(std::uint32_t addr) const;
+
+    // ---- lane accesses -------------------------------------------------
+
+    /**
+     * Load one byte for @p lane. @p bits is the lane's active bitwidth;
+     * when @p approx_mem is true and the address is in an AC region the
+     * low (8-bits) bits are truncated (paper Sec. 8.1 memory model).
+     */
+    std::uint8_t load8(int lane, std::uint32_t addr, int bits,
+                       bool approx_mem);
+
+    /**
+     * Store one byte from @p lane with precision tag @p bits. AC-region
+     * truncation as for load8; versioned regions apply higher-bits
+     * write-through arbitration into the main version.
+     */
+    void store8(int lane, std::uint32_t addr, std::uint8_t value, int bits,
+                bool approx_mem);
+
+    // ---- versioned-region management ------------------------------------
+
+    /**
+     * Reset versioned bytes in [start, start+len): main value and all
+     * versions zeroed, precision tags cleared. Called when an output ring
+     * slot is first claimed by a new frame.
+     */
+    void resetVersionedRange(std::uint32_t start, std::uint32_t len);
+
+    /** Forget lane @p lane's private version data everywhere (retire). */
+    void clearLaneVersions(int lane);
+
+    /**
+     * Merge versions 1..3 into main over [start, start+len) with
+     * @p mode; clears merged version slots. Returns bytes processed by
+     * the FSM (for cycle/energy accounting).
+     */
+    std::uint32_t assemble(std::uint32_t start, std::uint32_t len,
+                           isa::AssembleMode mode);
+
+    /** Precision tag of the main version at @p addr (0 outside
+     *  versioned regions or when never written). */
+    int precisionAt(std::uint32_t addr) const;
+
+    // ---- power-failure behaviour ----------------------------------------
+
+    /**
+     * Apply retention decay across an outage of @p duration_tenth_ms:
+     * every AC-region byte's expired low bits settle randomly. Violation
+     * events are counted once per (region policy, bit index) and flips
+     * per byte-bit (paper Fig. 22).
+     */
+    void applyOutageDecay(double duration_tenth_ms);
+
+    const nvm::RetentionFailureCounts &failures() const
+    {
+        return failures_;
+    }
+    void resetFailures() { failures_.reset(); }
+
+    // ---- host (sensor DMA / harness) access ------------------------------
+
+    std::uint8_t hostRead8(std::uint32_t addr) const;
+    void hostWrite8(std::uint32_t addr, std::uint8_t value);
+    void hostWriteBlock(std::uint32_t addr,
+                        const std::vector<std::uint8_t> &data);
+
+    /** Snapshot main-version bytes of [start, start+len). */
+    std::vector<std::uint8_t> snapshot(std::uint32_t start,
+                                       std::uint32_t len) const;
+
+    /** Per-byte coverage: fraction of [start,start+len) with prec > 0. */
+    double coverage(std::uint32_t start, std::uint32_t len) const;
+
+    /** Per-byte written mask (1 where precision > 0). */
+    std::vector<std::uint8_t> precisionMask(std::uint32_t start,
+                                            std::uint32_t len) const;
+
+  private:
+    struct VersionedRegion
+    {
+        std::uint32_t start;
+        std::uint32_t length;
+        bool write_through;
+        // Lane-private values and precision tags for lanes 1..3 plus the
+        // main version's precision tag. written bit i => lane i has a
+        // private copy.
+        struct Cell
+        {
+            std::array<std::uint8_t, kMaxVersions> value{};
+            std::array<std::uint8_t, kMaxVersions> prec{};
+            std::uint8_t written = 0;
+        };
+        std::vector<Cell> cells;
+    };
+
+    VersionedRegion *findVersioned(std::uint32_t addr);
+    const VersionedRegion *findVersioned(std::uint32_t addr) const;
+    void checkAddr(std::uint32_t addr) const;
+
+    std::vector<std::uint8_t> main_;
+    std::vector<std::uint8_t> main_prec_;
+    std::vector<AcRegion> ac_regions_;
+    std::vector<VersionedRegion> versioned_;
+    util::Rng rng_;
+    nvm::RetentionFailureCounts failures_;
+};
+
+} // namespace inc::nvp
+
+#endif // INC_NVP_MEMORY_H

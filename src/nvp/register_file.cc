@@ -1,0 +1,107 @@
+#include "nvp/register_file.h"
+
+#include "util/logging.h"
+
+namespace inc::nvp
+{
+
+RegisterFile::RegisterFile()
+{
+    for (auto &version : values_)
+        version.fill(0);
+}
+
+void
+RegisterFile::checkVersion(int version) const
+{
+    if (version < 0 || version >= kMaxLanes)
+        util::panic("register version out of range: %d", version);
+}
+
+void
+RegisterFile::checkReg(int reg) const
+{
+    if (reg < 0 || reg >= isa::kNumRegs)
+        util::panic("register index out of range: %d", reg);
+}
+
+std::uint16_t
+RegisterFile::read(int version, int reg) const
+{
+    checkVersion(version);
+    checkReg(reg);
+    if (reg == 0)
+        return 0;
+    return values_[static_cast<size_t>(version)]
+                  [static_cast<size_t>(reg)];
+}
+
+void
+RegisterFile::write(int version, int reg, std::uint16_t value)
+{
+    checkVersion(version);
+    checkReg(reg);
+    if (reg == 0)
+        return;
+    values_[static_cast<size_t>(version)][static_cast<size_t>(reg)] =
+        value;
+}
+
+RegSnapshot
+RegisterFile::snapshot(int version) const
+{
+    checkVersion(version);
+    return values_[static_cast<size_t>(version)];
+}
+
+void
+RegisterFile::load(int version, const RegSnapshot &regs)
+{
+    checkVersion(version);
+    values_[static_cast<size_t>(version)] = regs;
+    values_[static_cast<size_t>(version)][0] = 0;
+}
+
+void
+RegisterFile::copyVersion(int src, int dst)
+{
+    checkVersion(src);
+    checkVersion(dst);
+    values_[static_cast<size_t>(dst)] = values_[static_cast<size_t>(src)];
+}
+
+void
+RegisterFile::clearVersion(int version)
+{
+    checkVersion(version);
+    values_[static_cast<size_t>(version)].fill(0);
+}
+
+bool
+RegisterFile::isAc(int reg) const
+{
+    checkReg(reg);
+    return (ac_mask_ >> reg) & 1;
+}
+
+std::uint16_t
+RegisterFile::compareVersions(int version, int other) const
+{
+    checkVersion(other);
+    return compareSnapshot(version, values_[static_cast<size_t>(other)]);
+}
+
+std::uint16_t
+RegisterFile::compareSnapshot(int version, const RegSnapshot &regs) const
+{
+    checkVersion(version);
+    std::uint16_t match = 0;
+    for (int r = 0; r < isa::kNumRegs; ++r) {
+        if (read(version, r) ==
+            (r == 0 ? 0 : regs[static_cast<size_t>(r)]))
+            match |= static_cast<std::uint16_t>(1u << r);
+    }
+    return match;
+}
+
+} // namespace inc::nvp

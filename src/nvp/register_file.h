@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Power-gated multi-version nonvolatile register file (paper Sec. 4).
+ *
+ * Each architectural register is built from nonvolatile logic, carries an
+ * AC (approximable) bit, and is extended from one to four versions to
+ * hold incidental SIMD lanes; the extensions are powered off when
+ * incidental computing is not employed. Comparison circuits report which
+ * registers of a stored version match the current version — the
+ * controller combines that vector with the compiler-generated mask to
+ * decide SIMD adoption.
+ */
+
+#ifndef INC_NVP_REGISTER_FILE_H
+#define INC_NVP_REGISTER_FILE_H
+
+#include <array>
+#include <cstdint>
+
+#include "isa/isa.h"
+
+namespace inc::nvp
+{
+
+/** Maximum SIMD width (paper: "at most 4-way SIMD"). */
+constexpr int kMaxLanes = 4;
+
+/** One lane's architectural register snapshot. */
+using RegSnapshot = std::array<std::uint16_t, isa::kNumRegs>;
+
+/** Multi-version register file with AC flags. */
+class RegisterFile
+{
+  public:
+    RegisterFile();
+
+    /** Read register @p reg of version @p version (r0 reads zero). */
+    std::uint16_t read(int version, int reg) const;
+
+    /** Write register @p reg of version @p version (r0 writes ignored). */
+    void write(int version, int reg, std::uint16_t value);
+
+    /** Snapshot a whole version. */
+    RegSnapshot snapshot(int version) const;
+
+    /** Load a whole version from a snapshot. */
+    void load(int version, const RegSnapshot &regs);
+
+    /** Copy version @p src into version @p dst. */
+    void copyVersion(int src, int dst);
+
+    /** Zero a version (lane power-up state). */
+    void clearVersion(int version);
+
+    /** AC flags: bit i set => register i holds approximable data. */
+    std::uint16_t acMask() const { return ac_mask_; }
+    void setAcMask(std::uint16_t mask) { ac_mask_ = mask; }
+    void orAcMask(std::uint16_t mask) { ac_mask_ |= mask; }
+    void clearAcMask(std::uint16_t mask) { ac_mask_ &= ~mask; }
+    bool isAc(int reg) const;
+
+    /**
+     * Comparison circuit: bitvector of registers whose values in
+     * @p version equal those in @p other (bit i => register i matches).
+     */
+    std::uint16_t compareVersions(int version, int other) const;
+
+    /**
+     * Comparison against an external snapshot; used when a backed-up lane
+     * is held in the resume buffer rather than a live version.
+     */
+    std::uint16_t compareSnapshot(int version,
+                                  const RegSnapshot &regs) const;
+
+  private:
+    void checkVersion(int version) const;
+    void checkReg(int reg) const;
+
+    std::array<RegSnapshot, kMaxLanes> values_;
+    std::uint16_t ac_mask_ = 0;
+};
+
+} // namespace inc::nvp
+
+#endif // INC_NVP_REGISTER_FILE_H

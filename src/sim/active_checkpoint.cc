@@ -1,0 +1,102 @@
+#include "sim/active_checkpoint.h"
+
+#include "energy/capacitor.h"
+#include "util/logging.h"
+
+namespace inc::sim
+{
+
+ActiveCheckpointResult
+runActiveCheckpoint(const trace::PowerTrace &trace,
+                    const ActiveCheckpointConfig &config)
+{
+    if (config.checkpoint_interval_instr <= 0)
+        util::fatal("checkpoint interval must be positive");
+
+    const energy::EnergyModel model(config.energy);
+    // Software checkpoint: copy state_bytes through load+store pairs,
+    // plus the detection/bookkeeping prologue.
+    const double checkpoint_instr =
+        config.checkpoint_overhead_instr +
+        2.0 * static_cast<double>(config.state_bytes);
+    // Application instructions use the image-kernel blend (the same
+    // workload the NVP runs): mostly ALU with a realistic load/store/
+    // multiply share.
+    const double instr_energy =
+        0.55 * model.instructionEnergyNj(isa::Op::add, 8) +
+        0.25 * model.instructionEnergyNj(isa::Op::ld8, 8) +
+        0.10 * model.instructionEnergyNj(isa::Op::st8, 8) +
+        0.10 * model.instructionEnergyNj(isa::Op::mul, 8);
+    const double store_energy =
+        model.instructionEnergyNj(isa::Op::st8, 8);
+    const double checkpoint_energy =
+        config.checkpoint_overhead_instr * instr_energy +
+        static_cast<double>(config.state_bytes) *
+            (model.instructionEnergyNj(isa::Op::ld8, 8) + store_energy);
+
+    energy::CapacitorParams cap_params;
+    cap_params.capacity_nj = config.capacity_nj;
+    cap_params.efficiency = config.efficiency;
+    energy::Capacitor cap(cap_params);
+
+    ActiveCheckpointResult result;
+    constexpr int kCyclesPerSample = 100;
+    bool on = false;
+    double since_checkpoint = 0.0; // committed-but-unsaved instructions
+    const double start_threshold =
+        config.restart_overhead_instr * instr_energy +
+        checkpoint_energy * 1.5;
+
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        cap.step(trace.at(i), 0.1);
+
+        if (!on) {
+            if (cap.energyNj() >= start_threshold) {
+                on = true;
+                // Reboot + restore-from-checkpoint software path.
+                cap.drain(config.restart_overhead_instr * instr_energy);
+                result.instructions_executed +=
+                    static_cast<std::uint64_t>(
+                        config.restart_overhead_instr);
+            } else {
+                continue;
+            }
+        }
+
+        double budget = kCyclesPerSample;
+        while (budget >= 1.0 && on) {
+            if (cap.energyNj() < instr_energy) {
+                // Brown-out: everything since the last checkpoint is
+                // re-executed after reboot (volatile state lost).
+                result.instructions_lost += static_cast<std::uint64_t>(
+                    since_checkpoint);
+                since_checkpoint = 0.0;
+                on = false;
+                break;
+            }
+            if (since_checkpoint >=
+                static_cast<double>(config.checkpoint_interval_instr)) {
+                if (cap.energyNj() < checkpoint_energy)
+                    break; // wait for charge before checkpointing
+                cap.drain(checkpoint_energy);
+                budget -= checkpoint_instr;
+                ++result.checkpoints;
+                result.checkpoint_energy_nj += checkpoint_energy;
+                result.forward_progress += static_cast<std::uint64_t>(
+                    since_checkpoint);
+                since_checkpoint = 0.0;
+                continue;
+            }
+            cap.drain(instr_energy);
+            ++result.instructions_executed;
+            since_checkpoint += 1.0;
+            budget -= 1.0;
+        }
+    }
+    // Work since the final checkpoint never persisted.
+    result.instructions_lost +=
+        static_cast<std::uint64_t>(since_checkpoint);
+    return result;
+}
+
+} // namespace inc::sim

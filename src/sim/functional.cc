@@ -1,0 +1,112 @@
+#include "sim/functional.h"
+
+#include "util/logging.h"
+
+namespace inc::sim
+{
+
+double
+FunctionalResult::meanMse() const
+{
+    if (outputs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (size_t i = 0; i < outputs.size(); ++i)
+        sum += approx::mse(outputs[i], golden[i]);
+    return sum / static_cast<double>(outputs.size());
+}
+
+double
+FunctionalResult::meanPsnr() const
+{
+    return approx::psnrFromMse(meanMse());
+}
+
+FunctionalResult
+runFunctional(const kernels::Kernel &kernel,
+              const FunctionalConfig &config)
+{
+    if (config.bits < 1 || config.bits > 8)
+        util::fatal("FunctionalConfig bits must be 1..8");
+    if (config.frames < 1)
+        util::fatal("FunctionalConfig frames must be >= 1");
+
+    util::Rng rng(config.seed);
+    util::SceneGenerator scene(kernel.width, kernel.height, kernel.scene,
+                               config.seed);
+
+    nvp::DataMemory mem(rng.split());
+    for (const auto &[addr, data] : kernel.init_blocks)
+        mem.hostWriteBlock(addr, data);
+    // AC region over the input ring (policy irrelevant without power
+    // failures; full retention keeps decay out of functional runs).
+    mem.addAcRegion({kernel.layout.in_base,
+                     kernel.layout.in_bytes *
+                         static_cast<std::uint32_t>(
+                             kernel.layout.in_slots),
+                     nvm::RetentionPolicy::full});
+    mem.addVersionedRegion(kernel.layout.out_base,
+                           kernel.layout.out_bytes *
+                               static_cast<std::uint32_t>(
+                                   kernel.layout.out_slots));
+    if (kernel.scratch_bytes > 0) {
+        mem.addVersionedRegion(kernel.scratch_base, kernel.scratch_bytes,
+                               /*write_through=*/false);
+    }
+
+    nvp::CoreConfig core_cfg;
+    core_cfg.approx_alu = config.approx_alu;
+    core_cfg.approx_mem = config.approx_mem;
+    nvp::Core core(&kernel.program, &mem, core_cfg, rng.split());
+    core.setMainBits(config.bits);
+
+    FunctionalResult result;
+    std::vector<std::vector<std::uint8_t>> inputs;
+    inputs.reserve(static_cast<size_t>(config.frames));
+    for (int f = 0; f < config.frames; ++f) {
+        inputs.push_back(kernel.make_input(scene, f));
+        result.golden.push_back(kernel.golden(inputs.back()));
+    }
+
+    int current_frame = -1;
+    while (result.instructions < config.max_instructions) {
+        const nvp::StepResult step = core.step();
+        core.setMainBits(config.bits); // acen may have reset state
+        result.instructions += static_cast<std::uint64_t>(
+            step.lanes_committed);
+        result.cycles += static_cast<std::uint64_t>(step.cycles);
+
+        if (step.mark_resume) {
+            // Frame boundary: collect the finished frame, feed the next.
+            if (current_frame >= 0) {
+                const std::uint32_t addr = kernel.layout.outSlotAddr(
+                    static_cast<std::uint32_t>(current_frame));
+                result.outputs.push_back(
+                    mem.snapshot(addr, kernel.layout.out_bytes));
+            }
+            const int next = step.resume_frame_value;
+            if (next >= config.frames)
+                break;
+            current_frame = next;
+            mem.hostWriteBlock(
+                kernel.layout.inSlotAddr(
+                    static_cast<std::uint32_t>(next)),
+                inputs[static_cast<size_t>(next)]);
+            mem.resetVersionedRange(
+                kernel.layout.outSlotAddr(
+                    static_cast<std::uint32_t>(next)),
+                kernel.layout.out_bytes);
+        }
+        if (step.halted)
+            break;
+    }
+
+    if (result.outputs.size() != result.golden.size()) {
+        util::warn("functional run finished %zu of %zu frames",
+                   result.outputs.size(), result.golden.size());
+        result.golden.resize(result.outputs.size());
+    }
+    return result;
+}
+
+} // namespace inc::sim

@@ -1,0 +1,404 @@
+#include "sim/system_sim.h"
+
+#include <algorithm>
+
+#include "sim/functional.h"
+#include "util/logging.h"
+
+namespace inc::sim
+{
+
+namespace
+{
+/** Cycles per 0.1 ms trace sample at the 1 MHz core clock. */
+constexpr int kCyclesPerSample = 100;
+} // namespace
+
+SystemSimulator::SystemSimulator(kernels::Kernel kernel,
+                                 const trace::PowerTrace *trace,
+                                 SimConfig config)
+    : kernel_(std::move(kernel)), trace_(trace), config_(config),
+      rng_(config.seed),
+      scene_(kernel_.width, kernel_.height, kernel_.scene, config.seed),
+      energy_model_(config.energy), capacitor_(config.capacitor),
+      bit_ctrl_(config.bits)
+{
+    if (!trace_ || trace_->empty())
+        util::fatal("SystemSimulator requires a non-empty power trace");
+
+    // Kernels with loop-carried memory scratch cannot be adopted
+    // mid-loop (see Kernel::adoption_safe).
+    if (!kernel_.adoption_safe)
+        config_.controller.simd_adoption = false;
+
+    mem_ = std::make_unique<nvp::DataMemory>(rng_.split());
+    for (const auto &[addr, data] : kernel_.init_blocks)
+        mem_->hostWriteBlock(addr, data);
+    mem_->addAcRegion({kernel_.layout.in_base,
+                       kernel_.layout.in_bytes *
+                           static_cast<std::uint32_t>(
+                               kernel_.layout.in_slots),
+                       config_.controller.backup_policy});
+    mem_->addVersionedRegion(kernel_.layout.out_base,
+                             kernel_.layout.out_bytes *
+                                 static_cast<std::uint32_t>(
+                                     kernel_.layout.out_slots));
+    if (kernel_.scratch_bytes > 0) {
+        mem_->addVersionedRegion(kernel_.scratch_base,
+                                 kernel_.scratch_bytes,
+                                 /*write_through=*/false);
+    }
+
+    core_ = std::make_unique<nvp::Core>(&kernel_.program, mem_.get(),
+                                        config_.core, rng_.split());
+    controller_ = std::make_unique<core::IncidentalController>(
+        core_.get(), config_.controller, kernel_.layout, &bit_ctrl_,
+        rng_.split());
+    if (config_.score_quality) {
+        controller_->setCompletionCallback(
+            [this](const core::FrameCompletion &c) { scoreFrame(c); });
+    }
+
+    // ---- thresholds -------------------------------------------------------
+    const bool multi_lane = config_.controller.simd_adoption ||
+                            config_.controller.history_spawn ||
+                            config_.controller.force_full_simd ||
+                            config_.controller.auto_recompute_times > 0;
+    reserve_versions_ = multi_lane ? config_.core.max_lanes : 1;
+    const double backup_nj = energy_model_.backupEnergyNj(
+        config_.controller.backup_policy, reserve_versions_);
+    backup_threshold_nj_ = backup_nj * config_.backup_guard;
+
+    int min_bits = 8;
+    switch (config_.bits.mode) {
+      case approx::ApproxMode::precise: min_bits = 8; break;
+      case approx::ApproxMode::fixed: min_bits = config_.bits.fixed_bits;
+          break;
+      case approx::ApproxMode::dynamic: min_bits = config_.bits.min_bits;
+          break;
+    }
+    const int lane_bits_sum = (reserve_versions_ - 1) * min_bits;
+    const double quantum_nj =
+        config_.start_quantum_instr *
+        energy_model_.instructionEnergyNj(isa::Op::add, min_bits,
+                                          lane_bits_sum);
+    start_threshold_nj_ = backup_threshold_nj_ +
+                          energy_model_.restoreEnergyNj(
+                              reserve_versions_) +
+                          quantum_nj;
+
+    // ---- sensor -----------------------------------------------------------
+    frame_period_ = config_.frame_period_tenth_ms;
+    if (frame_period_ <= 0.0) {
+        FunctionalConfig cal;
+        cal.frames = 1;
+        cal.bits = 8;
+        cal.seed = config_.seed;
+        const FunctionalResult r = runFunctional(kernel_, cal);
+        // cycles at 1 MHz -> 0.1 ms units: 100 cycles per unit.
+        frame_period_ = std::max(
+            10.0, config_.frame_period_factor * r.cyclesPerFrame() /
+                      kCyclesPerSample);
+    }
+}
+
+void
+SystemSimulator::captureFramesUpTo(std::size_t sample)
+{
+    // The sensor captures a frame every frame_period_. The DMA engine
+    // interlocks with the controller: it will not overwrite an input
+    // slot a live lane is still reading from (it drops the capture and
+    // retries next period), so in-flight computations never see their
+    // input change underneath them.
+    while (static_cast<double>(captures_attempted_) * frame_period_ <=
+           static_cast<double>(sample)) {
+        ++captures_attempted_;
+        const auto f = static_cast<std::uint32_t>(newest_frame_ + 1);
+        const auto slot = f % static_cast<std::uint32_t>(
+                                  kernel_.layout.in_slots);
+        bool slot_busy = false;
+        for (int lane = 0; lane < nvp::kMaxLanes; ++lane) {
+            const nvp::LaneInfo &info = core_->lane(lane);
+            // Lane 0's frame field is meaningful only once the program
+            // has reached its first resume point.
+            if (lane == 0 && !lane0_frame_valid_)
+                continue;
+            if (info.active &&
+                info.frame % static_cast<std::uint32_t>(
+                                 kernel_.layout.in_slots) ==
+                    slot) {
+                slot_busy = true;
+                break;
+            }
+        }
+        if (slot_busy) {
+            ++result_.frames_dropped_by_dma;
+            continue;
+        }
+        ++newest_frame_;
+        mem_->hostWriteBlock(
+            kernel_.layout.inSlotAddr(f),
+            kernel_.make_input(scene_, static_cast<int>(f)));
+        capture_time_[f] = sample;
+        if (capture_time_.size() > 64)
+            capture_time_.erase(capture_time_.begin());
+        ++result_.frames_captured;
+    }
+}
+
+void
+SystemSimulator::scoreFrame(const core::FrameCompletion &completion)
+{
+    const std::uint32_t f = completion.frame;
+    auto golden_it = golden_cache_.find(f);
+    if (golden_it == golden_cache_.end()) {
+        golden_it = golden_cache_
+                        .emplace(f, kernel_.golden(kernel_.make_input(
+                                        scene_, static_cast<int>(f))))
+                        .first;
+    }
+    const std::uint32_t addr = kernel_.layout.outSlotAddr(f);
+    const auto out = mem_->snapshot(addr, kernel_.layout.out_bytes);
+
+    // Quality is scored over the pixels actually produced; completeness
+    // is reported separately as coverage (partial outputs are the point
+    // of incidental computing — "at least some low quality results").
+    const auto mask =
+        mem_->precisionMask(addr, kernel_.layout.out_bytes);
+    FrameScore &score = scores_[f];
+    score.frame = f;
+    score.mse = approx::maskedMse(out, golden_it->second, mask);
+    score.psnr = approx::psnrFromMse(score.mse);
+    score.coverage = mem_->coverage(addr, kernel_.layout.out_bytes);
+    ++score.completions;
+    if (score.completions == 1) {
+        const auto it = capture_time_.find(f);
+        if (it != capture_time_.end()) {
+            score.first_completion_age =
+                static_cast<double>(current_sample_ - it->second);
+        }
+    }
+    score.out_byte_sum = 0.0;
+    score.golden_byte_sum = 0.0;
+    for (size_t i = 0; i < out.size(); ++i) {
+        if (!mask[i])
+            continue;
+        score.out_byte_sum += out[i];
+        score.golden_byte_sum += golden_it->second[i];
+    }
+
+    // Keep the golden cache bounded.
+    if (golden_cache_.size() > 16)
+        golden_cache_.erase(golden_cache_.begin());
+}
+
+void
+SystemSimulator::performBackup(std::size_t sample)
+{
+    controller_->onBackup();
+    const int lanes = core_->activeLaneCount();
+    const double cost = energy_model_.backupEnergyNj(
+        config_.controller.backup_policy, lanes);
+    capacitor_.drain(cost);
+    result_.backup_energy_nj += cost;
+    ++result_.backups;
+    on_ = false;
+    off_since_ = sample;
+
+    // Arm the next wake-up comparator for the state just saved: restore
+    // cost, a backup reserve for the resumed lane count, and a minimum
+    // work quantum.
+    int min_bits = 8;
+    switch (config_.bits.mode) {
+      case approx::ApproxMode::precise: min_bits = 8; break;
+      case approx::ApproxMode::fixed: min_bits = config_.bits.fixed_bits;
+          break;
+      case approx::ApproxMode::dynamic: min_bits = config_.bits.min_bits;
+          break;
+    }
+    next_start_threshold_nj_ =
+        energy_model_.restoreEnergyNj(lanes) +
+        config_.backup_guard * cost +
+        config_.start_quantum_instr *
+            energy_model_.instructionEnergyNj(isa::Op::add, min_bits,
+                                              (lanes - 1) * min_bits);
+}
+
+void
+SystemSimulator::performRestore(std::size_t sample)
+{
+    const double cost =
+        energy_model_.restoreEnergyNj(reserve_versions_);
+    capacitor_.drain(cost);
+    result_.restore_energy_nj += cost;
+    ++result_.restores;
+    const double outage =
+        static_cast<double>(sample - off_since_); // 0.1 ms units
+    controller_->onRestore(
+        outage, static_cast<std::uint32_t>(std::max<std::int64_t>(
+                    0, newest_frame_)));
+    on_ = true;
+}
+
+SimResult
+SystemSimulator::run()
+{
+    const std::size_t samples = trace_->size();
+    std::uint64_t on_samples = 0;
+    bool first_start = true;
+
+    for (std::size_t i = 0; i < samples; ++i) {
+        current_sample_ = i;
+        captureFramesUpTo(i);
+        capacitor_.step(config_.income_scale * trace_->at(i), 0.1);
+
+        if (!on_) {
+            const double wake = next_start_threshold_nj_ > 0.0
+                                    ? next_start_threshold_nj_
+                                    : start_threshold_nj_;
+            if (capacitor_.energyNj() >= wake && newest_frame_ >= 0) {
+                if (first_start) {
+                    // Cold boot: no restore cost, start at the program
+                    // entry.
+                    first_start = false;
+                    on_ = true;
+                    ++result_.restores;
+                } else {
+                    performRestore(i);
+                }
+            }
+            if (!on_) {
+                bit_ctrl_.recordTick(0);
+                continue;
+            }
+        }
+
+        ++on_samples;
+        controller_->updateLaneBits(capacitor_.fraction());
+        bit_ctrl_.recordTick(core_->acEnabled() ? core_->mainBits() : 8);
+
+        int budget = kCyclesPerSample;
+        while (budget > 0 && on_) {
+            if (waiting_for_frame_) {
+                if (newest_frame_ >= 0 &&
+                    static_cast<std::uint32_t>(newest_frame_) >=
+                        wanted_frame_) {
+                    waiting_for_frame_ = false;
+                    core_->setPc(core_->resumePc());
+                } else {
+                    // Idle (clock-gated) until the next capture; a long
+                    // enough wait still drains to the backup reserve.
+                    const double idle = std::min(
+                        energy_model_.idleCycleEnergyNj() * budget,
+                        capacitor_.energyNj());
+                    capacitor_.drain(idle);
+                    result_.consumed_energy_nj += idle;
+                    budget = 0;
+                    const double reserve =
+                        config_.backup_guard *
+                        energy_model_.backupEnergyNj(
+                            config_.controller.backup_policy,
+                            core_->activeLaneCount());
+                    if (capacitor_.energyNj() <= reserve)
+                        performBackup(i);
+                    break;
+                }
+            }
+
+            controller_->maybeAdopt(capacitor_.fraction(),
+                                    static_cast<std::uint32_t>(
+                                        std::max<std::int64_t>(
+                                            0, newest_frame_)));
+
+            const nvp::StepResult step = core_->step();
+            const int main_bits =
+                core_->acEnabled() ? core_->mainBits() : 8;
+            double cost = energy_model_.instructionEnergyNj(
+                step.op, main_bits, core_->incidentalBitsSum(),
+                step.store_policy);
+            if (step.assemble_bytes > 0) {
+                cost += energy_model_.assembleEnergyNj(
+                    static_cast<int>(step.assemble_bytes));
+            }
+            capacitor_.drain(cost);
+            result_.consumed_energy_nj += cost;
+            result_.forward_progress +=
+                static_cast<std::uint64_t>(step.lanes_committed);
+            ++result_.main_instructions;
+            result_.cycles_executed +=
+                static_cast<std::uint64_t>(step.cycles);
+            budget -= step.cycles;
+
+            if (step.mark_resume) {
+                lane0_frame_valid_ = true;
+                const auto outcome = controller_->handleMarkResume(
+                    step.resume_frame_value,
+                    static_cast<std::uint32_t>(
+                        std::max<std::int64_t>(0, newest_frame_)),
+                    capacitor_.fraction());
+                if (outcome.wait_for_frame) {
+                    waiting_for_frame_ = true;
+                    wanted_frame_ = outcome.frame;
+                }
+            }
+            if (step.halted)
+                break;
+
+            // The backup reserve tracks the state that actually needs
+            // saving: the controller knows its live lane count and sets
+            // the comparator level accordingly.
+            const double reserve =
+                config_.backup_guard *
+                energy_model_.backupEnergyNj(
+                    config_.controller.backup_policy,
+                    core_->activeLaneCount());
+            if (capacitor_.energyNj() <= reserve) {
+                performBackup(i);
+                break;
+            }
+        }
+        if (core_->halted())
+            break;
+    }
+
+    // Final flush: score everything still in flight.
+    if (config_.score_quality) {
+        for (int lane = 0; lane < nvp::kMaxLanes; ++lane) {
+            const nvp::LaneInfo &info = core_->lane(lane);
+            if (info.active && (lane > 0 || newest_frame_ >= 0))
+                scoreFrame({info.frame, lane, info.bits});
+        }
+    }
+
+    result_.on_time_fraction =
+        static_cast<double>(on_samples) / static_cast<double>(samples);
+    result_.controller = controller_->stats();
+    result_.retention_failures = mem_->failures();
+    result_.income_energy_nj = capacitor_.totalIncomeNj();
+    result_.frame_period_tenth_ms = frame_period_;
+    for (int b = 0; b <= 8; ++b)
+        result_.bit_ticks[static_cast<size_t>(b)] = bit_ctrl_.ticksAt(b);
+
+    int aged = 0;
+    for (const auto &[frame, score] : scores_) {
+        result_.mean_mse += score.mse;
+        result_.mean_psnr += score.psnr;
+        result_.mean_coverage += score.coverage;
+        if (score.first_completion_age > 0.0) {
+            result_.mean_completion_age += score.first_completion_age;
+            ++aged;
+        }
+        result_.frame_scores.push_back(score);
+    }
+    result_.frames_scored = static_cast<int>(scores_.size());
+    if (result_.frames_scored > 0) {
+        result_.mean_mse /= result_.frames_scored;
+        result_.mean_psnr /= result_.frames_scored;
+        result_.mean_coverage /= result_.frames_scored;
+    }
+    if (aged > 0)
+        result_.mean_completion_age /= aged;
+    return result_;
+}
+
+} // namespace inc::sim

@@ -1,0 +1,75 @@
+#include "sim/wait_compute.h"
+
+#include "energy/capacitor.h"
+#include "util/logging.h"
+
+namespace inc::sim
+{
+
+WaitComputeResult
+runWaitCompute(const trace::PowerTrace &trace,
+               const WaitComputeConfig &config)
+{
+    if (config.cycles_per_frame <= 0)
+        util::fatal("WaitComputeConfig cycles_per_frame must be positive");
+
+    const energy::EnergyModel model(config.energy);
+    const double frame_energy_nj =
+        config.cycles_per_frame * config.energy.cycle_energy_nj;
+
+    energy::CapacitorParams cap_params;
+    cap_params.capacity_nj = frame_energy_nj * config.capacity_factor;
+    cap_params.efficiency = config.efficiency;
+    cap_params.leak_frac_per_ms = config.leak_frac_per_ms;
+    cap_params.leak_nj_per_ms = config.leak_nj_per_ms;
+    cap_params.min_charge_uw = config.min_charge_uw;
+    energy::Capacitor cap(cap_params);
+
+    const double start_energy = frame_energy_nj * config.start_margin;
+    const double cycle_energy = config.energy.cycle_energy_nj;
+    constexpr int kCyclesPerSample = 100;
+
+    WaitComputeResult result;
+    bool executing = false;
+    double frame_cycles_left = 0.0;
+
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        cap.step(trace.at(i), 0.1);
+
+        if (!executing) {
+            if (cap.energyNj() >= start_energy) {
+                executing = true;
+                frame_cycles_left = config.cycles_per_frame;
+            }
+            continue;
+        }
+
+        // Execute up to 100 cycles this sample.
+        const double want = std::min(
+            frame_cycles_left, static_cast<double>(kCyclesPerSample));
+        const double affordable = cap.energyNj() / cycle_energy;
+        const double run = std::min(want, affordable);
+        cap.drain(run * cycle_energy);
+        frame_cycles_left -= run;
+
+        if (frame_cycles_left <= 0.0) {
+            ++result.frames_completed;
+            result.forward_progress += static_cast<std::uint64_t>(
+                config.instructions_per_frame);
+            executing = false;
+        } else if (run < want) {
+            // Brown-out mid-frame: volatile state lost.
+            ++result.frames_lost;
+            executing = false;
+        }
+    }
+
+    if (result.frames_completed > 0) {
+        result.seconds_per_frame =
+            trace.durationSec() /
+            static_cast<double>(result.frames_completed);
+    }
+    return result;
+}
+
+} // namespace inc::sim

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Wait-compute baseline: a volatile low-power MCU with a large energy
+ * storage device (paper Sec. 2.2). The system alternates between
+ * charging the ESD until it holds enough energy for an entire logical
+ * work unit (one frame) and executing that unit; losing power mid-frame
+ * loses all progress (volatile state). The model includes the ESD's
+ * poorer conversion efficiency, proportional leakage and a minimum
+ * charging current below which income is wasted (paper cites the
+ * GZ115's 20 uA floor).
+ */
+
+#ifndef INC_SIM_WAIT_COMPUTE_H
+#define INC_SIM_WAIT_COMPUTE_H
+
+#include <cstdint>
+
+#include "energy/energy_model.h"
+#include "trace/power_trace.h"
+
+namespace inc::sim
+{
+
+/** Wait-compute baseline configuration. */
+struct WaitComputeConfig
+{
+    double cycles_per_frame = 30000.0;       ///< calibrated per kernel
+    double instructions_per_frame = 20000.0; ///< calibrated per kernel
+    energy::EnergyParams energy{};
+
+    /** ESD capacity relative to one frame's energy. */
+    double capacity_factor = 1.5;
+
+    /** Charge margin before execution begins. */
+    double start_margin = 1.1;
+
+    /** Conversion efficiency through the big storage element. */
+    double efficiency = 0.55;
+
+    /** Proportional ESD leakage per ms. */
+    double leak_frac_per_ms = 2e-5;
+
+    /**
+     * Fixed ESD leakage in nJ/ms (= uW). Supercap-class storage leaks
+     * tens of uA — comparable to the harvester's average income, the
+     * paper's "incoming power may not be sufficient compared to leakage
+     * in the ESD" failure mode. The NVP's small on-chip capacitor leaks
+     * ~0.5 uW by comparison.
+     */
+    double leak_nj_per_ms = 15.0;
+
+    /** Income below this is wasted (minimum charging current). */
+    double min_charge_uw = 50.0;
+};
+
+/** Wait-compute run metrics. */
+struct WaitComputeResult
+{
+    std::uint64_t frames_completed = 0;
+    std::uint64_t frames_lost = 0;
+
+    /** Persisted instructions: completed frames only. */
+    std::uint64_t forward_progress = 0;
+
+    /** Mean wall time between completed frames, seconds. */
+    double seconds_per_frame = 0.0;
+};
+
+/** Simulate the wait-compute baseline over @p trace. */
+WaitComputeResult runWaitCompute(const trace::PowerTrace &trace,
+                                 const WaitComputeConfig &config);
+
+} // namespace inc::sim
+
+#endif // INC_SIM_WAIT_COMPUTE_H

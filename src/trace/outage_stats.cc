@@ -1,0 +1,99 @@
+#include "trace/outage_stats.h"
+
+#include <algorithm>
+
+namespace inc::trace
+{
+
+double
+OutageStats::emergenciesPer10s() const
+{
+    if (trace_samples == 0)
+        return 0.0;
+    const double windows =
+        static_cast<double>(trace_samples) * kSamplePeriodSec / 10.0;
+    return windows > 0.0 ? static_cast<double>(outages.size()) / windows
+                         : 0.0;
+}
+
+double
+OutageStats::aboveThresholdFraction() const
+{
+    if (trace_samples == 0)
+        return 0.0;
+    std::size_t below = 0;
+    for (const Outage &o : outages)
+        below += o.length_samples;
+    return 1.0 - static_cast<double>(below) /
+                     static_cast<double>(trace_samples);
+}
+
+double
+OutageStats::maxDurationTenthMs() const
+{
+    double m = 0.0;
+    for (const Outage &o : outages)
+        m = std::max(m, o.durationTenthMs());
+    return m;
+}
+
+double
+OutageStats::meanDurationTenthMs() const
+{
+    if (outages.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const Outage &o : outages)
+        sum += o.durationTenthMs();
+    return sum / static_cast<double>(outages.size());
+}
+
+util::Histogram
+OutageStats::durationHistogram(int bins) const
+{
+    const double hi = std::max(1.0, maxDurationTenthMs());
+    util::Histogram h(0.0, hi, bins);
+    for (const Outage &o : outages)
+        h.add(o.durationTenthMs());
+    return h;
+}
+
+double
+OutageStats::survivalFraction(double tenth_ms) const
+{
+    if (outages.empty())
+        return 1.0;
+    std::size_t covered = 0;
+    for (const Outage &o : outages) {
+        if (o.durationTenthMs() <= tenth_ms)
+            ++covered;
+    }
+    return static_cast<double>(covered) /
+           static_cast<double>(outages.size());
+}
+
+OutageStats
+analyzeOutages(const PowerTrace &trace, double threshold_uw)
+{
+    OutageStats stats;
+    stats.threshold_uw = threshold_uw;
+    stats.trace_samples = trace.size();
+
+    bool in_outage = false;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const bool below = trace.at(i) < threshold_uw;
+        if (below && !in_outage) {
+            in_outage = true;
+            start = i;
+        } else if (!below && in_outage) {
+            in_outage = false;
+            stats.outages.push_back({start, i - start});
+        }
+    }
+    if (in_outage)
+        stats.outages.push_back({start, trace.size() - start});
+    return stats;
+}
+
+} // namespace inc::trace

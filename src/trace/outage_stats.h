@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Power-outage extraction and statistics (paper Figs. 2 and 3).
+ *
+ * An "outage" (power emergency) is a maximal run of samples whose power is
+ * below the processor operation threshold (33 uW in the paper). Outage
+ * durations drive the retention-time-shaping analysis: a backup survives an
+ * outage only if every needed bit's shaped retention exceeds the outage
+ * duration.
+ */
+
+#ifndef INC_TRACE_OUTAGE_STATS_H
+#define INC_TRACE_OUTAGE_STATS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/power_trace.h"
+#include "util/stats.h"
+
+namespace inc::trace
+{
+
+/** Processor operation threshold from the paper, uW. */
+constexpr double kOperationThresholdUw = 33.0;
+
+/** One below-threshold run. */
+struct Outage
+{
+    std::size_t start_sample;   ///< first below-threshold sample
+    std::size_t length_samples; ///< run length (0.1 ms units)
+
+    double durationTenthMs() const
+    {
+        return static_cast<double>(length_samples);
+    }
+};
+
+/** Summary of a trace's outage behaviour. */
+struct OutageStats
+{
+    std::vector<Outage> outages;
+    double threshold_uw = kOperationThresholdUw;
+    std::size_t trace_samples = 0;
+
+    /** Number of power emergencies. */
+    std::size_t count() const { return outages.size(); }
+
+    /** Emergencies per 10 s window. */
+    double emergenciesPer10s() const;
+
+    /** Fraction of samples at or above threshold. */
+    double aboveThresholdFraction() const;
+
+    /** Longest outage in 0.1 ms units. */
+    double maxDurationTenthMs() const;
+
+    /** Mean outage duration in 0.1 ms units. */
+    double meanDurationTenthMs() const;
+
+    /**
+     * Histogram of outage durations (0.1 ms bins grouped into @p bins
+     * equal-width bins over [0, max]); reproduces Fig. 3 right.
+     */
+    util::Histogram durationHistogram(int bins = 30) const;
+
+    /**
+     * Fraction of outages with duration <= @p tenth_ms: the probability a
+     * backup with uniform retention @p tenth_ms survives a random outage.
+     */
+    double survivalFraction(double tenth_ms) const;
+};
+
+/** Extract outages from @p trace at the given threshold. */
+OutageStats analyzeOutages(const PowerTrace &trace,
+                           double threshold_uw = kOperationThresholdUw);
+
+} // namespace inc::trace
+
+#endif // INC_TRACE_OUTAGE_STATS_H

@@ -1,0 +1,198 @@
+#include "trace/trace_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace inc::trace
+{
+
+HarvesterProfile
+paperProfile(int index)
+{
+    HarvesterProfile p;
+    p.name = util::format("Power Profile %d", index);
+    // Profiles 1 and 4 model higher-average-power days (brisk activity);
+    // 2, 3 and 5 model low-power days, matching the paper's Sec. 8.6
+    // guidance ("linear backup when average power is expected to be higher
+    // (profiles 1, 4), parabola when low (profiles 2, 3, 5)").
+    switch (index) {
+      case 1:
+        p.activity = 0.68;
+        p.burst_mean_sec = 0.35;
+        p.rest_mean_sec = 0.17;
+        p.pulse_period_sec = 4.5e-3;
+        p.pulse_width_sec = 1.2e-3;
+        p.pulse_amp_uw = 250.0;
+        break;
+      case 2:
+        p.activity = 0.46;
+        p.burst_mean_sec = 0.23;
+        p.rest_mean_sec = 0.27;
+        p.pulse_period_sec = 4.5e-3;
+        p.pulse_width_sec = 1.0e-3;
+        p.pulse_amp_uw = 200.0;
+        break;
+      case 3:
+        p.activity = 0.40;
+        p.burst_mean_sec = 0.20;
+        p.rest_mean_sec = 0.30;
+        p.pulse_period_sec = 4.5e-3;
+        p.pulse_width_sec = 1.0e-3;
+        p.pulse_amp_uw = 180.0;
+        break;
+      case 4:
+        p.activity = 0.62;
+        p.burst_mean_sec = 0.30;
+        p.rest_mean_sec = 0.19;
+        p.pulse_period_sec = 4.5e-3;
+        p.pulse_width_sec = 1.2e-3;
+        p.pulse_amp_uw = 230.0;
+        break;
+      case 5:
+        p.activity = 0.42;
+        p.burst_mean_sec = 0.21;
+        p.rest_mean_sec = 0.29;
+        p.pulse_period_sec = 4.0e-3;
+        p.pulse_width_sec = 1.0e-3;
+        p.pulse_amp_uw = 130.0;
+        p.active_floor_uw = 8.0;
+        break;
+      default:
+        util::fatal("paperProfile index must be 1..5, got %d", index);
+    }
+    return p;
+}
+
+TraceGenerator::TraceGenerator(HarvesterProfile profile, std::uint64_t seed)
+    : profile_(std::move(profile)), rng_(seed)
+{
+    if (profile_.pulse_period_sec <= 0 || profile_.pulse_width_sec <= 0 ||
+        profile_.burst_mean_sec <= 0 || profile_.rest_mean_sec <= 0) {
+        util::fatal("HarvesterProfile durations must be positive");
+    }
+}
+
+PowerTrace
+TraceGenerator::generate(std::size_t num_samples)
+{
+    std::vector<double> samples(num_samples, 0.0);
+
+    const double dt = kSamplePeriodSec;
+    bool active = rng_.nextBool(
+        profile_.burst_mean_sec /
+        (profile_.burst_mean_sec + profile_.rest_mean_sec));
+    double mode_left = rng_.nextExponential(
+        active ? profile_.burst_mean_sec : profile_.rest_mean_sec);
+
+    // Current pulse: time since pulse start (sec), width, amplitude.
+    double pulse_t = -1.0; // negative: no pulse in flight
+    double pulse_width = 0.0;
+    double pulse_amp = 0.0;
+    double next_pulse_in = 0.0;
+
+    for (std::size_t i = 0; i < num_samples; ++i) {
+        // Activity state machine.
+        mode_left -= dt;
+        if (mode_left <= 0.0) {
+            active = !active;
+            mode_left = rng_.nextExponential(
+                active ? profile_.burst_mean_sec : profile_.rest_mean_sec);
+            if (active)
+                next_pulse_in =
+                    rng_.nextExponential(profile_.pulse_period_sec * 0.5);
+        }
+
+        double p = active ? profile_.active_floor_uw
+                          : profile_.idle_floor_uw;
+        // Small multiplicative jitter on the floor.
+        p *= 0.8 + 0.4 * rng_.nextDouble();
+
+        if (active) {
+            if (pulse_t < 0.0) {
+                next_pulse_in -= dt;
+                if (next_pulse_in <= 0.0) {
+                    pulse_t = 0.0;
+                    pulse_width = std::max(
+                        2.0 * dt,
+                        profile_.pulse_width_sec *
+                            (0.6 + 0.8 * rng_.nextDouble()));
+                    pulse_amp = std::min(
+                        profile_.peak_clamp_uw,
+                        rng_.nextExponential(profile_.pulse_amp_uw));
+                }
+            }
+            if (pulse_t >= 0.0) {
+                // Half-sine pulse shape, one per magnet pass.
+                p += pulse_amp * std::sin(M_PI * pulse_t / pulse_width);
+                pulse_t += dt;
+                if (pulse_t >= pulse_width) {
+                    pulse_t = -1.0;
+                    // Gap until next pulse (heavy-ish jitter around the
+                    // nominal plucking period).
+                    const double gap =
+                        profile_.pulse_period_sec - pulse_width;
+                    next_pulse_in = std::max(
+                        dt, rng_.nextExponential(std::max(dt, gap)));
+                }
+            }
+        }
+
+        samples[i] = std::clamp(p, 0.0, profile_.peak_clamp_uw);
+    }
+
+    return PowerTrace(std::move(samples), profile_.name);
+}
+
+PowerTrace
+composeSchedule(const std::vector<ScheduleSegment> &segments,
+                std::uint64_t seed, const std::string &name)
+{
+    util::Rng master(seed);
+    std::vector<double> samples;
+    for (const ScheduleSegment &segment : segments) {
+        if (segment.seconds <= 0)
+            util::fatal("schedule segment '%s' has no duration",
+                        segment.activity.c_str());
+        TraceGenerator gen(paperProfile(segment.profile), master.next());
+        const PowerTrace part = gen.generate(
+            static_cast<std::size_t>(segment.seconds / kSamplePeriodSec));
+        samples.insert(samples.end(), part.samples().begin(),
+                       part.samples().end());
+    }
+    return PowerTrace(std::move(samples), name);
+}
+
+std::vector<ScheduleSegment>
+typicalDay(double total_seconds)
+{
+    // Weights sum to 1; profiles per the Sec. 8.6 activity mapping
+    // (1 and 4 are high-activity periods, 2/3/5 low).
+    const ScheduleSegment day[] = {
+        {1, 0.10, "morning bustle"}, {4, 0.15, "commute walk"},
+        {5, 0.25, "desk, morning"},  {1, 0.10, "lunch walk"},
+        {3, 0.25, "desk, afternoon"}, {4, 0.10, "errands"},
+        {2, 0.05, "evening wind-down"}};
+    std::vector<ScheduleSegment> segments;
+    for (const ScheduleSegment &s : day) {
+        segments.push_back(
+            {s.profile, s.seconds * total_seconds, s.activity});
+    }
+    return segments;
+}
+
+std::vector<PowerTrace>
+standardProfiles(std::size_t num_samples, std::uint64_t master_seed)
+{
+    util::Rng master(master_seed);
+    std::vector<PowerTrace> traces;
+    traces.reserve(5);
+    for (int i = 1; i <= 5; ++i) {
+        TraceGenerator gen(paperProfile(i), master.next());
+        traces.push_back(gen.generate(num_samples));
+    }
+    return traces;
+}
+
+} // namespace inc::trace

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Minimal CSV writing/reading, used for exporting experiment series and
+ * loading externally captured power traces.
+ */
+
+#ifndef INC_UTIL_CSV_H
+#define INC_UTIL_CSV_H
+
+#include <string>
+#include <vector>
+
+namespace inc::util
+{
+
+/** Accumulates rows and writes an RFC-4180-ish CSV file. */
+class CsvWriter
+{
+  public:
+    void setHeader(std::vector<std::string> header);
+    void addRow(std::vector<std::string> row);
+
+    /** Write to @p path. Returns false on I/O error. */
+    bool write(const std::string &path) const;
+
+    /** Render to a string (for tests). */
+    std::string render() const;
+
+  private:
+    static std::string escape(const std::string &cell);
+
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * Parse a CSV file into rows of cells. Handles quoted cells with embedded
+ * commas/quotes; does not handle embedded newlines. Returns empty on error.
+ */
+std::vector<std::vector<std::string>> readCsv(const std::string &path);
+
+/** Parse CSV content from a string (same dialect as readCsv). */
+std::vector<std::vector<std::string>> parseCsv(const std::string &content);
+
+} // namespace inc::util
+
+#endif // INC_UTIL_CSV_H

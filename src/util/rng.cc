@@ -1,0 +1,125 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace inc::util
+{
+
+namespace
+{
+
+/** splitmix64: seed expansion recommended by the xoshiro authors. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    if (bound == 0)
+        panic("Rng::nextBounded called with bound 0");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::int64_t
+Rng::nextRange(std::int64_t lo, std::int64_t hi)
+{
+    if (lo > hi)
+        panic("Rng::nextRange with lo > hi");
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    return lo + static_cast<std::int64_t>(nextBounded(span));
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 random mantissa bits.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+double
+Rng::nextGaussian()
+{
+    if (has_cached_gaussian_) {
+        has_cached_gaussian_ = false;
+        return cached_gaussian_;
+    }
+    double u1 = 0.0;
+    do {
+        u1 = nextDouble();
+    } while (u1 <= 0.0);
+    const double u2 = nextDouble();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_gaussian_ = r * std::sin(theta);
+    has_cached_gaussian_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::nextExponential(double mean)
+{
+    double u = 0.0;
+    do {
+        u = nextDouble();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next() ^ 0xd1b54a32d192ed03ULL);
+}
+
+} // namespace inc::util

@@ -1,0 +1,99 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace inc::util
+{
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::num(double value, int precision)
+{
+    return format("%.*f", precision, value);
+}
+
+std::string
+Table::integer(long long value)
+{
+    std::string digits = format("%lld", value < 0 ? -value : value);
+    std::string out;
+    int count = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (count && count % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++count;
+    }
+    if (value < 0)
+        out.push_back('-');
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> widths;
+    auto grow = [&widths](const std::vector<std::string> &row) {
+        if (widths.size() < row.size())
+            widths.resize(row.size(), 0);
+        for (size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    if (!header_.empty())
+        grow(header_);
+    for (const auto &row : rows_)
+        grow(row);
+
+    auto renderRow = [&widths](const std::vector<std::string> &row) {
+        std::string line = "|";
+        for (size_t i = 0; i < widths.size(); ++i) {
+            const std::string &cell = i < row.size() ? row[i] : "";
+            line += " " + cell +
+                    std::string(widths[i] - cell.size(), ' ') + " |";
+        }
+        return line + "\n";
+    };
+
+    std::string sep = "+";
+    for (size_t w : widths)
+        sep += std::string(w + 2, '-') + "+";
+    sep += "\n";
+
+    std::string out;
+    if (!title_.empty())
+        out += "== " + title_ + " ==\n";
+    out += sep;
+    if (!header_.empty()) {
+        out += renderRow(header_);
+        out += sep;
+    }
+    for (const auto &row : rows_)
+        out += renderRow(row);
+    out += sep;
+    return out;
+}
+
+void
+Table::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+} // namespace inc::util

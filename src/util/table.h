@@ -1,0 +1,49 @@
+/**
+ * @file
+ * ASCII table rendering for the experiment harnesses. Every bench binary
+ * prints the rows of its paper table/figure through this class so output
+ * formats stay uniform.
+ */
+
+#ifndef INC_UTIL_TABLE_H
+#define INC_UTIL_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace inc::util
+{
+
+/** Column-aligned ASCII table with an optional title. */
+class Table
+{
+  public:
+    explicit Table(std::string title = "");
+
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row (cells already formatted). */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with @p precision decimals. */
+    static std::string num(double value, int precision = 2);
+
+    /** Convenience: format an integer with thousands separators. */
+    static std::string integer(long long value);
+
+    /** Render the table to a string. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace inc::util
+
+#endif // INC_UTIL_TABLE_H

@@ -1,0 +1,101 @@
+/** Precise ALU semantics and the approximate noise model. */
+
+#include <gtest/gtest.h>
+
+#include "nvp/approx_alu.h"
+
+using namespace inc::nvp;
+using inc::isa::Op;
+
+TEST(Alu, ArithmeticWraps16Bit)
+{
+    EXPECT_EQ(ApproxAlu::compute(Op::add, 0xFFFF, 1), 0);
+    EXPECT_EQ(ApproxAlu::compute(Op::sub, 0, 1), 0xFFFF);
+    EXPECT_EQ(ApproxAlu::compute(Op::mul, 0x1000, 0x10), 0x0000);
+    EXPECT_EQ(ApproxAlu::compute(Op::mul, 300, 300),
+              static_cast<std::uint16_t>(90000));
+}
+
+TEST(Alu, DivisionConventions)
+{
+    EXPECT_EQ(ApproxAlu::compute(Op::divu, 100, 7), 14);
+    EXPECT_EQ(ApproxAlu::compute(Op::remu, 100, 7), 2);
+    EXPECT_EQ(ApproxAlu::compute(Op::divu, 5, 0), 0xFFFF);
+    EXPECT_EQ(ApproxAlu::compute(Op::remu, 5, 0), 5);
+}
+
+TEST(Alu, Logic)
+{
+    EXPECT_EQ(ApproxAlu::compute(Op::and_, 0xF0F0, 0xFF00), 0xF000);
+    EXPECT_EQ(ApproxAlu::compute(Op::or_, 0xF0F0, 0x0F00), 0xFFF0);
+    EXPECT_EQ(ApproxAlu::compute(Op::xor_, 0xFFFF, 0x00FF), 0xFF00);
+}
+
+TEST(Alu, Shifts)
+{
+    EXPECT_EQ(ApproxAlu::compute(Op::sll, 1, 4), 16);
+    EXPECT_EQ(ApproxAlu::compute(Op::srl, 0x8000, 15), 1);
+    EXPECT_EQ(ApproxAlu::compute(Op::sra, 0x8000, 15), 0xFFFF);
+    // Shift amounts are masked to 4 bits.
+    EXPECT_EQ(ApproxAlu::compute(Op::sll, 1, 16), 1);
+}
+
+TEST(Alu, Comparisons)
+{
+    EXPECT_EQ(ApproxAlu::compute(Op::slt, 0xFFFF, 0), 1); // -1 < 0
+    EXPECT_EQ(ApproxAlu::compute(Op::sltu, 0xFFFF, 0), 0);
+    EXPECT_EQ(ApproxAlu::compute(Op::slti, 5, 6), 1);
+    EXPECT_EQ(ApproxAlu::compute(Op::sltiu, 6, 5), 0);
+}
+
+TEST(Alu, MinMaxSignedAndUnsigned)
+{
+    EXPECT_EQ(ApproxAlu::compute(Op::min, 0xFFFF, 2), 0xFFFF); // -1
+    EXPECT_EQ(ApproxAlu::compute(Op::max, 0xFFFF, 2), 2);
+    EXPECT_EQ(ApproxAlu::compute(Op::minu, 0xFFFF, 2), 2);
+    EXPECT_EQ(ApproxAlu::compute(Op::maxu, 0xFFFF, 2), 0xFFFF);
+}
+
+TEST(ApproxNoise, FullPrecisionIsExact)
+{
+    ApproxAlu alu{inc::util::Rng(1)};
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(alu.injectNoise(0x1234, 8), 0x1234);
+}
+
+class NoiseBits : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(NoiseBits, PreservesUpperBitsRandomizesLower)
+{
+    const int bits = GetParam();
+    ApproxAlu alu{inc::util::Rng(2)};
+    const std::uint16_t mask_low =
+        static_cast<std::uint16_t>((1u << (8 - bits)) - 1);
+    bool any_changed = false;
+    for (int i = 0; i < 200; ++i) {
+        const std::uint16_t v = alu.injectNoise(0xABCD, bits);
+        EXPECT_EQ(v & ~mask_low, 0xABCD & ~mask_low);
+        any_changed |= v != 0xABCD;
+    }
+    EXPECT_TRUE(any_changed);
+}
+
+INSTANTIATE_TEST_SUITE_P(OneToSeven, NoiseBits,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7));
+
+TEST(ApproxNoise, MeanErrorScalesWithBits)
+{
+    ApproxAlu alu{inc::util::Rng(3)};
+    auto meanAbsError = [&alu](int bits) {
+        double sum = 0;
+        for (int i = 0; i < 2000; ++i) {
+            const std::uint16_t v = alu.injectNoise(0x80, bits);
+            sum += std::abs(static_cast<int>(v) - 0x80);
+        }
+        return sum / 2000;
+    };
+    EXPECT_LT(meanAbsError(6), meanAbsError(4));
+    EXPECT_LT(meanAbsError(4), meanAbsError(2));
+}

@@ -1,0 +1,94 @@
+/** Quality metrics and the bitwidth controller. */
+
+#include <gtest/gtest.h>
+
+#include "approx/bitwidth_controller.h"
+#include "approx/quality.h"
+
+using namespace inc::approx;
+
+TEST(Quality, MseAndPsnr)
+{
+    std::vector<std::uint8_t> a{0, 0, 0, 0};
+    std::vector<std::uint8_t> b{10, 10, 10, 10};
+    EXPECT_DOUBLE_EQ(mse(a, a), 0.0);
+    EXPECT_DOUBLE_EQ(mse(a, b), 100.0);
+    EXPECT_EQ(psnr(a, a), kPsnrCap);
+    EXPECT_NEAR(psnr(a, b), 28.13, 0.01);
+    EXPECT_GT(psnr(a, a), psnr(a, b));
+}
+
+TEST(Quality, PsnrMonotoneInMse)
+{
+    EXPECT_GT(psnrFromMse(1.0), psnrFromMse(10.0));
+    EXPECT_GT(psnrFromMse(10.0), psnrFromMse(100.0));
+    EXPECT_EQ(psnrFromMse(0.0), kPsnrCap);
+}
+
+TEST(BitwidthController, PreciseModeAlwaysEight)
+{
+    BitwidthController c{{}};
+    for (double frac : {0.0, 0.3, 1.0})
+        EXPECT_EQ(c.mainBits(frac), 8);
+}
+
+TEST(BitwidthController, FixedMode)
+{
+    BitwidthConfig cfg;
+    cfg.mode = ApproxMode::fixed;
+    cfg.fixed_bits = 3;
+    BitwidthController c(cfg);
+    EXPECT_EQ(c.mainBits(0.0), 3);
+    EXPECT_EQ(c.mainBits(1.0), 3);
+}
+
+TEST(BitwidthController, DynamicTracksEnergy)
+{
+    BitwidthConfig cfg;
+    cfg.mode = ApproxMode::dynamic;
+    cfg.min_bits = 2;
+    cfg.max_bits = 8;
+    cfg.low_energy_frac = 0.2;
+    cfg.high_energy_frac = 0.8;
+    BitwidthController c(cfg);
+    EXPECT_EQ(c.mainBits(0.0), 2);
+    EXPECT_EQ(c.mainBits(0.2), 2);
+    EXPECT_EQ(c.mainBits(1.0), 8);
+    EXPECT_EQ(c.mainBits(0.9), 8);
+    // Monotone in between.
+    int prev = 0;
+    for (double f = 0.0; f <= 1.0; f += 0.05) {
+        const int bits = c.mainBits(f);
+        EXPECT_GE(bits, prev);
+        prev = bits;
+    }
+}
+
+TEST(BitwidthController, IncidentalBitsAlwaysDynamic)
+{
+    BitwidthConfig cfg;
+    cfg.mode = ApproxMode::precise; // main precise...
+    cfg.min_bits = 2;
+    cfg.max_bits = 8;
+    BitwidthController c(cfg);
+    EXPECT_EQ(c.mainBits(0.0), 8);
+    // ...but incidental lanes still track power (Table 2 policy).
+    EXPECT_EQ(c.incidentalBits(0.0), 2);
+    EXPECT_EQ(c.incidentalBits(1.0), 8);
+}
+
+TEST(BitwidthController, UtilizationHistogram)
+{
+    BitwidthController c{{}};
+    c.recordTick(0);
+    c.recordTick(0);
+    c.recordTick(8);
+    c.recordTick(5);
+    EXPECT_EQ(c.totalTicks(), 4u);
+    EXPECT_EQ(c.ticksAt(0), 2u);
+    EXPECT_DOUBLE_EQ(c.fractionAt(0), 0.5);
+    EXPECT_DOUBLE_EQ(c.fractionAt(8), 0.25);
+    c.resetHistogram();
+    EXPECT_EQ(c.totalTicks(), 0u);
+    EXPECT_DOUBLE_EQ(c.fractionAt(8), 0.0);
+}

@@ -1,0 +1,160 @@
+/** Assembler and disassembler: syntax, errors, and round-trips. */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "isa/disassembler.h"
+
+using namespace inc::isa;
+
+TEST(Assembler, BasicProgram)
+{
+    const auto r = assemble(R"(
+        ; a tiny countdown
+        ldi r1, 5
+    loop:
+        addi r1, r1, -1
+        bne r1, r0, loop
+        halt
+    )");
+    ASSERT_TRUE(r.ok) << r.error;
+    ASSERT_EQ(r.program.size(), 4u);
+    EXPECT_EQ(r.program.at(0).op, Op::ldi);
+    EXPECT_EQ(r.program.at(0).imm, 5);
+    EXPECT_EQ(r.program.labelAddress("loop"), 1);
+    EXPECT_EQ(r.program.at(2).imm, 1);
+}
+
+TEST(Assembler, MemoryOperands)
+{
+    const auto r = assemble(R"(
+        ld8 r1, 5(r2)
+        ld8s r3, -1(r4)
+        ld16 r5, (r6)
+        st8 r7, 0(r8)
+        st16 r9, 0x10(r10)
+    )");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.program.at(0).rd, 1);
+    EXPECT_EQ(r.program.at(0).rs1, 2);
+    EXPECT_EQ(r.program.at(0).imm, 5);
+    EXPECT_EQ(static_cast<std::int16_t>(r.program.at(1).imm), -1);
+    EXPECT_EQ(r.program.at(2).imm, 0);
+    EXPECT_EQ(r.program.at(3).rs2, 7);
+    EXPECT_EQ(r.program.at(4).imm, 0x10);
+}
+
+TEST(Assembler, IncidentalOps)
+{
+    const auto r = assemble(R"(
+        acen 1
+        acset 0x7fe
+        markrp r15, 0x1800
+        assem r1, r2, higherbits
+        assem r3, r4, sum
+    )");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.program.at(2).rs1, 15);
+    EXPECT_EQ(r.program.at(3).imm,
+              static_cast<std::uint16_t>(AssembleMode::higherbits));
+    EXPECT_EQ(r.program.at(4).imm,
+              static_cast<std::uint16_t>(AssembleMode::sum));
+}
+
+TEST(Assembler, ForwardLabels)
+{
+    const auto r = assemble(R"(
+        jmp end
+        nop
+    end:
+        halt
+    )");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.program.at(0).imm, 2);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers)
+{
+    const auto bad_mnemonic = assemble("frobnicate r1, r2\n");
+    EXPECT_FALSE(bad_mnemonic.ok);
+    EXPECT_NE(bad_mnemonic.error.find("line 1"), std::string::npos);
+
+    const auto bad_reg = assemble("\n\nadd r1, r99, r2\n");
+    EXPECT_FALSE(bad_reg.ok);
+    EXPECT_NE(bad_reg.error.find("line 3"), std::string::npos);
+
+    const auto dup_label = assemble("a:\nnop\na:\nnop\n");
+    EXPECT_FALSE(dup_label.ok);
+    EXPECT_NE(dup_label.error.find("duplicate"), std::string::npos);
+
+    const auto missing_label = assemble("jmp nowhere\n");
+    EXPECT_FALSE(missing_label.ok);
+}
+
+TEST(Assembler, OperandCountChecked)
+{
+    EXPECT_FALSE(assemble("add r1, r2\n").ok);
+    EXPECT_FALSE(assemble("ldi r1\n").ok);
+    EXPECT_FALSE(assemble("halt r1\n").ok);
+}
+
+TEST(Disassembler, EveryOpcodeRoundTrips)
+{
+    // One canonical instruction per opcode: disassemble -> reassemble
+    // -> identical instruction.
+    for (int i = 0; i < static_cast<int>(Op::num_ops); ++i) {
+        const Op op = static_cast<Op>(i);
+        Instruction inst;
+        inst.op = op;
+        if (writesRd(op))
+            inst.rd = 3;
+        if (readsRs1(op))
+            inst.rs1 = 4;
+        if (readsRs2(op))
+            inst.rs2 = 5;
+        const bool r_type = readsRs2(op) &&
+                            opClass(op) != OpClass::branch &&
+                            op != Op::st8 && op != Op::st16 &&
+                            op != Op::assem;
+        const bool uses_imm = !r_type && op != Op::mov &&
+                              op != Op::jr && op != Op::nop &&
+                              op != Op::halt;
+        if (uses_imm)
+            inst.imm = op == Op::assem ? 2 : 17;
+
+        const std::string text = disassemble(inst);
+        const auto result = assemble(text + "\n");
+        ASSERT_TRUE(result.ok)
+            << opName(op) << ": '" << text << "' -> " << result.error;
+        ASSERT_EQ(result.program.size(), 1u) << opName(op);
+        EXPECT_EQ(result.program.at(0), inst)
+            << opName(op) << ": '" << text << "'";
+    }
+}
+
+TEST(Disassembler, RoundTripsThroughAssembler)
+{
+    const auto first = assemble(R"(
+        acen 1
+        acset 0x7fe
+        ldi r1, 42
+    loop:
+        markrp r15, 0x1800
+        ld8 r2, -3(r1)
+        add r3, r2, r1
+        slli r4, r3, 2
+        min r5, r4, r3
+        st8 r5, 1(r1)
+        addi r1, r1, 1
+        blt r1, r5, loop
+        assem r1, r2, max
+        jal r6, loop
+        jr r6
+        halt
+    )");
+    ASSERT_TRUE(first.ok) << first.error;
+    const std::string text = disassemble(first.program);
+    const auto second = assemble(text);
+    ASSERT_TRUE(second.ok) << second.error << "\n" << text;
+    EXPECT_EQ(first.program.code(), second.program.code());
+}

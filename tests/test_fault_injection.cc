@@ -1,0 +1,155 @@
+/**
+ * Power fault injection: the co-simulator must hold its invariants
+ * under arbitrary hostile power patterns — randomized square waves,
+ * single spikes, sub-threshold trickle, dead air, and instant cliffs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/system_sim.h"
+#include "trace/trace_generator.h"
+#include "util/rng.h"
+
+using namespace inc;
+
+namespace
+{
+
+sim::SimConfig
+hardenedConfig()
+{
+    sim::SimConfig cfg;
+    cfg.bits.mode = approx::ApproxMode::dynamic;
+    cfg.bits.min_bits = 2;
+    cfg.controller.backup_policy = nvm::RetentionPolicy::linear;
+    cfg.controller.auto_recompute_times = 1;
+    cfg.frame_period_factor = 0.5;
+    return cfg;
+}
+
+void
+checkInvariants(const sim::SimResult &r, const trace::PowerTrace &trace)
+{
+    // Energy accounting closes.
+    EXPECT_LE(r.consumed_energy_nj + r.backup_energy_nj +
+                  r.restore_energy_nj,
+              r.income_energy_nj + 1.0);
+    // Counters are consistent.
+    EXPECT_LE(r.restores, r.backups + 1);
+    EXPECT_GE(r.forward_progress, r.main_instructions);
+    EXPECT_GE(r.on_time_fraction, 0.0);
+    EXPECT_LE(r.on_time_fraction, 1.0);
+    // Bit ticks account for exactly the trace length.
+    std::uint64_t ticks = 0;
+    for (auto t : r.bit_ticks)
+        ticks += t;
+    EXPECT_EQ(ticks, trace.size());
+    // Scores are well-formed.
+    for (const auto &score : r.frame_scores) {
+        EXPECT_GE(score.coverage, 0.0);
+        EXPECT_LE(score.coverage, 1.0 + 1e-12);
+        EXPECT_GE(score.mse, 0.0);
+        EXPECT_GE(score.completions, 1);
+    }
+}
+
+} // namespace
+
+TEST(FaultInjection, RandomSquareWaves)
+{
+    util::Rng rng(616);
+    for (int trial = 0; trial < 6; ++trial) {
+        std::vector<double> samples;
+        samples.reserve(15000);
+        while (samples.size() < 15000) {
+            const bool on = rng.nextBool(0.4);
+            const auto len =
+                static_cast<std::size_t>(rng.nextRange(5, 800));
+            const double level =
+                on ? rng.nextDouble() * 1500.0 : rng.nextDouble() * 20.0;
+            for (std::size_t i = 0; i < len && samples.size() < 15000;
+                 ++i)
+                samples.push_back(level);
+        }
+        const trace::PowerTrace trace(std::move(samples), "square");
+        sim::SystemSimulator s(kernels::makeKernel("median"), &trace,
+                               hardenedConfig());
+        checkInvariants(s.run(), trace);
+    }
+}
+
+TEST(FaultInjection, DeadAirAndSingleSpike)
+{
+    // Nothing at all...
+    std::vector<double> dead(5000, 0.0);
+    const trace::PowerTrace dead_trace(std::move(dead), "dead");
+    sim::SystemSimulator s1(kernels::makeKernel("sobel"), &dead_trace,
+                            hardenedConfig());
+    const auto r1 = s1.run();
+    EXPECT_EQ(r1.forward_progress, 0u);
+    EXPECT_EQ(r1.backups, 0u);
+    checkInvariants(r1, dead_trace);
+
+    // ...then one isolated spike: the system must boot, do a little
+    // work, and save it before dying.
+    std::vector<double> spike(5000, 0.0);
+    for (int i = 1000; i < 1100; ++i)
+        spike[static_cast<size_t>(i)] = 1800.0;
+    const trace::PowerTrace spike_trace(std::move(spike), "spike");
+    sim::SystemSimulator s2(kernels::makeKernel("sobel"), &spike_trace,
+                            hardenedConfig());
+    const auto r2 = s2.run();
+    EXPECT_GT(r2.forward_progress, 0u);
+    EXPECT_GE(r2.backups, 1u);
+    checkInvariants(r2, spike_trace);
+}
+
+TEST(FaultInjection, SubThresholdTrickleNeverStarts)
+{
+    std::vector<double> trickle(8000, 6.0); // below rectifier dropout
+    const trace::PowerTrace trace(std::move(trickle), "trickle");
+    sim::SimConfig cfg = hardenedConfig();
+    cfg.income_scale = 1.0; // raw harvester input vs the 8 uW dropout
+    sim::SystemSimulator s(kernels::makeKernel("median"), &trace, cfg);
+    const auto r = s.run();
+    EXPECT_EQ(r.forward_progress, 0u);
+    EXPECT_DOUBLE_EQ(r.on_time_fraction, 0.0);
+}
+
+TEST(FaultInjection, CliffDuringHeavyLoadStillPersists)
+{
+    // Strong power, then an instant permanent cliff mid-run.
+    std::vector<double> samples(20000, 900.0);
+    std::fill(samples.begin() + 9000, samples.end(), 0.0);
+    const trace::PowerTrace trace(std::move(samples), "cliff");
+    sim::SimConfig cfg = hardenedConfig();
+    sim::SystemSimulator s(kernels::makeKernel("fft"), &trace, cfg);
+    const auto r = s.run();
+    EXPECT_GT(r.forward_progress, 1000u);
+    // The final emergency was caught: a backup exists for the cliff.
+    EXPECT_GE(r.backups, 1u);
+    EXPECT_EQ(r.restores, r.backups); // ends off, cold boot extra
+    checkInvariants(r, trace);
+}
+
+TEST(FaultInjection, DeterministicUnderIdenticalFaults)
+{
+    util::Rng rng(99);
+    std::vector<double> samples;
+    for (int i = 0; i < 12000; ++i)
+        samples.push_back(rng.nextBool(0.3) ? rng.nextDouble() * 1000.0
+                                            : 0.0);
+    const trace::PowerTrace trace(std::move(samples), "noise");
+    auto once = [&trace] {
+        sim::SystemSimulator s(kernels::makeKernel("susan.edges"),
+                               &trace, hardenedConfig());
+        return s.run();
+    };
+    const auto a = once();
+    const auto b = once();
+    EXPECT_EQ(a.forward_progress, b.forward_progress);
+    EXPECT_EQ(a.backups, b.backups);
+    EXPECT_DOUBLE_EQ(a.mean_mse, b.mean_mse);
+    EXPECT_EQ(a.retention_failures.totalViolations(),
+              b.retention_failures.totalViolations());
+}

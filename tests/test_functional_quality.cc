@@ -1,0 +1,118 @@
+/**
+ * Fixed-bitwidth quality behaviour (paper Sec. 8.1, Figs. 11-14):
+ * monotone degradation with fewer bits, ALU-noise vs memory-truncation
+ * separation, and per-kernel sensitivity ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/kernel.h"
+#include "sim/functional.h"
+
+using namespace inc;
+using sim::FunctionalConfig;
+using sim::runFunctional;
+
+namespace
+{
+
+double
+mseAtBits(const std::string &kernel, int bits, bool alu, bool mem)
+{
+    FunctionalConfig cfg;
+    cfg.frames = 2;
+    cfg.bits = bits;
+    cfg.approx_alu = alu;
+    cfg.approx_mem = mem;
+    return runFunctional(kernels::makeKernel(kernel, 32, 32), cfg)
+        .meanMse();
+}
+
+} // namespace
+
+class QualityVsBits : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(QualityVsBits, MseGrowsAsBitsShrink)
+{
+    const double m8 = mseAtBits(GetParam(), 8, true, true);
+    const double m5 = mseAtBits(GetParam(), 5, true, true);
+    const double m2 = mseAtBits(GetParam(), 2, true, true);
+    EXPECT_DOUBLE_EQ(m8, 0.0);
+    EXPECT_GT(m5, 0.0);
+    EXPECT_GT(m2, 2.0 * m5) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, QualityVsBits,
+                         ::testing::Values("sobel", "median", "integral",
+                                           "susan.smoothing",
+                                           "tiff2bw"),
+                         [](const auto &info) {
+                             std::string n = info.param;
+                             for (char &c : n) {
+                                 if (c == '.')
+                                     c = '_';
+                             }
+                             return n;
+                         });
+
+TEST(QualitySeparation, AluAndMemoryModelsAreIndependent)
+{
+    // ALU-only runs add noise; memory-only runs truncate. Both degrade,
+    // and disabling both at any bitwidth is exact.
+    const double alu_only = mseAtBits("median", 3, true, false);
+    const double mem_only = mseAtBits("median", 3, false, true);
+    const double neither = mseAtBits("median", 3, false, false);
+    EXPECT_GT(alu_only, 0.0);
+    EXPECT_GT(mem_only, 0.0);
+    EXPECT_DOUBLE_EQ(neither, 0.0);
+}
+
+TEST(QualitySeparation, SobelLessAmenableThanMedian)
+{
+    // Paper Sec. 8.1: sobel degrades much faster than median under
+    // fixed-width approximation (gradients amplify noise).
+    const double sobel4 = mseAtBits("sobel", 4, true, true);
+    const double median4 = mseAtBits("median", 4, true, true);
+    EXPECT_GT(sobel4, median4);
+}
+
+TEST(QualitySeparation, MemoryTruncationDeterministic)
+{
+    // Truncation is deterministic: two memory-only runs agree exactly.
+    FunctionalConfig cfg;
+    cfg.frames = 1;
+    cfg.bits = 4;
+    cfg.approx_alu = false;
+    const auto a = runFunctional(kernels::makeKernel("sobel"), cfg);
+    const auto b = runFunctional(kernels::makeKernel("sobel"), cfg);
+    EXPECT_EQ(a.outputs[0], b.outputs[0]);
+}
+
+TEST(QualityPsnr, ReasonableRangesAtModerateBits)
+{
+    // Around 4-6 bits, PSNR should land in the paper's 20-50 dB band
+    // for the amenable kernels (Figs. 12/14).
+    FunctionalConfig cfg;
+    cfg.frames = 2;
+    cfg.bits = 6;
+    const auto median =
+        runFunctional(kernels::makeKernel("median"), cfg);
+    EXPECT_GT(median.meanPsnr(), 20.0);
+    cfg.bits = 4;
+    const auto integral =
+        runFunctional(kernels::makeKernel("integral"), cfg);
+    EXPECT_GT(integral.meanPsnr(), 15.0);
+}
+
+TEST(QualityDeterminism, SameSeedSameOutputs)
+{
+    FunctionalConfig cfg;
+    cfg.frames = 1;
+    cfg.bits = 2;
+    cfg.seed = 123;
+    const auto a = runFunctional(kernels::makeKernel("median"), cfg);
+    const auto b = runFunctional(kernels::makeKernel("median"), cfg);
+    EXPECT_EQ(a.outputs[0], b.outputs[0]);
+}

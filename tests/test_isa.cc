@@ -1,0 +1,165 @@
+/** ISA metadata, encoding round-trips and the program container. */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.h"
+#include "isa/encoding.h"
+#include "isa/program.h"
+
+using namespace inc::isa;
+
+TEST(IsaMetadata, NamesRoundTrip)
+{
+    for (int i = 0; i < static_cast<int>(Op::num_ops); ++i) {
+        const Op op = static_cast<Op>(i);
+        EXPECT_EQ(opFromName(opName(op)), op) << opName(op);
+    }
+    EXPECT_EQ(opFromName("definitely_not_an_op"), Op::num_ops);
+}
+
+TEST(IsaMetadata, CycleCountsArePositive)
+{
+    for (int i = 0; i < static_cast<int>(Op::num_ops); ++i)
+        EXPECT_GE(opCycles(static_cast<Op>(i)), 1);
+    EXPECT_GT(opCycles(Op::mul), opCycles(Op::add));
+    EXPECT_GT(opCycles(Op::divu), opCycles(Op::mul));
+    EXPECT_EQ(opCycles(Op::ld8), 2);
+}
+
+TEST(IsaMetadata, ClassesAreConsistent)
+{
+    EXPECT_EQ(opClass(Op::add), OpClass::alu);
+    EXPECT_EQ(opClass(Op::mul), OpClass::mul);
+    EXPECT_EQ(opClass(Op::ld16), OpClass::load);
+    EXPECT_EQ(opClass(Op::st8), OpClass::store);
+    EXPECT_EQ(opClass(Op::beq), OpClass::branch);
+    EXPECT_EQ(opClass(Op::jal), OpClass::jump);
+    EXPECT_EQ(opClass(Op::markrp), OpClass::incidental);
+    EXPECT_TRUE(isControlFlow(Op::jmp));
+    EXPECT_FALSE(isControlFlow(Op::add));
+    // Constants are not data ops (no approximation noise on ldi).
+    EXPECT_FALSE(isDataOp(Op::ldi));
+    EXPECT_TRUE(isDataOp(Op::add));
+    EXPECT_TRUE(isDataOp(Op::mov));
+}
+
+namespace
+{
+
+/** Canonical instruction samples covering every encoding format. */
+std::vector<Instruction>
+sampleInstructions()
+{
+    return {
+        {Op::nop, 0, 0, 0, 0},
+        {Op::halt, 0, 0, 0, 0},
+        {Op::ldi, 3, 0, 0, 0xBEEF},
+        {Op::mov, 4, 5, 0, 0},
+        {Op::add, 1, 2, 3, 0},
+        {Op::divu, 15, 14, 13, 0},
+        {Op::min, 7, 8, 9, 0},
+        {Op::addi, 2, 3, 0, 0xFFF0},
+        {Op::slli, 5, 6, 0, 7},
+        {Op::ld8, 1, 2, 0, 0x00FF},
+        {Op::ld16, 9, 10, 0, 0x1234},
+        {Op::st8, 0, 2, 7, 0xFFFE},
+        {Op::st16, 0, 3, 8, 0x0040},
+        {Op::beq, 0, 1, 2, 0x0100},
+        {Op::bltu, 0, 11, 12, 0x7FFF},
+        {Op::jmp, 0, 0, 0, 0x0042},
+        {Op::jal, 6, 0, 0, 0x0099},
+        {Op::jr, 0, 4, 0, 0},
+        {Op::markrp, 0, 15, 0, 0x1800},
+        {Op::acset, 0, 0, 0, 0x07FE},
+        {Op::acen, 0, 0, 0, 1},
+        {Op::assem, 0, 1, 2, 3},
+    };
+}
+
+} // namespace
+
+TEST(Encoding, RoundTripsEveryFormat)
+{
+    for (const Instruction &inst : sampleInstructions()) {
+        const std::uint32_t word = encode(inst);
+        const auto back = decode(word);
+        ASSERT_TRUE(back.has_value()) << opName(inst.op);
+        EXPECT_EQ(*back, inst) << opName(inst.op);
+    }
+}
+
+TEST(Encoding, RejectsInvalidOpcodes)
+{
+    EXPECT_FALSE(decode(0xFF000000u).has_value());
+    EXPECT_FALSE(
+        decode(static_cast<std::uint32_t>(Op::num_ops) << 24).has_value());
+}
+
+TEST(Encoding, BulkRoundTrip)
+{
+    const auto code = sampleInstructions();
+    const auto words = encodeAll(code);
+    const auto back = decodeAll(words);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, code);
+}
+
+TEST(Builder, LabelsAndBranchesResolve)
+{
+    ProgramBuilder b;
+    Label loop = b.makeLabel("loop");
+    b.ldi(r1, 5);
+    b.bind(loop);
+    b.addi(r1, r1, -1);
+    b.bne(r1, r0, loop);
+    b.halt();
+    const Program p = b.finish();
+    ASSERT_EQ(p.size(), 4u);
+    EXPECT_EQ(p.labelAddress("loop"), 1);
+    EXPECT_EQ(p.at(2).imm, 1); // branch target patched
+    EXPECT_EQ(p.labelAt(1), "loop");
+}
+
+TEST(Builder, ForwardReferences)
+{
+    ProgramBuilder b;
+    Label end = b.makeLabel("end");
+    b.jmp(end);
+    b.nop();
+    b.bind(end);
+    b.halt();
+    const Program p = b.finish();
+    EXPECT_EQ(p.at(0).imm, 2);
+}
+
+TEST(Builder, PseudoOps)
+{
+    ProgramBuilder b;
+    b.neg(r1, r2);
+    b.abs_(r3, r4, r5);
+    const Program p = b.finish();
+    EXPECT_EQ(p.at(0).op, Op::sub);
+    EXPECT_EQ(p.at(0).rs1, r0);
+    EXPECT_EQ(p.at(1).op, Op::sub); // neg part of abs
+    EXPECT_EQ(p.at(2).op, Op::max);
+}
+
+TEST(Program, OutOfRangeFetchesHalt)
+{
+    ProgramBuilder b;
+    b.nop();
+    const Program p = b.finish();
+    EXPECT_EQ(p.at(100).op, Op::halt);
+}
+
+TEST(Program, CountOp)
+{
+    ProgramBuilder b;
+    b.nop();
+    b.nop();
+    b.halt();
+    const Program p = b.finish();
+    EXPECT_EQ(p.countOp(Op::nop), 2u);
+    EXPECT_EQ(p.countOp(Op::halt), 1u);
+    EXPECT_EQ(p.countOp(Op::add), 0u);
+}

@@ -1,0 +1,146 @@
+/**
+ * Kernel correctness: a precise (8-bit) functional run of every kernel
+ * must reproduce its golden model bit-exactly, for several frames.
+ * Parameterized across the whole Fig. 28 testbench set.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/disassembler.h"
+#include "kernels/kernel.h"
+#include "sim/functional.h"
+
+using inc::kernels::Kernel;
+using inc::kernels::kernelNames;
+using inc::kernels::makeKernel;
+using inc::sim::FunctionalConfig;
+using inc::sim::FunctionalResult;
+using inc::sim::runFunctional;
+
+class KernelPrecise : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(KernelPrecise, MatchesGoldenBitExactly)
+{
+    const Kernel kernel = makeKernel(GetParam(), 32, 32);
+    FunctionalConfig config;
+    config.frames = 3;
+    config.bits = 8;
+    const FunctionalResult r = runFunctional(kernel, config);
+    ASSERT_EQ(r.outputs.size(), 3u);
+    for (size_t f = 0; f < r.outputs.size(); ++f) {
+        EXPECT_EQ(r.outputs[f], r.golden[f])
+            << kernel.name << " frame " << f;
+    }
+    EXPECT_GT(r.instructions, 0u);
+    EXPECT_GE(r.cycles, r.instructions);
+}
+
+TEST_P(KernelPrecise, ReducedBitsDegradeButRun)
+{
+    const Kernel kernel = makeKernel(GetParam(), 32, 32);
+    FunctionalConfig config;
+    config.frames = 1;
+    config.bits = 3;
+    const FunctionalResult r = runFunctional(kernel, config);
+    ASSERT_EQ(r.outputs.size(), 1u);
+    // The run completes and produces a full-size output buffer.
+    EXPECT_EQ(r.outputs[0].size(), r.golden[0].size());
+}
+
+TEST_P(KernelPrecise, ProgramHasIncidentalStructure)
+{
+    const Kernel kernel = makeKernel(GetParam(), 32, 32);
+    EXPECT_EQ(kernel.program.countOp(inc::isa::Op::markrp), 1u);
+    EXPECT_GE(kernel.program.countOp(inc::isa::Op::acset), 1u);
+    EXPECT_GE(kernel.program.countOp(inc::isa::Op::acen), 1u);
+    EXPECT_TRUE(kernel.program.hasLabel("frame_loop"));
+    // Frame register must not be in the adoption match mask (it differs
+    // across lanes by design).
+    EXPECT_EQ(kernel.match_mask & (1u << kernel.frame_reg), 0);
+    // Data registers must not be in the match mask either.
+    EXPECT_EQ(kernel.match_mask & kernel.ac_reg_mask, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelPrecise,
+                         ::testing::ValuesIn(kernelNames()),
+                         [](const auto &info) {
+                             std::string name = info.param;
+                             for (char &c : name) {
+                                 if (c == '.')
+                                     c = '_';
+                             }
+                             return name;
+                         });
+
+TEST(Kernels, NamesAreUniqueAndConstructible)
+{
+    const auto names = kernelNames();
+    EXPECT_EQ(names.size(), 10u);
+    for (const auto &name : names) {
+        const Kernel k = makeKernel(name);
+        EXPECT_EQ(k.name, name);
+        EXPECT_FALSE(k.program.empty());
+    }
+}
+
+TEST(Kernels, DisassemblyIsNonTrivial)
+{
+    const Kernel k = makeKernel("sobel", 32, 32);
+    const std::string text = inc::isa::disassemble(k.program);
+    EXPECT_NE(text.find("frame_loop:"), std::string::npos);
+    EXPECT_NE(text.find("markrp"), std::string::npos);
+}
+
+TEST(Kernels, PatmatchExtensionMatchesGoldenAndFindsItself)
+{
+    // The extension kernel is not in the Fig. 28 set...
+    const auto names = kernelNames();
+    EXPECT_EQ(std::count(names.begin(), names.end(), "patmatch"), 0);
+
+    // ...but is fully functional: bit-exact against its golden model.
+    const Kernel kernel = makeKernel("patmatch", 32, 32);
+    FunctionalConfig config;
+    config.frames = 2;
+    const FunctionalResult r = runFunctional(kernel, config);
+    ASSERT_EQ(r.outputs.size(), 2u);
+    EXPECT_EQ(r.outputs[0], r.golden[0]);
+    EXPECT_EQ(r.outputs[1], r.golden[1]);
+
+    // Self-test of the matcher: paste the sought template into a frame
+    // and the response map must peak exactly there.
+    auto input = kernel.make_input(
+        inc::util::SceneGenerator(32, 32, kernel.scene, 3), 0);
+    const Kernel probe = makeKernel("patmatch", 32, 32);
+    const auto &pattern = probe.init_blocks.front().second;
+    const int px = 12, py = 9;
+    for (int dy = 0; dy < 8; ++dy) {
+        for (int dx = 0; dx < 8; ++dx) {
+            input[static_cast<size_t>((py + dy) * 32 + px + dx)] =
+                pattern[static_cast<size_t>(dy * 8 + dx)];
+        }
+    }
+    const auto response = probe.golden(input);
+    int best = -1, best_pos = -1;
+    for (size_t i = 0; i < response.size(); ++i) {
+        if (response[i] > best) {
+            best = response[i];
+            best_pos = static_cast<int>(i);
+        }
+    }
+    EXPECT_EQ(best, 255);
+    EXPECT_EQ(best_pos, py * 32 + px);
+}
+
+TEST(Kernels, LargerFramesAlsoMatchGolden)
+{
+    for (const char *name : {"sobel", "median", "integral", "fft"}) {
+        const Kernel kernel = makeKernel(name, 64, 32);
+        FunctionalConfig config;
+        config.frames = 1;
+        const FunctionalResult r = runFunctional(kernel, config);
+        ASSERT_EQ(r.outputs.size(), 1u) << name;
+        EXPECT_EQ(r.outputs[0], r.golden[0]) << name;
+    }
+}

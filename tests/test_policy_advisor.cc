@@ -1,0 +1,102 @@
+/** The Sec. 8.6 lookup-table policy advisor. */
+
+#include <gtest/gtest.h>
+
+#include "core/policy_advisor.h"
+#include "trace/outage_stats.h"
+#include "trace/trace_generator.h"
+
+using namespace inc;
+using core::PolicyAdvisor;
+
+namespace
+{
+
+trace::PowerTrace
+profileTrace(int index)
+{
+    trace::TraceGenerator gen(trace::paperProfile(index), 808 + index);
+    return gen.generate(50000);
+}
+
+} // namespace
+
+TEST(PolicyAdvisor, FeatureExtractionMatchesOutageAnalysis)
+{
+    const auto trace = profileTrace(2);
+    PolicyAdvisor advisor;
+    advisor.addTrace(trace);
+    EXPECT_EQ(advisor.samples(), trace.size());
+
+    const auto f = advisor.features();
+    EXPECT_NEAR(f.mean_uw, trace.meanPower(), 1e-9);
+    const auto stats = trace::analyzeOutages(trace);
+    // Run-length accounting matches the offline analyzer within the
+    // one-run boundary effect at the trace edges.
+    EXPECT_NEAR(f.emergencies_per_10s, stats.emergenciesPer10s(),
+                stats.emergenciesPer10s() * 0.02 + 3.0);
+    EXPECT_NEAR(f.mean_outage_tenth_ms, stats.meanDurationTenthMs(),
+                stats.meanDurationTenthMs() * 0.1 + 2.0);
+}
+
+TEST(PolicyAdvisor, FollowsPaperGuidanceAcrossProfiles)
+{
+    // Sec. 8.6: linear for the high-power days (1, 4), parabola for the
+    // low-power ones (2, 3, 5).
+    for (int p : {1, 4}) {
+        PolicyAdvisor advisor;
+        advisor.addTrace(profileTrace(p));
+        EXPECT_EQ(advisor.recommend().backup,
+                  nvm::RetentionPolicy::linear)
+            << "profile " << p;
+    }
+    for (int p : {2, 3, 5}) {
+        PolicyAdvisor advisor;
+        advisor.addTrace(profileTrace(p));
+        EXPECT_EQ(advisor.recommend().backup,
+                  nvm::RetentionPolicy::parabola)
+            << "profile " << p;
+    }
+}
+
+TEST(PolicyAdvisor, QualitySensitivityRaisesTheFloor)
+{
+    PolicyAdvisor advisor;
+    advisor.addTrace(profileTrace(3));
+    const auto relaxed = advisor.recommend(false);
+    const auto strict = advisor.recommend(true);
+    EXPECT_GT(strict.min_bits, relaxed.min_bits);
+    EXPECT_GE(strict.recompute_times, 2);
+}
+
+TEST(PolicyAdvisor, ApplyPushesIntoControllerConfig)
+{
+    PolicyAdvisor advisor;
+    advisor.addTrace(profileTrace(1));
+    const auto advice = advisor.recommend(true);
+    core::ControllerConfig config;
+    PolicyAdvisor::apply(advice, config);
+    EXPECT_EQ(config.backup_policy, advice.backup);
+    EXPECT_EQ(config.auto_recompute_times, advice.recompute_times);
+    EXPECT_GE(config.recompute_min_bits, 6);
+}
+
+TEST(PolicyAdvisor, ResetClearsState)
+{
+    PolicyAdvisor advisor;
+    advisor.addTrace(profileTrace(1));
+    advisor.reset();
+    EXPECT_EQ(advisor.samples(), 0u);
+    EXPECT_DOUBLE_EQ(advisor.features().mean_uw, 0.0);
+}
+
+TEST(PolicyAdvisor, OnlineAndBatchAgree)
+{
+    const auto trace = profileTrace(4);
+    PolicyAdvisor online, batch;
+    for (double s : trace.samples())
+        online.addSample(s);
+    batch.addTrace(trace);
+    EXPECT_EQ(online.features().mean_uw, batch.features().mean_uw);
+    EXPECT_EQ(online.recommend().backup, batch.recommend().backup);
+}

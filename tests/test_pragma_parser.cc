@@ -1,0 +1,136 @@
+/** The Sec. 5 pragma front end over annotated assembly source. */
+
+#include <gtest/gtest.h>
+
+#include "core/pragma_parser.h"
+#include "nvp/memory.h"
+
+using namespace inc;
+using core::parseAnnotated;
+
+namespace
+{
+
+constexpr const char *kAnnotated = R"(
+.region src 0x400 1024
+.region out 0x1400 1024
+
+#pragma ac incidental(src, 2, 8, linear)
+#pragma ac incidental_recover_from(r15)
+#pragma ac recompute(out, 6)
+#pragma ac assemble(out, higherbits)
+
+        acen 1
+        acset 0x0006
+        ldi r15, 0
+frame_loop:
+        markrp r15, 0x0800
+        addi r15, r15, 1
+        jmp frame_loop
+)";
+
+} // namespace
+
+TEST(PragmaParser, ParsesFullAnnotatedProgram)
+{
+    const auto result = parseAnnotated(kAnnotated);
+    ASSERT_TRUE(result.ok) << result.error;
+    const auto &p = result.annotated;
+
+    ASSERT_EQ(p.regions.size(), 2u);
+    EXPECT_EQ(p.regions.at("src").address, 0x400u);
+    EXPECT_EQ(p.regions.at("src").size, 1024u);
+
+    ASSERT_EQ(p.incidental.size(), 1u);
+    EXPECT_EQ(p.incidental[0].region, "src");
+    EXPECT_EQ(p.incidental[0].min_bits, 2);
+    EXPECT_EQ(p.incidental[0].max_bits, 8);
+    EXPECT_EQ(p.incidental[0].policy, nvm::RetentionPolicy::linear);
+
+    EXPECT_EQ(p.recover_register, 15);
+    ASSERT_EQ(p.recomputes.size(), 1u);
+    EXPECT_EQ(p.recomputes[0].min_bits, 6);
+    ASSERT_EQ(p.assembles.size(), 1u);
+    EXPECT_EQ(p.assembles[0].mode, isa::AssembleMode::higherbits);
+
+    // Pragma/.region lines were stripped; the program assembled.
+    EXPECT_EQ(p.program.countOp(isa::Op::markrp), 1u);
+    EXPECT_TRUE(p.program.hasLabel("frame_loop"));
+}
+
+TEST(PragmaParser, AppliesRegionsAndDerivesBitwidth)
+{
+    const auto result = parseAnnotated(kAnnotated);
+    ASSERT_TRUE(result.ok) << result.error;
+
+    nvp::DataMemory mem(util::Rng(1));
+    result.annotated.applyRegions(mem);
+    EXPECT_TRUE(mem.isAc(0x400));
+    EXPECT_TRUE(mem.isAc(0x400 + 1023));
+    EXPECT_FALSE(mem.isAc(0x400 + 1024));
+    EXPECT_EQ(mem.policyAt(0x400), nvm::RetentionPolicy::linear);
+
+    const auto bits = result.annotated.bitwidthConfig();
+    EXPECT_EQ(bits.mode, approx::ApproxMode::dynamic);
+    EXPECT_EQ(bits.min_bits, 2);
+    EXPECT_EQ(bits.max_bits, 8);
+}
+
+TEST(PragmaParser, NoDirectivesMeansPreciseDefaults)
+{
+    const auto result = parseAnnotated("nop\nhalt\n");
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_TRUE(result.annotated.regions.empty());
+    EXPECT_EQ(result.annotated.recover_register, -1);
+    EXPECT_EQ(result.annotated.bitwidthConfig().mode,
+              approx::ApproxMode::precise);
+}
+
+TEST(PragmaParser, LineNumbersSurviveStripping)
+{
+    // The pragma on line 3 is broken; assembly errors further down must
+    // still reference original line numbers.
+    const auto bad_pragma =
+        parseAnnotated(".region a 0 16\n\n#pragma ac bogus(a)\n");
+    EXPECT_FALSE(bad_pragma.ok);
+    EXPECT_NE(bad_pragma.error.find("line 3"), std::string::npos);
+
+    const auto bad_asm = parseAnnotated(
+        ".region a 0 16\n#pragma ac incidental(a, 1, 8, log)\nnop\n"
+        "frobnicate r1\n");
+    EXPECT_FALSE(bad_asm.ok);
+    EXPECT_NE(bad_asm.error.find("line 4"), std::string::npos);
+}
+
+TEST(PragmaParser, RejectsBadDirectives)
+{
+    EXPECT_FALSE(parseAnnotated(".region a 0\n").ok);
+    EXPECT_FALSE(parseAnnotated(".region a 0xFFFF 100\nnop\n").ok);
+    EXPECT_FALSE(
+        parseAnnotated("#pragma ac incidental(x, 1, 8, log)\n").ok);
+    EXPECT_FALSE(parseAnnotated(
+                     ".region a 0 16\n"
+                     "#pragma ac incidental(a, 8, 2, log)\n")
+                     .ok); // min > max
+    EXPECT_FALSE(parseAnnotated(
+                     ".region a 0 16\n"
+                     "#pragma ac incidental(a, 1, 8, bogus)\n")
+                     .ok);
+    EXPECT_FALSE(
+        parseAnnotated("#pragma ac incidental_recover_from(r99)\n").ok);
+    EXPECT_FALSE(parseAnnotated("#pragma omp parallel\n").ok);
+    EXPECT_FALSE(parseAnnotated(
+                     ".region a 0 16\n#pragma ac assemble(a, weird)\n")
+                     .ok);
+    EXPECT_FALSE(parseAnnotated(".region a 0 16\n.region a 4 4\n").ok);
+}
+
+TEST(PragmaParser, RecoverFromRequiresMatchingMarkrp)
+{
+    const auto r = parseAnnotated(
+        "#pragma ac incidental_recover_from(r15)\n"
+        "markrp r14, 0x1\n"
+        "halt\n");
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("markrp"), std::string::npos);
+}

@@ -1,0 +1,91 @@
+/** Multi-version register file: versions, AC flags, compare circuits. */
+
+#include <gtest/gtest.h>
+
+#include "nvp/register_file.h"
+
+using namespace inc::nvp;
+
+TEST(RegisterFile, R0IsHardwiredZero)
+{
+    RegisterFile rf;
+    rf.write(0, 0, 1234);
+    EXPECT_EQ(rf.read(0, 0), 0);
+}
+
+TEST(RegisterFile, VersionsAreIndependent)
+{
+    RegisterFile rf;
+    rf.write(0, 5, 111);
+    rf.write(1, 5, 222);
+    rf.write(3, 5, 444);
+    EXPECT_EQ(rf.read(0, 5), 111);
+    EXPECT_EQ(rf.read(1, 5), 222);
+    EXPECT_EQ(rf.read(2, 5), 0);
+    EXPECT_EQ(rf.read(3, 5), 444);
+}
+
+TEST(RegisterFile, SnapshotAndLoad)
+{
+    RegisterFile rf;
+    for (int r = 1; r < inc::isa::kNumRegs; ++r)
+        rf.write(0, r, static_cast<std::uint16_t>(r * 10));
+    const RegSnapshot snap = rf.snapshot(0);
+    rf.clearVersion(0);
+    EXPECT_EQ(rf.read(0, 7), 0);
+    rf.load(2, snap);
+    EXPECT_EQ(rf.read(2, 7), 70);
+    // r0 stays zero even if a snapshot carried junk.
+    RegSnapshot bad = snap;
+    bad[0] = 99;
+    rf.load(1, bad);
+    EXPECT_EQ(rf.read(1, 0), 0);
+}
+
+TEST(RegisterFile, CopyVersion)
+{
+    RegisterFile rf;
+    rf.write(1, 3, 77);
+    rf.copyVersion(1, 2);
+    EXPECT_EQ(rf.read(2, 3), 77);
+}
+
+TEST(RegisterFile, AcFlags)
+{
+    RegisterFile rf;
+    rf.setAcMask(0x0006); // r1, r2
+    EXPECT_TRUE(rf.isAc(1));
+    EXPECT_TRUE(rf.isAc(2));
+    EXPECT_FALSE(rf.isAc(3));
+    rf.orAcMask(0x0008);
+    EXPECT_TRUE(rf.isAc(3));
+    rf.clearAcMask(0x0002);
+    EXPECT_FALSE(rf.isAc(1));
+}
+
+TEST(RegisterFile, CompareCircuits)
+{
+    RegisterFile rf;
+    rf.write(0, 1, 10);
+    rf.write(0, 2, 20);
+    rf.write(1, 1, 10);
+    rf.write(1, 2, 99);
+    const std::uint16_t match = rf.compareVersions(0, 1);
+    EXPECT_TRUE(match & (1u << 0)); // r0 == r0
+    EXPECT_TRUE(match & (1u << 1));
+    EXPECT_FALSE(match & (1u << 2));
+    // Untouched registers match as zeros.
+    EXPECT_TRUE(match & (1u << 9));
+}
+
+TEST(RegisterFile, CompareSnapshot)
+{
+    RegisterFile rf;
+    rf.write(0, 4, 44);
+    RegSnapshot snap{};
+    snap[4] = 44;
+    snap[5] = 5;
+    const std::uint16_t match = rf.compareSnapshot(0, snap);
+    EXPECT_TRUE(match & (1u << 4));
+    EXPECT_FALSE(match & (1u << 5));
+}

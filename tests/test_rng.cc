@@ -1,0 +1,103 @@
+/** Unit tests for the deterministic RNG. */
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace u = inc::util;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    u::Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    u::Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BoundedStaysInBounds)
+{
+    u::Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextBounded(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    u::Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    u::Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+        sum += d;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, BoolProbability)
+{
+    u::Rng rng(13);
+    int truths = 0;
+    for (int i = 0; i < 10000; ++i)
+        truths += rng.nextBool(0.25);
+    EXPECT_NEAR(truths / 10000.0, 0.25, 0.02);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    u::Rng rng(17);
+    double sum = 0, sq = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.nextGaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    u::Rng rng(19);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextExponential(3.0);
+    EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic)
+{
+    u::Rng a(42);
+    u::Rng child1 = a.split();
+    u::Rng b(42);
+    u::Rng child2 = b.split();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(child1.next(), child2.next());
+}

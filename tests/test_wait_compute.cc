@@ -1,0 +1,148 @@
+/**
+ * The non-NVP baselines: the wait-compute volatile MCU (paper Sec. 2.2)
+ * and the active software-checkpointing MCU (Sec. 9 related work).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/active_checkpoint.h"
+#include "sim/wait_compute.h"
+#include "trace/trace_generator.h"
+
+using namespace inc;
+using sim::WaitComputeConfig;
+using sim::runWaitCompute;
+
+namespace
+{
+
+trace::PowerTrace
+profileTrace(int index, std::size_t samples = 50000)
+{
+    trace::TraceGenerator gen(trace::paperProfile(index), 55);
+    return gen.generate(samples);
+}
+
+} // namespace
+
+TEST(WaitCompute, CompletesFramesUnderSteadyPower)
+{
+    std::vector<double> flat(20000, 500.0);
+    trace::PowerTrace trace(std::move(flat), "flat");
+    WaitComputeConfig cfg;
+    cfg.cycles_per_frame = 30000;
+    cfg.instructions_per_frame = 20000;
+    const auto r = runWaitCompute(trace, cfg);
+    EXPECT_GT(r.frames_completed, 5u);
+    EXPECT_EQ(r.forward_progress, r.frames_completed * 20000);
+    EXPECT_GT(r.seconds_per_frame, 0.0);
+}
+
+TEST(WaitCompute, HarvestedTracesMakeSlowProgress)
+{
+    const auto trace = profileTrace(1);
+    WaitComputeConfig cfg;
+    cfg.cycles_per_frame = 30000;
+    cfg.instructions_per_frame = 20000;
+    const auto r = runWaitCompute(trace, cfg);
+    // It should complete some frames but spend most time charging.
+    EXPECT_GT(r.frames_completed, 0u);
+    EXPECT_LT(r.seconds_per_frame, trace.durationSec());
+    EXPECT_GT(r.seconds_per_frame, 0.05);
+}
+
+TEST(WaitCompute, BiggerFramesAreDisproportionatelyWorse)
+{
+    const auto trace = profileTrace(2);
+    auto fpFor = [&trace](double cycles) {
+        WaitComputeConfig cfg;
+        cfg.cycles_per_frame = cycles;
+        cfg.instructions_per_frame = cycles * 0.7;
+        cfg.leak_nj_per_ms = 2.0; // modest ESD for this comparison
+        return runWaitCompute(trace, cfg).forward_progress;
+    };
+    const auto small = fpFor(20000);
+    const auto large = fpFor(200000);
+    // Larger work units lose whole units on brown-outs and suffer
+    // proportional leakage while charging a larger ESD.
+    EXPECT_GT(small, large);
+}
+
+TEST(WaitCompute, MinChargeFloorHurtsTrickleHarvest)
+{
+    // A trace that mostly trickles below the minimum charging current.
+    std::vector<double> trickle(50000, 40.0);
+    trace::PowerTrace trace(std::move(trickle), "trickle");
+    WaitComputeConfig cfg;
+    cfg.cycles_per_frame = 30000;
+    cfg.instructions_per_frame = 20000;
+    cfg.min_charge_uw = 50.0;
+    const auto blocked = runWaitCompute(trace, cfg);
+    cfg.min_charge_uw = 0.0;
+    const auto unblocked = runWaitCompute(trace, cfg);
+    EXPECT_EQ(blocked.frames_completed, 0u);
+    EXPECT_GT(unblocked.frames_completed, 0u);
+}
+
+TEST(ActiveCheckpoint, PersistsWorkUnderSteadyPower)
+{
+    std::vector<double> flat(20000, 400.0);
+    trace::PowerTrace trace(std::move(flat), "flat");
+    sim::ActiveCheckpointConfig cfg;
+    const auto r = sim::runActiveCheckpoint(trace, cfg);
+    EXPECT_GT(r.forward_progress, 100000u);
+    EXPECT_GT(r.checkpoints, 10u);
+    // Accounting closes: persisted + lost <= executed.
+    EXPECT_LE(r.forward_progress + r.instructions_lost,
+              r.instructions_executed);
+}
+
+TEST(ActiveCheckpoint, IntervalTradeoffHasAnInteriorOptimum)
+{
+    // Too-frequent checkpoints drown in copy energy; too-rare ones lose
+    // whole windows to brown-outs (the paper's "bounded by the backup
+    // speed and energy").
+    const auto trace = profileTrace(1);
+    auto fpAt = [&trace](int interval) {
+        sim::ActiveCheckpointConfig cfg;
+        cfg.checkpoint_interval_instr = interval;
+        return sim::runActiveCheckpoint(trace, cfg).forward_progress;
+    };
+    // At 25 instructions per checkpoint the ~560-instruction copy loop
+    // is almost all the machine does; at 64k instructions brown-outs
+    // arrive before any checkpoint. A moderate interval beats both.
+    const auto tiny = fpAt(25);
+    const auto mid = fpAt(1000);
+    const auto huge = fpAt(64000);
+    EXPECT_GT(mid, tiny);
+    EXPECT_GT(mid, huge);
+}
+
+TEST(ActiveCheckpoint, BrownOutsLoseUncheckpointedWork)
+{
+    const auto trace = profileTrace(3);
+    sim::ActiveCheckpointConfig cfg;
+    cfg.checkpoint_interval_instr = 4000;
+    const auto r = sim::runActiveCheckpoint(trace, cfg);
+    EXPECT_GT(r.instructions_lost, 0u);
+}
+
+TEST(WaitCompute, LossesAreCounted)
+{
+    // Bursty power with long gaps: some frames brown out mid-way.
+    std::vector<double> samples;
+    samples.reserve(60000);
+    for (int i = 0; i < 60; ++i) {
+        for (int j = 0; j < 300; ++j)
+            samples.push_back(800.0);
+        for (int j = 0; j < 700; ++j)
+            samples.push_back(0.0);
+    }
+    trace::PowerTrace trace(std::move(samples), "bursty");
+    WaitComputeConfig cfg;
+    cfg.cycles_per_frame = 60000;
+    cfg.instructions_per_frame = 40000;
+    cfg.leak_frac_per_ms = 2e-4; // leaky ESD
+    const auto r = runWaitCompute(trace, cfg);
+    EXPECT_GT(r.frames_lost + r.frames_completed, 0u);
+}

@@ -1,0 +1,338 @@
+/**
+ * @file
+ * nvpsim — command-line front end to the incidental-computing stack.
+ *
+ * Subcommands:
+ *
+ *   nvpsim trace [--profile N] [--seconds S] [--seed K] [--out F.csv]
+ *       Synthesize a watch-harvester trace, print its statistics, and
+ *       optionally save it as CSV (loadable back via --trace).
+ *
+ *   nvpsim run [--kernel NAME] [--profile N | --trace F.csv]
+ *              [--mode precise|fixed|dynamic] [--bits B] [--minbits B]
+ *              [--policy full|linear|log|parabola] [--baseline]
+ *              [--seconds S] [--seed K]
+ *       Co-simulate a kernel on a power trace and print the result
+ *       record (forward progress, backups, quality, lane statistics).
+ *
+ *   nvpsim asm FILE.s [--run] [--steps N]
+ *       Assemble a program; print the disassembly, optionally execute.
+ *
+ *   nvpsim kernels
+ *       List the registered testbench kernels with program sizes.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "core/pragma_parser.h"
+#include "isa/assembler.h"
+#include "isa/disassembler.h"
+#include "kernels/kernel.h"
+#include "sim/system_sim.h"
+#include "trace/outage_stats.h"
+#include "trace/trace_generator.h"
+#include "util/logging.h"
+#include "util/table.h"
+
+using namespace inc;
+
+namespace
+{
+
+/** Tiny --flag value argument parser. */
+class Args
+{
+  public:
+    Args(int argc, char **argv)
+    {
+        for (int i = 0; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg.rfind("--", 0) == 0) {
+                const std::string key = arg.substr(2);
+                if (i + 1 < argc && argv[i + 1][0] != '-') {
+                    values_[key] = argv[++i];
+                } else {
+                    values_[key] = "1";
+                }
+            } else {
+                positional_.push_back(arg);
+            }
+        }
+    }
+
+    std::string get(const std::string &key,
+                    const std::string &fallback = "") const
+    {
+        const auto it = values_.find(key);
+        return it == values_.end() ? fallback : it->second;
+    }
+
+    double num(const std::string &key, double fallback) const
+    {
+        const auto it = values_.find(key);
+        return it == values_.end() ? fallback
+                                   : std::strtod(it->second.c_str(),
+                                                 nullptr);
+    }
+
+    bool has(const std::string &key) const
+    {
+        return values_.count(key) > 0;
+    }
+
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+  private:
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> positional_;
+};
+
+trace::PowerTrace
+loadOrGenerateTrace(const Args &args)
+{
+    if (args.has("trace")) {
+        trace::PowerTrace t =
+            trace::PowerTrace::loadCsv(args.get("trace"), "file trace");
+        if (t.empty())
+            util::fatal("could not load trace '%s'",
+                        args.get("trace").c_str());
+        return t;
+    }
+    const int profile = static_cast<int>(args.num("profile", 2));
+    const double seconds = args.num("seconds", 5.0);
+    const auto seed = static_cast<std::uint64_t>(args.num("seed", 2017));
+    trace::TraceGenerator gen(trace::paperProfile(profile), seed);
+    return gen.generate(static_cast<std::size_t>(seconds * 1e4));
+}
+
+int
+cmdTrace(const Args &args)
+{
+    const trace::PowerTrace t = loadOrGenerateTrace(args);
+    const trace::OutageStats stats = trace::analyzeOutages(t);
+
+    util::Table table(t.name());
+    table.setHeader({"metric", "value"});
+    table.addRow({"duration", util::Table::num(t.durationSec(), 2) +
+                                  " s"});
+    table.addRow({"mean power",
+                  util::Table::num(t.meanPower(), 1) + " uW"});
+    table.addRow({"peak power",
+                  util::Table::num(t.peakPower(), 0) + " uW"});
+    table.addRow({"harvestable energy",
+                  util::Table::num(t.totalEnergyUj(), 1) + " uJ"});
+    table.addRow({"emergencies (33 uW)",
+                  util::Table::integer(
+                      static_cast<long long>(stats.count()))});
+    table.addRow({"mean outage",
+                  util::Table::num(stats.meanDurationTenthMs() / 10.0,
+                                   2) +
+                      " ms"});
+    table.addRow({"longest outage",
+                  util::Table::num(stats.maxDurationTenthMs() / 10.0,
+                                   1) +
+                      " ms"});
+    table.print();
+
+    if (args.has("out")) {
+        if (!t.saveCsv(args.get("out")))
+            util::fatal("could not write '%s'", args.get("out").c_str());
+        std::printf("trace written to %s\n", args.get("out").c_str());
+    }
+    return 0;
+}
+
+int
+cmdRun(const Args &args)
+{
+    const std::string name = args.get("kernel", "sobel");
+    const trace::PowerTrace t = loadOrGenerateTrace(args);
+    const kernels::Kernel kernel = kernels::makeKernel(name);
+
+    sim::SimConfig cfg;
+    cfg.seed = static_cast<std::uint64_t>(args.num("seed", 2017));
+    const std::string mode = args.get("mode", "dynamic");
+    if (mode == "precise") {
+        cfg.bits.mode = approx::ApproxMode::precise;
+    } else if (mode == "fixed") {
+        cfg.bits.mode = approx::ApproxMode::fixed;
+        cfg.bits.fixed_bits = static_cast<int>(args.num("bits", 4));
+    } else if (mode == "dynamic") {
+        cfg.bits.mode = approx::ApproxMode::dynamic;
+        cfg.bits.min_bits = static_cast<int>(args.num("minbits", 2));
+    } else {
+        util::fatal("unknown --mode '%s'", mode.c_str());
+    }
+    cfg.controller.backup_policy =
+        nvm::policyFromName(args.get("policy", "linear"));
+    if (args.has("baseline")) {
+        cfg.controller.roll_forward = false;
+        cfg.controller.simd_adoption = false;
+        cfg.controller.history_spawn = false;
+        cfg.controller.process_newest_first = false;
+    }
+    cfg.income_scale = args.num("income-scale", cfg.income_scale);
+    cfg.frame_period_factor =
+        args.num("frame-factor", cfg.frame_period_factor);
+
+    sim::SystemSimulator s(kernel, &t, cfg);
+    const sim::SimResult r = s.run();
+
+    util::Table table(name + " on " + t.name());
+    table.setHeader({"metric", "value"});
+    auto add = [&table](const char *k, const std::string &v) {
+        table.addRow({k, v});
+    };
+    add("forward progress (all lanes)",
+        util::Table::integer(
+            static_cast<long long>(r.forward_progress)));
+    add("lane-0 instructions",
+        util::Table::integer(
+            static_cast<long long>(r.main_instructions)));
+    add("system-on time",
+        util::Table::num(100.0 * r.on_time_fraction, 1) + " %");
+    add("backups / restores",
+        util::Table::integer(static_cast<long long>(r.backups)) + " / " +
+            util::Table::integer(static_cast<long long>(r.restores)));
+    add("roll-forwards",
+        util::Table::integer(
+            static_cast<long long>(r.controller.roll_forwards)));
+    add("SIMD adoptions",
+        util::Table::integer(
+            static_cast<long long>(r.controller.adoptions)));
+    add("history spawns",
+        util::Table::integer(
+            static_cast<long long>(r.controller.history_spawns)));
+    add("frames captured / completed",
+        util::Table::integer(
+            static_cast<long long>(r.frames_captured)) +
+            " / " +
+            util::Table::integer(static_cast<long long>(
+                r.controller.frames_completed)));
+    if (r.frames_scored > 0) {
+        add("mean PSNR",
+            util::Table::num(r.mean_psnr, 1) + " dB over " +
+                util::Table::integer(r.frames_scored) + " frames");
+        add("mean coverage",
+            util::Table::num(100.0 * r.mean_coverage, 1) + " %");
+    }
+    add("backup energy",
+        util::Table::num(r.backup_energy_nj / 1000.0, 1) + " uJ");
+    add("retention violations",
+        util::Table::integer(static_cast<long long>(
+            r.retention_failures.totalViolations())));
+    table.print();
+    return 0;
+}
+
+int
+cmdAsm(const Args &args)
+{
+    if (args.positional().size() < 2)
+        util::fatal("usage: nvpsim asm FILE.s [--run] [--steps N]");
+    const std::string path = args.positional()[1];
+    std::ifstream f(path);
+    if (!f)
+        util::fatal("cannot open '%s'", path.c_str());
+    std::ostringstream ss;
+    ss << f.rdbuf();
+
+    // The front end accepts both plain assembly and the Sec. 5
+    // "#pragma ac" annotated dialect.
+    const core::PragmaParseResult result =
+        core::parseAnnotated(ss.str());
+    if (!result.ok)
+        util::fatal("%s: %s", path.c_str(), result.error.c_str());
+    const isa::Program &program = result.annotated.program;
+    std::printf("%zu instructions\n%s", program.size(),
+                isa::disassemble(program).c_str());
+    for (const auto &[name, region] : result.annotated.regions) {
+        std::printf(".region %s at 0x%x, %u bytes\n", name.c_str(),
+                    region.address, region.size);
+    }
+    for (const auto &d : result.annotated.incidental) {
+        std::printf("incidental(%s, %d, %d, %s)\n", d.region.c_str(),
+                    d.min_bits, d.max_bits,
+                    nvm::policyName(d.policy).c_str());
+    }
+    if (result.annotated.recover_register >= 0) {
+        std::printf("incidental_recover_from(r%d)\n",
+                    result.annotated.recover_register);
+    }
+
+    if (args.has("run")) {
+        util::Rng rng(1);
+        nvp::DataMemory mem(rng.split());
+        result.annotated.applyRegions(mem);
+        nvp::Core core(&program, &mem, {}, rng.split());
+        const auto steps = static_cast<long>(args.num("steps", 100000));
+        long executed = 0;
+        while (!core.halted() && executed < steps) {
+            core.step();
+            ++executed;
+        }
+        std::printf("executed %ld instructions; %s\n", executed,
+                    core.halted() ? "halted" : "step limit reached");
+        for (int r = 1; r < isa::kNumRegs; ++r) {
+            if (core.regs().read(0, r) != 0)
+                std::printf("  r%-2d = %u\n", r, core.regs().read(0, r));
+        }
+    }
+    return 0;
+}
+
+int
+cmdKernels()
+{
+    util::Table table("registered kernels");
+    table.setHeader({"name", "instructions", "frame", "in ring",
+                     "out ring", "adoption-safe"});
+    for (const auto &name : kernels::kernelNames()) {
+        const kernels::Kernel k = kernels::makeKernel(name);
+        table.addRow(
+            {k.name,
+             util::Table::integer(
+                 static_cast<long long>(k.program.size())),
+             util::format("%dx%d", k.width, k.height),
+             util::format("%d x %u B", k.layout.in_slots,
+                          k.layout.in_bytes),
+             util::format("%d x %u B", k.layout.out_slots,
+                          k.layout.out_bytes),
+             k.adoption_safe ? "yes" : "no (memory scratch)"});
+    }
+    table.print();
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: nvpsim <trace|run|asm|kernels> [options]\n"
+                     "see the file header of tools/nvpsim.cc\n");
+        return 1;
+    }
+    const Args args(argc - 1, argv + 1);
+    const std::string cmd = argv[1];
+    if (cmd == "trace")
+        return cmdTrace(args);
+    if (cmd == "run")
+        return cmdRun(args);
+    if (cmd == "asm")
+        return cmdAsm(args);
+    if (cmd == "kernels")
+        return cmdKernels();
+    std::fprintf(stderr, "unknown subcommand '%s'\n", cmd.c_str());
+    return 1;
+}
