@@ -8,42 +8,73 @@
  *   INC_BENCH_SAMPLES  trace length in 0.1 ms samples (default 50000)
  *   INC_BENCH_SEED     master seed (default 2017)
  *   INC_BENCH_OUTDIR   where PGM/CSV artifacts are written (default
- *                      "bench_out"; created if missing)
+ *                      "bench_out"; created if missing, parents too)
+ *   INC_BENCH_JOBS     worker threads for runner-based harnesses
+ *                      (default: hardware concurrency)
  */
 
 #ifndef INC_BENCH_BENCH_COMMON_H
 #define INC_BENCH_BENCH_COMMON_H
 
+#include <cerrno>
 #include <cstdlib>
 #include <string>
-#include <sys/stat.h>
 #include <vector>
 
+#include "runner/thread_pool.h"
 #include "sim/functional.h"
 #include "sim/system_sim.h"
 #include "sim/wait_compute.h"
 #include "trace/outage_stats.h"
 #include "trace/trace_generator.h"
+#include "util/fs.h"
 #include "util/logging.h"
 #include "util/table.h"
 
 namespace inc::bench
 {
 
+/**
+ * Parse a positive integer env knob. Garbage, negative, zero, or
+ * trailing-junk values abort with a clear error — a silently zeroed
+ * knob would run a 0-sample campaign and "pass" without measuring
+ * anything.
+ */
+inline std::uint64_t
+envPositive(const char *name, std::uint64_t fallback)
+{
+    const char *s = std::getenv(name);
+    if (!s)
+        return fallback;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long value = std::strtoull(s, &end, 10);
+    if (end == s || *end != '\0' || errno != 0 || s[0] == '-' ||
+        value == 0) {
+        util::fatal("%s='%s' is not a positive integer", name, s);
+    }
+    return value;
+}
+
 inline std::size_t
 benchSamples()
 {
-    if (const char *s = std::getenv("INC_BENCH_SAMPLES"))
-        return static_cast<std::size_t>(std::strtoull(s, nullptr, 10));
-    return 50000;
+    return static_cast<std::size_t>(
+        envPositive("INC_BENCH_SAMPLES", 50000));
 }
 
 inline std::uint64_t
 benchSeed()
 {
-    if (const char *s = std::getenv("INC_BENCH_SEED"))
-        return std::strtoull(s, nullptr, 10);
-    return 2017;
+    return envPositive("INC_BENCH_SEED", 2017);
+}
+
+/** Worker threads for runner-based harnesses. */
+inline int
+benchJobs()
+{
+    return static_cast<int>(envPositive(
+        "INC_BENCH_JOBS", runner::ThreadPool::defaultThreads()));
 }
 
 inline std::string
@@ -51,7 +82,8 @@ outDir()
 {
     const char *dir = std::getenv("INC_BENCH_OUTDIR");
     std::string path = dir ? dir : "bench_out";
-    ::mkdir(path.c_str(), 0755);
+    if (!util::ensureDir(path))
+        util::fatal("cannot create output directory '%s'", path.c_str());
     return path;
 }
 

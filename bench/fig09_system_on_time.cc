@@ -7,61 +7,78 @@
  *   2. incidental pragmas (a1,b): [2,8]    (paper: 38.7 %, FP 3.7x)
  *   3. incidental pragmas (a2,b): [6,8]    (paper: 16 %)
  *   4. always-4-SIMD full-precision NVP    (paper: 3 %)
+ *
+ * The four designs are independent grid points, so they run through
+ * the runner::SweepRunner (INC_BENCH_JOBS workers) and are aggregated
+ * in deterministic design order.
  */
 
 #include <cstdio>
 
 #include "bench_common.h"
+#include "runner/sweep.h"
 
 using namespace inc;
 
 int
 main()
 {
-    const auto traces = bench::benchTraces();
-    const auto &trace = traces[1]; // Power Profile 2
-
-    struct Design
-    {
-        const char *name;
-        sim::SimConfig cfg;
-        const char *paper_on;
+    auto fixed = [](sim::SimConfig cfg) {
+        cfg.frame_period_factor = 0.75;
+        return cfg;
     };
     sim::SimConfig simd4 = bench::baselineConfig();
     simd4.controller.roll_forward = true;
     simd4.controller.process_newest_first = true;
     simd4.controller.history_spawn = true;
     simd4.controller.force_full_simd = true;
-    simd4.frame_period_factor = 0.75;
 
-    sim::SimConfig inc28 = bench::incidentalConfig(2, 8);
-    inc28.frame_period_factor = 0.75;
-    sim::SimConfig inc68 = bench::incidentalConfig(6, 8);
-    inc68.frame_period_factor = 0.75;
-
-    std::vector<Design> designs = {
+    const struct
+    {
+        const char *name;
+        sim::SimConfig cfg;
+        const char *paper_on;
+    } designs[] = {
         {"baseline 8-bit NVP", bench::baselineConfig(), "42%"},
-        {"incidental (a1,b) [2,8]", inc28, "38.7%"},
-        {"incidental (a2,b) [6,8]", inc68, "16%"},
-        {"always 4-SIMD", simd4, "3%"},
+        {"incidental (a1,b) [2,8]",
+         fixed(bench::incidentalConfig(2, 8)), "38.7%"},
+        {"incidental (a2,b) [6,8]",
+         fixed(bench::incidentalConfig(6, 8)), "16%"},
+        {"always 4-SIMD", fixed(simd4), "3%"},
     };
+
+    runner::SweepSpec spec;
+    spec.kernels = {"median"};
+    spec.traces = {bench::benchTraces()[1]}; // Power Profile 2
+    for (const auto &d : designs) {
+        const sim::SimConfig cfg = d.cfg;
+        spec.variants.push_back(
+            {d.name, [cfg](const std::string &) { return cfg; }});
+    }
+    spec.master_seed = bench::benchSeed();
+    spec.jobs = bench::benchJobs();
+
+    runner::SweepRunner sweep(spec);
+    const runner::SweepReport report = sweep.run();
+    if (!report.allOk()) {
+        std::fputs(report.failureReport().c_str(), stderr);
+        return 1;
+    }
 
     util::Table table("Fig. 9 — system-on time and forward progress "
                       "(median, profile 2)");
     table.setHeader({"design", "start thr (nJ)", "on-time", "paper on",
                      "FP (all lanes)", "FP vs baseline"});
 
-    double base_fp = 0.0;
-    for (auto &d : designs) {
-        sim::SystemSimulator s(kernels::makeKernel("median"), &trace,
-                               d.cfg);
-        const auto r = s.run();
-        if (base_fp == 0.0)
-            base_fp = static_cast<double>(r.forward_progress);
+    const double base_fp = static_cast<double>(
+        report.results[0].result.forward_progress);
+    for (std::size_t i = 0; i < report.results.size(); ++i) {
+        const sim::SimResult &r = report.results[i].result;
         table.addRow(
-            {d.name, util::Table::num(s.startThresholdNj(), 0),
+            {designs[i].name,
+             util::Table::num(r.start_threshold_nj, 0),
              util::Table::num(100.0 * r.on_time_fraction, 1) + " %",
-             d.paper_on,
+             designs[i].paper_on,
              util::Table::integer(
                  static_cast<long long>(r.forward_progress)),
              util::Table::num(

@@ -8,11 +8,17 @@
  * repeated precise execution with incidental SIMD work, (2) dynamic
  * approximation lowering energy per instruction, and (3) SIMD's shared
  * instruction-fetch energy.
+ *
+ * Runs the kernel x trace x {baseline, tuned} grid through the
+ * runner::SweepRunner (INC_BENCH_JOBS workers); aggregation happens in
+ * deterministic job-index order, so the table and CSV are byte-identical
+ * at any job count.
  */
 
 #include <cstdio>
 
 #include "bench_common.h"
+#include "runner/sweep.h"
 #include "util/csv.h"
 
 using namespace inc;
@@ -20,13 +26,45 @@ using namespace inc;
 int
 main()
 {
-    const auto traces = bench::benchTraces();
-    const auto names = kernels::kernelNames();
+    runner::SweepSpec spec;
+    spec.kernels = kernels::kernelNames();
+    spec.traces = bench::benchTraces();
+    spec.variants = {
+        {"baseline",
+         [](const std::string &) {
+             sim::SimConfig cfg = bench::baselineConfig();
+             cfg.frame_period_factor = 0.75;
+             return cfg;
+         }},
+        {"tuned",
+         [](const std::string &kernel) {
+             sim::SimConfig cfg = bench::tunedConfig(kernel);
+             cfg.score_quality = false;
+             return cfg;
+         }},
+    };
+    spec.master_seed = bench::benchSeed();
+    spec.jobs = bench::benchJobs();
+
+    runner::SweepRunner sweep(spec);
+    const runner::SweepReport report = sweep.run();
+    if (!report.allOk()) {
+        std::fputs(report.failureReport().c_str(), stderr);
+        return 1;
+    }
+
+    const std::size_t num_traces = spec.traces.size();
+    const std::size_t num_variants = spec.variants.size();
+    auto fpAt = [&](std::size_t k, std::size_t t, std::size_t v) {
+        const auto &r =
+            report.results[(k * num_traces + t) * num_variants + v];
+        return static_cast<double>(r.result.forward_progress);
+    };
 
     util::Table table("Fig. 28 — FP gain of incidental computing & "
                       "backup over the precise NVP");
     std::vector<std::string> header{"testbench"};
-    for (const auto &t : traces)
+    for (const auto &t : spec.traces)
         header.push_back(t.name());
     header.push_back("average");
     table.setHeader(header);
@@ -35,28 +73,13 @@ main()
     csv.setHeader(header);
     double overall = 0.0;
     int overall_n = 0;
-    for (const auto &name : names) {
-        std::vector<std::string> row{name};
-        std::vector<std::string> csv_row{name};
+    for (std::size_t k = 0; k < spec.kernels.size(); ++k) {
+        std::vector<std::string> row{spec.kernels[k]};
+        std::vector<std::string> csv_row{spec.kernels[k]};
         double sum = 0.0;
-        for (const auto &trace : traces) {
-            sim::SimConfig base = bench::baselineConfig();
-            base.frame_period_factor = 0.75;
-            sim::SystemSimulator sb(kernels::makeKernel(name), &trace,
-                                    base);
-            const auto rb = sb.run();
-
-            sim::SimConfig tuned = bench::tunedConfig(name);
-            tuned.score_quality = false;
-            sim::SystemSimulator si(kernels::makeKernel(name), &trace,
-                                    tuned);
-            const auto ri = si.run();
-
-            const double gain =
-                rb.forward_progress
-                    ? static_cast<double>(ri.forward_progress) /
-                          static_cast<double>(rb.forward_progress)
-                    : 0.0;
+        for (std::size_t t = 0; t < num_traces; ++t) {
+            const double base_fp = fpAt(k, t, 0);
+            const double gain = base_fp ? fpAt(k, t, 1) / base_fp : 0.0;
             sum += gain;
             overall += gain;
             ++overall_n;
@@ -64,10 +87,10 @@ main()
             csv_row.push_back(util::Table::num(gain, 4));
         }
         row.push_back(util::Table::num(
-                          sum / static_cast<double>(traces.size()), 2) +
+                          sum / static_cast<double>(num_traces), 2) +
                       "x");
         csv_row.push_back(util::Table::num(
-            sum / static_cast<double>(traces.size()), 4));
+            sum / static_cast<double>(num_traces), 4));
         table.addRow(row);
         csv.addRow(csv_row);
     }
@@ -76,5 +99,8 @@ main()
     std::printf("overall average FP gain: %.2fx (paper: 4.28x, of "
                 "which ~1.4x from backup/restore approximation)\n",
                 overall / overall_n);
+    std::printf("sweep: %zu jobs on %u workers in %.1f s\n",
+                report.results.size(), report.jobs_used,
+                report.wall_seconds);
     return 0;
 }

@@ -1,0 +1,147 @@
+/**
+ * Runner micro-campaign — serial vs parallel wall-time for a
+ * multi-trace sweep, plus a byte-level equality check of the
+ * aggregated output.
+ *
+ * The same SweepSpec (2 kernels x 5 traces x 2 variants = 20 co-sims)
+ * is executed twice: once with 1 worker and once with INC_BENCH_JOBS
+ * workers (default: hardware concurrency). The aggregated CSV from
+ * both runs must be byte-identical — determinism is a hard assertion
+ * and the binary exits nonzero on any divergence. The >= 2x speedup
+ * expectation is asserted only on hosts with >= 4 hardware threads
+ * (on smaller hosts the measured speedup is reported but advisory).
+ *
+ * Knobs: INC_BENCH_SAMPLES (default here 20000 = 2 s traces, shorter
+ * than the figure default so the double campaign stays quick),
+ * INC_BENCH_SEED, INC_BENCH_JOBS.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.h"
+#include "runner/sweep.h"
+#include "util/csv.h"
+
+using namespace inc;
+
+namespace
+{
+
+std::size_t
+speedupSamples()
+{
+    return std::getenv("INC_BENCH_SAMPLES") ? bench::benchSamples()
+                                            : 20000;
+}
+
+runner::SweepSpec
+makeSpec(int jobs)
+{
+    runner::SweepSpec spec;
+    spec.kernels = {"sobel", "median"};
+    spec.traces =
+        trace::standardProfiles(speedupSamples(), bench::benchSeed());
+    spec.variants = {
+        {"baseline",
+         [](const std::string &) { return bench::baselineConfig(); }},
+        {"tuned",
+         [](const std::string &kernel) {
+             sim::SimConfig cfg = bench::tunedConfig(kernel);
+             cfg.score_quality = false;
+             return cfg;
+         }},
+    };
+    spec.master_seed = bench::benchSeed();
+    spec.jobs = jobs;
+    return spec;
+}
+
+/** Flatten a report's per-job metrics into comparable CSV bytes. */
+std::string
+aggregate(const runner::SweepReport &report)
+{
+    util::CsvWriter csv;
+    csv.setHeader({"job", "kernel", "trace", "variant", "fp", "backups",
+                   "restores", "on_time", "consumed_nj"});
+    for (const auto &jr : report.results) {
+        csv.addRow({std::to_string(jr.spec.index), jr.spec.kernel,
+                    jr.spec.trace_name, jr.spec.variant,
+                    std::to_string(jr.result.forward_progress),
+                    std::to_string(jr.result.backups),
+                    std::to_string(jr.result.restores),
+                    util::Table::num(jr.result.on_time_fraction, 6),
+                    util::Table::num(jr.result.consumed_energy_nj, 3)});
+    }
+    return csv.render();
+}
+
+} // namespace
+
+int
+main()
+{
+    const int jobs = bench::benchJobs();
+
+    runner::SweepRunner serial(makeSpec(1));
+    const runner::SweepReport serial_report = serial.run();
+
+    runner::SweepRunner parallel(makeSpec(jobs));
+    const runner::SweepReport parallel_report = parallel.run();
+
+    if (!serial_report.allOk() || !parallel_report.allOk()) {
+        std::fputs(serial_report.failureReport().c_str(), stderr);
+        std::fputs(parallel_report.failureReport().c_str(), stderr);
+        return 1;
+    }
+
+    const std::string serial_csv = aggregate(serial_report);
+    const std::string parallel_csv = aggregate(parallel_report);
+
+    const double speedup =
+        parallel_report.wall_seconds > 0.0
+            ? serial_report.wall_seconds / parallel_report.wall_seconds
+            : 0.0;
+
+    util::Table table("runner speedup — serial vs parallel campaign");
+    table.setHeader({"configuration", "workers", "jobs", "wall (s)"});
+    table.addRow({"serial", "1",
+                  std::to_string(serial_report.results.size()),
+                  util::Table::num(serial_report.wall_seconds, 2)});
+    table.addRow({"parallel", std::to_string(parallel_report.jobs_used),
+                  std::to_string(parallel_report.results.size()),
+                  util::Table::num(parallel_report.wall_seconds, 2)});
+    table.print();
+    std::printf("speedup: %.2fx with %u workers (%u hardware threads)\n",
+                speedup, parallel_report.jobs_used,
+                runner::ThreadPool::defaultThreads());
+
+    if (serial_csv != parallel_csv) {
+        std::fprintf(stderr,
+                     "FAIL: parallel aggregation diverged from serial "
+                     "(outputs must be byte-identical)\n");
+        return 1;
+    }
+    std::printf("determinism: serial and parallel aggregated CSVs are "
+                "byte-identical (%zu bytes)\n",
+                serial_csv.size());
+
+    util::CsvWriter out;
+    out.setHeader({"workers", "wall_seconds", "speedup"});
+    out.addRow({"1", util::Table::num(serial_report.wall_seconds, 4),
+                "1.0"});
+    out.addRow({std::to_string(parallel_report.jobs_used),
+                util::Table::num(parallel_report.wall_seconds, 4),
+                util::Table::num(speedup, 3)});
+    out.write(bench::outDir() + "/runner_speedup.csv");
+
+    if (runner::ThreadPool::defaultThreads() >= 4 &&
+        parallel_report.jobs_used >= 4 && speedup < 2.0) {
+        std::fprintf(stderr,
+                     "FAIL: expected >= 2x speedup on a >= 4-thread "
+                     "host, measured %.2fx\n",
+                     speedup);
+        return 1;
+    }
+    return 0;
+}

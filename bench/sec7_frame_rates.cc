@@ -11,11 +11,17 @@
  * = 64x and rates are derived from the measured instruction throughput
  * (the NVP's throughput is frame-size invariant; wait-compute's work
  * unit grows, which is precisely its weakness).
+ *
+ * The six co-simulations (3 kernels x {precise, incidental}) run on
+ * the runner::SweepRunner (INC_BENCH_JOBS workers); the cheap
+ * functional-calibration and wait-compute models stay on the main
+ * thread.
  */
 
 #include <cstdio>
 
 #include "bench_common.h"
+#include "runner/sweep.h"
 
 using namespace inc;
 
@@ -26,21 +32,46 @@ main()
     const auto &trace = traces[0];
     constexpr double kScale = 64.0; // 256^2 / 32^2
 
+    runner::SweepSpec spec;
+    spec.kernels = {"susan.corners", "susan.edges", "jpeg.encode"};
+    spec.traces = {trace};
+    spec.variants = {
+        {"precise",
+         [](const std::string &) {
+             sim::SimConfig cfg = bench::baselineConfig();
+             cfg.income_scale = 1.0;
+             cfg.frame_period_factor = 0.25;
+             return cfg;
+         }},
+        {"incidental",
+         [](const std::string &kernel) {
+             sim::SimConfig cfg = bench::tunedConfig(kernel);
+             cfg.income_scale = 1.0;
+             cfg.score_quality = false;
+             cfg.frame_period_factor = 0.25;
+             return cfg;
+         }},
+    };
+    spec.master_seed = bench::benchSeed();
+    spec.jobs = bench::benchJobs();
+
+    runner::SweepRunner sweep(spec);
+    const runner::SweepReport report = sweep.run();
+    if (!report.allOk()) {
+        std::fputs(report.failureReport().c_str(), stderr);
+        return 1;
+    }
+
     util::Table table(
         "Sec. 7 — seconds per 256x256 frame (Power Profile 1)");
     table.setHeader({"kernel", "wait-compute", "precise NVP",
                      "incidental NVP", "paper (wc/nvp/inc)"});
 
-    const struct
-    {
-        const char *name;
-        const char *paper;
-    } rows[] = {{"susan.corners", "1.65 / 0.97 / 0.30"},
-                {"susan.edges", "4.90 / 2.28 / 0.59"},
-                {"jpeg.encode", "12.55 / 5.22 / 1.20"}};
+    const char *paper[] = {"1.65 / 0.97 / 0.30", "4.90 / 2.28 / 0.59",
+                           "12.55 / 5.22 / 1.20"};
 
-    for (const auto &rowdef : rows) {
-        const auto kernel = kernels::makeKernel(rowdef.name);
+    for (std::size_t k = 0; k < spec.kernels.size(); ++k) {
+        const auto kernel = kernels::makeKernel(spec.kernels[k]);
         sim::FunctionalConfig cal;
         const auto f = sim::runFunctional(kernel, cal);
         const double instr_per_frame256 =
@@ -55,37 +86,23 @@ main()
         const double wc_spf =
             rw.frames_completed ? rw.seconds_per_frame : 0.0;
 
-        // Precise NVP: throughput-derived.
-        sim::SimConfig base = bench::baselineConfig();
-        base.income_scale = 1.0;
-        base.frame_period_factor = 0.25;
-        sim::SystemSimulator sb(kernel, &trace, base);
-        const auto rb = sb.run();
-        const double nvp_spf =
-            rb.forward_progress
-                ? instr_per_frame256 * trace.durationSec() /
-                      static_cast<double>(rb.forward_progress)
-                : 0.0;
-
-        // Incidental NVP (tuned): all-lane throughput.
-        sim::SimConfig tuned = bench::tunedConfig(rowdef.name);
-        tuned.income_scale = 1.0;
-        tuned.score_quality = false;
-        tuned.frame_period_factor = 0.25;
-        sim::SystemSimulator si(kernel, &trace, tuned);
-        const auto ri = si.run();
-        const double inc_spf =
-            ri.forward_progress
-                ? instr_per_frame256 * trace.durationSec() /
-                      static_cast<double>(ri.forward_progress)
-                : 0.0;
+        // NVP paradigms: throughput-derived from the sweep results
+        // (job order is kernel-major, variants {precise, incidental}).
+        auto spf = [&](std::size_t variant) {
+            const sim::SimResult &r =
+                report.results[k * 2 + variant].result;
+            return r.forward_progress
+                       ? instr_per_frame256 * trace.durationSec() /
+                             static_cast<double>(r.forward_progress)
+                       : 0.0;
+        };
 
         auto fmt = [](double v) {
             return v > 0 ? util::Table::num(v, 2) + " s" :
                            std::string("> trace");
         };
-        table.addRow({rowdef.name, fmt(wc_spf), fmt(nvp_spf),
-                      fmt(inc_spf), rowdef.paper});
+        table.addRow({spec.kernels[k], fmt(wc_spf), fmt(spf(0)),
+                      fmt(spf(1)), paper[k]});
     }
     table.print();
     std::printf("shape to match: wait-compute > precise NVP > "

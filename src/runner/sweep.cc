@@ -1,0 +1,206 @@
+#include "runner/sweep.h"
+
+#include <chrono>
+#include <exception>
+#include <sstream>
+#include <utility>
+
+#include "kernels/kernel.h"
+#include "runner/thread_pool.h"
+#include "util/logging.h"
+
+namespace inc::runner
+{
+
+std::string
+JobSpec::describe() const
+{
+    std::ostringstream out;
+    out << kernel << " x " << trace_name << " x " << variant << " (#"
+        << index << ")";
+    return out.str();
+}
+
+std::vector<JobSpec>
+expandSweep(const SweepSpec &spec)
+{
+    if (spec.kernels.empty() || spec.traces.empty() ||
+        spec.variants.empty())
+        util::fatal("sweep grid is empty (kernels=%zu traces=%zu "
+                    "variants=%zu)",
+                    spec.kernels.size(), spec.traces.size(),
+                    spec.variants.size());
+
+    // The seed tree is forked in expansion order from a master stream,
+    // never inside workers, so parallel execution cannot perturb it.
+    util::Rng master(spec.master_seed);
+    std::vector<JobSpec> jobs;
+    jobs.reserve(spec.kernels.size() * spec.traces.size() *
+                 spec.variants.size());
+    for (std::size_t k = 0; k < spec.kernels.size(); ++k) {
+        for (std::size_t t = 0; t < spec.traces.size(); ++t) {
+            for (std::size_t v = 0; v < spec.variants.size(); ++v) {
+                JobSpec job;
+                job.index = jobs.size();
+                job.kernel_index = k;
+                job.trace_index = t;
+                job.variant_index = v;
+                job.kernel = spec.kernels[k];
+                job.trace_name = spec.traces[t].name();
+                job.variant = spec.variants[v].name;
+                job.config = spec.variants[v].make(job.kernel);
+                job.rng_seed = master.next();
+                if (spec.derive_config_seeds)
+                    job.config.seed = job.rng_seed;
+                jobs.push_back(std::move(job));
+            }
+        }
+    }
+    return jobs;
+}
+
+bool
+SweepReport::allOk() const
+{
+    return failureCount() == 0;
+}
+
+std::size_t
+SweepReport::failureCount() const
+{
+    std::size_t n = 0;
+    for (const auto &r : results)
+        n += r.ok ? 0 : 1;
+    return n;
+}
+
+std::vector<const JobResult *>
+SweepReport::failures() const
+{
+    std::vector<const JobResult *> out;
+    for (const auto &r : results) {
+        if (!r.ok)
+            out.push_back(&r);
+    }
+    return out;
+}
+
+std::string
+SweepReport::failureReport() const
+{
+    std::ostringstream out;
+    for (const JobResult *f : failures()) {
+        out << "FAILED " << f->spec.describe() << " after "
+            << f->attempts << " attempt" << (f->attempts == 1 ? "" : "s")
+            << ": " << f->error << "\n";
+    }
+    return out.str();
+}
+
+ResultSink::ResultSink(std::size_t num_jobs)
+    : slots_(num_jobs), filled_(num_jobs, false)
+{
+}
+
+void
+ResultSink::deliver(JobResult result)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::size_t index = result.spec.index;
+    if (index >= slots_.size())
+        util::panic("ResultSink: job index %zu out of range (%zu jobs)",
+                    index, slots_.size());
+    if (filled_[index])
+        util::panic("ResultSink: job %zu delivered twice", index);
+    slots_[index] = std::move(result);
+    filled_[index] = true;
+}
+
+std::vector<JobResult>
+ResultSink::take()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < filled_.size(); ++i) {
+        if (!filled_[i])
+            util::panic("ResultSink: job %zu never delivered", i);
+    }
+    return std::move(slots_);
+}
+
+SweepRunner::SweepRunner(SweepSpec spec)
+    : SweepRunner(std::move(spec), &SweepRunner::simJob)
+{
+}
+
+SweepRunner::SweepRunner(SweepSpec spec, JobFn body)
+    : spec_(std::move(spec)), body_(std::move(body))
+{
+}
+
+sim::SimResult
+SweepRunner::simJob(const JobSpec &spec, const trace::PowerTrace &trace,
+                    util::Rng &rng)
+{
+    (void)rng; // SystemSimulator forks its own tree from config.seed.
+    const kernels::Kernel kernel = kernels::makeKernel(spec.kernel);
+    sim::SystemSimulator simulator(kernel, &trace, spec.config);
+    return simulator.run();
+}
+
+SweepReport
+SweepRunner::run()
+{
+    using clock = std::chrono::steady_clock;
+
+    const std::vector<JobSpec> jobs = expandSweep(spec_);
+    const int retries = spec_.max_retries < 0 ? 0 : spec_.max_retries;
+
+    SweepReport report;
+    ResultSink sink(jobs.size());
+    const auto campaign_start = clock::now();
+    {
+        ThreadPool pool(spec_.jobs <= 0
+                            ? 0
+                            : static_cast<unsigned>(spec_.jobs));
+        report.jobs_used = pool.threadCount();
+        for (const JobSpec &job : jobs) {
+            pool.submit([this, &sink, &job, retries] {
+                JobResult jr;
+                jr.spec = job;
+                const auto start = clock::now();
+                for (int attempt = 0; attempt <= retries; ++attempt) {
+                    jr.attempts = attempt + 1;
+                    try {
+                        // A fresh RNG per attempt keeps retries
+                        // identical to first runs.
+                        util::Rng rng(job.rng_seed);
+                        jr.result = body_(
+                            job, spec_.traces[job.trace_index], rng);
+                        jr.ok = true;
+                        jr.error.clear();
+                        break;
+                    } catch (const std::exception &e) {
+                        jr.ok = false;
+                        jr.error = e.what();
+                    } catch (...) {
+                        jr.ok = false;
+                        jr.error = "unknown exception";
+                    }
+                }
+                jr.wall_ms =
+                    std::chrono::duration<double, std::milli>(
+                        clock::now() - start)
+                        .count();
+                sink.deliver(std::move(jr));
+            });
+        }
+        pool.wait();
+    }
+    report.results = sink.take();
+    report.wall_seconds =
+        std::chrono::duration<double>(clock::now() - campaign_start)
+            .count();
+    return report;
+}
+
+} // namespace inc::runner

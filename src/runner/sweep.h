@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Declarative experiment-sweep orchestration (the batch runner behind
+ * bench/fig*, tools/nvpsim sweep, and any future campaign).
+ *
+ * A SweepSpec names a grid — kernels x power traces x configuration
+ * variants — plus a master seed and a parallelism degree. expandSweep()
+ * flattens the grid into JobSpecs in a fixed (kernel-major, then trace,
+ * then variant) order, forking one RNG seed per job from the master
+ * seed in that same order. Because every job is fully described by its
+ * JobSpec and jobs share no mutable state, executing them on 1 thread
+ * or N threads produces bit-identical results; the ResultSink then
+ * restores deterministic job-index order before aggregation, so all
+ * downstream tables/CSVs are byte-identical at any --jobs value.
+ *
+ * Failure semantics: a job that throws is retried up to
+ * SweepSpec::max_retries times; a job still failing lands in the
+ * report's failure list (with its spec and attempt count) instead of
+ * sinking the whole campaign. Campaign drivers exit nonzero only when
+ * failures remain after retry.
+ */
+
+#ifndef INC_RUNNER_SWEEP_H
+#define INC_RUNNER_SWEEP_H
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/system_sim.h"
+#include "trace/power_trace.h"
+#include "util/rng.h"
+
+namespace inc::runner
+{
+
+/**
+ * One configuration axis point. @p make receives the kernel name so a
+ * variant can be kernel-dependent (e.g. the Table 2 tuned policies).
+ */
+struct ConfigVariant
+{
+    std::string name;
+    std::function<sim::SimConfig(const std::string &kernel)> make;
+};
+
+/** Declarative description of a sweep campaign. */
+struct SweepSpec
+{
+    std::vector<std::string> kernels;
+    std::vector<trace::PowerTrace> traces;
+    std::vector<ConfigVariant> variants;
+
+    /** Root of the per-job RNG tree (see expandSweep()). */
+    std::uint64_t master_seed = 2017;
+
+    /**
+     * When true, each job's SimConfig.seed is overwritten with the
+     * job's forked rng_seed, giving every grid point an independent
+     * random stream. The figure reproductions keep this false: the
+     * paper's experiments run every configuration on the same seed so
+     * columns are comparable.
+     */
+    bool derive_config_seeds = false;
+
+    /** Worker threads; 0 = ThreadPool::defaultThreads(). */
+    int jobs = 0;
+
+    /** Bounded re-executions of a throwing job (0 = no retry). */
+    int max_retries = 1;
+};
+
+/** One fully resolved grid point. */
+struct JobSpec
+{
+    std::size_t index = 0; ///< position in expansion order
+    std::size_t kernel_index = 0;
+    std::size_t trace_index = 0;
+    std::size_t variant_index = 0;
+    std::string kernel;
+    std::string trace_name;
+    std::string variant;
+    sim::SimConfig config;
+
+    /** Seed forked from the master seed at expansion time. */
+    std::uint64_t rng_seed = 0;
+
+    /** "kernel x trace x variant (#index)" for logs and reports. */
+    std::string describe() const;
+};
+
+/**
+ * Flatten the grid into jobs (kernel-major, then trace, then variant)
+ * and fork one rng_seed per job from spec.master_seed. Deterministic:
+ * the same spec always yields the same jobs, so results are
+ * reproducible at any parallelism.
+ */
+std::vector<JobSpec> expandSweep(const SweepSpec &spec);
+
+/** Outcome of one job, successful or not. */
+struct JobResult
+{
+    JobSpec spec;
+    sim::SimResult result; ///< valid only when ok
+    double wall_ms = 0.0;
+    int attempts = 0;
+    bool ok = false;
+    std::string error; ///< last exception message when !ok
+};
+
+/** Aggregated campaign outcome, in deterministic job-index order. */
+struct SweepReport
+{
+    std::vector<JobResult> results;
+    double wall_seconds = 0.0;
+    unsigned jobs_used = 1;
+
+    bool allOk() const;
+    std::size_t failureCount() const;
+
+    /** Failed jobs, in job-index order. */
+    std::vector<const JobResult *> failures() const;
+
+    /**
+     * Human-readable failure report (one line per failed job: spec,
+     * attempts, last error). Empty string when allOk().
+     */
+    std::string failureReport() const;
+};
+
+/**
+ * Collects JobResults from worker threads and hands them back sorted
+ * into job-index order. Thread safe.
+ */
+class ResultSink
+{
+  public:
+    explicit ResultSink(std::size_t num_jobs);
+
+    /** Deliver a finished job (any thread). */
+    void deliver(JobResult result);
+
+    /** All results in job-index order. Call after the pool drained. */
+    std::vector<JobResult> take();
+
+  private:
+    std::mutex mutex_;
+    std::vector<JobResult> slots_;
+    std::vector<bool> filled_;
+};
+
+/** Executes a sweep across a ThreadPool. */
+class SweepRunner
+{
+  public:
+    /**
+     * A job body: runs one grid point and returns its metrics. @p rng
+     * is this job's private stream (seeded from JobSpec::rng_seed);
+     * the default body ignores it because SystemSimulator seeds itself
+     * from config.seed. May throw; the runner captures and retries.
+     */
+    using JobFn = std::function<sim::SimResult(
+        const JobSpec &, const trace::PowerTrace &, util::Rng &)>;
+
+    explicit SweepRunner(SweepSpec spec);
+    SweepRunner(SweepSpec spec, JobFn body);
+
+    /** Expand, execute across the pool, aggregate. */
+    SweepReport run();
+
+    /** The default body: co-simulate spec.kernel on the trace. */
+    static sim::SimResult simJob(const JobSpec &spec,
+                                 const trace::PowerTrace &trace,
+                                 util::Rng &rng);
+
+  private:
+    SweepSpec spec_;
+    JobFn body_;
+};
+
+} // namespace inc::runner
+
+#endif // INC_RUNNER_SWEEP_H

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Fixed-size worker-thread pool for the experiment runner.
+ *
+ * A deliberately small design: one mutex + two condition variables
+ * around a FIFO task queue. Workers are spawned once in the
+ * constructor and joined in shutdown(); tasks already queued when
+ * shutdown begins are drained, so submitted work is never silently
+ * dropped. wait() blocks the caller until the queue is empty AND all
+ * in-flight tasks have finished, which is what a sweep campaign needs
+ * between "submit everything" and "aggregate results".
+ */
+
+#ifndef INC_RUNNER_THREAD_POOL_H
+#define INC_RUNNER_THREAD_POOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace inc::runner
+{
+
+/** Fixed worker-thread pool with a mutex+condvar job queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * Spawn @p threads workers. 0 selects defaultThreads(). The pool
+     * never grows or shrinks after construction.
+     */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Drains queued tasks, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Enqueue a task. Tasks must not throw — wrap fallible work (the
+     * SweepRunner catches job exceptions before they reach the pool).
+     * Submitting after shutdown() is a no-op.
+     */
+    void submit(std::function<void()> task);
+
+    /** Block until the queue is empty and no task is executing. */
+    void wait();
+
+    /**
+     * Graceful shutdown: finish every already-queued task, then join
+     * the workers. Idempotent; called by the destructor.
+     */
+    void shutdown();
+
+    /** Number of worker threads. */
+    unsigned threadCount() const { return static_cast<unsigned>(workers_.size()); }
+
+    /** Hardware concurrency with a floor of 1 (the library's default). */
+    static unsigned defaultThreads();
+
+  private:
+    void workerLoop();
+
+    mutable std::mutex mutex_;
+    std::condition_variable work_cv_; ///< signalled on submit/shutdown
+    std::condition_variable idle_cv_; ///< signalled when work completes
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    std::size_t in_flight_ = 0;
+    bool stopping_ = false;
+};
+
+} // namespace inc::runner
+
+#endif // INC_RUNNER_THREAD_POOL_H

@@ -374,6 +374,8 @@ SystemSimulator::run()
         static_cast<double>(on_samples) / static_cast<double>(samples);
     result_.controller = controller_->stats();
     result_.retention_failures = mem_->failures();
+    result_.start_threshold_nj = start_threshold_nj_;
+    result_.backup_threshold_nj = backup_threshold_nj_;
     result_.income_energy_nj = capacitor_.totalIncomeNj();
     result_.frame_period_tenth_ms = frame_period_;
     for (int b = 0; b <= 8; ++b)

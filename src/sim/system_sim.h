@@ -121,6 +121,11 @@ struct SimResult
     core::ControllerStats controller;
     nvm::RetentionFailureCounts retention_failures;
 
+    /** Derived thresholds (copies of the simulator accessors, so batch
+     *  runners can report them from the result record alone). */
+    double start_threshold_nj = 0.0;
+    double backup_threshold_nj = 0.0;
+
     /** Bitwidth utilization ticks: [0]=off, [1..8] = bits (Fig. 18). */
     std::array<std::uint64_t, 9> bit_ticks{};
 

@@ -1,0 +1,29 @@
+#include "util/fs.h"
+
+#include <filesystem>
+#include <system_error>
+
+#include "util/logging.h"
+
+namespace inc::util
+{
+
+bool
+ensureDir(const std::string &path)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(fs::path(path), ec);
+    if (ec) {
+        warn("could not create directory '%s': %s", path.c_str(),
+             ec.message().c_str());
+        return false;
+    }
+    if (!fs::is_directory(fs::path(path), ec)) {
+        warn("'%s' exists but is not a directory", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace inc::util

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Small filesystem helpers shared by the experiment harnesses.
+ */
+
+#ifndef INC_UTIL_FS_H
+#define INC_UTIL_FS_H
+
+#include <string>
+
+namespace inc::util
+{
+
+/**
+ * Create @p path (and any missing parents) as a directory. Returns
+ * true when the directory exists on return — freshly created or
+ * already present. Logs a warning and returns false on failure.
+ */
+bool ensureDir(const std::string &path);
+
+} // namespace inc::util
+
+#endif // INC_UTIL_FS_H

@@ -15,6 +15,18 @@
  *       Co-simulate a kernel on a power trace and print the result
  *       record (forward progress, backups, quality, lane statistics).
  *
+ *   nvpsim sweep [--kernels A,B,...|all] [--profiles 1,2,...|all]
+ *                [--mode precise|fixed|dynamic] [--bits B] [--minbits B]
+ *                [--policy full|linear|log|parabola] [--baseline]
+ *                [--seconds S] [--seed K] [--jobs N] [--out F.csv]
+ *       Run the kernel x profile grid in parallel on N worker threads
+ *       (default: hardware concurrency) via runner::SweepRunner.
+ *       Results are aggregated in deterministic job order — the output
+ *       is byte-identical at any --jobs value. Failing jobs are
+ *       retried once, then reported; the exit status is nonzero only
+ *       if failures remain after retry. --inject-failure J makes job J
+ *       throw (a testing aid for the failure-capture path).
+ *
  *   nvpsim asm FILE.s [--run] [--steps N]
  *       Assemble a program; print the disassembly, optionally execute.
  *
@@ -27,15 +39,19 @@
 #include <fstream>
 #include <map>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 #include "core/pragma_parser.h"
 #include "isa/assembler.h"
 #include "isa/disassembler.h"
 #include "kernels/kernel.h"
+#include "runner/sweep.h"
+#include "runner/thread_pool.h"
 #include "sim/system_sim.h"
 #include "trace/outage_stats.h"
 #include "trace/trace_generator.h"
+#include "util/csv.h"
 #include "util/logging.h"
 #include "util/table.h"
 
@@ -150,13 +166,10 @@ cmdTrace(const Args &args)
     return 0;
 }
 
-int
-cmdRun(const Args &args)
+/** Build a SimConfig from the shared run/sweep command-line flags. */
+sim::SimConfig
+configFromArgs(const Args &args)
 {
-    const std::string name = args.get("kernel", "sobel");
-    const trace::PowerTrace t = loadOrGenerateTrace(args);
-    const kernels::Kernel kernel = kernels::makeKernel(name);
-
     sim::SimConfig cfg;
     cfg.seed = static_cast<std::uint64_t>(args.num("seed", 2017));
     const std::string mode = args.get("mode", "dynamic");
@@ -182,6 +195,16 @@ cmdRun(const Args &args)
     cfg.income_scale = args.num("income-scale", cfg.income_scale);
     cfg.frame_period_factor =
         args.num("frame-factor", cfg.frame_period_factor);
+    return cfg;
+}
+
+int
+cmdRun(const Args &args)
+{
+    const std::string name = args.get("kernel", "sobel");
+    const trace::PowerTrace t = loadOrGenerateTrace(args);
+    const kernels::Kernel kernel = kernels::makeKernel(name);
+    const sim::SimConfig cfg = configFromArgs(args);
 
     sim::SystemSimulator s(kernel, &t, cfg);
     const sim::SimResult r = s.run();
@@ -230,6 +253,126 @@ cmdRun(const Args &args)
         util::Table::integer(static_cast<long long>(
             r.retention_failures.totalViolations())));
     table.print();
+    return 0;
+}
+
+/** Split a comma-separated list ("a,b,c"); empty string -> empty. */
+std::vector<std::string>
+splitList(const std::string &list)
+{
+    std::vector<std::string> out;
+    std::string item;
+    std::istringstream in(list);
+    while (std::getline(in, item, ',')) {
+        if (!item.empty())
+            out.push_back(item);
+    }
+    return out;
+}
+
+int
+cmdSweep(const Args &args)
+{
+    runner::SweepSpec spec;
+
+    const std::string kernel_list = args.get("kernels", "all");
+    spec.kernels = kernel_list == "all" ? kernels::kernelNames()
+                                        : splitList(kernel_list);
+    if (spec.kernels.empty())
+        util::fatal("--kernels lists no kernels");
+    // Validate up front: makeKernel() fatals on unknown names, which
+    // must happen here on the main thread, not inside a worker.
+    for (const auto &name : spec.kernels)
+        kernels::makeKernel(name);
+
+    const auto seed = static_cast<std::uint64_t>(args.num("seed", 2017));
+    const double seconds = args.num("seconds", 5.0);
+    const std::string profile_list = args.get("profiles", "all");
+    std::vector<int> profiles;
+    if (profile_list == "all") {
+        profiles = {1, 2, 3, 4, 5};
+    } else {
+        for (const auto &p : splitList(profile_list))
+            profiles.push_back(std::atoi(p.c_str()));
+    }
+    for (const int profile : profiles) {
+        trace::TraceGenerator gen(trace::paperProfile(profile), seed);
+        spec.traces.push_back(
+            gen.generate(static_cast<std::size_t>(seconds * 1e4)));
+    }
+
+    const sim::SimConfig cfg = configFromArgs(args);
+    const std::string variant = args.get("mode", "dynamic");
+    spec.variants = {{variant,
+                      [cfg](const std::string &) { return cfg; }}};
+    spec.master_seed = seed;
+    spec.jobs = static_cast<int>(args.num(
+        "jobs", runner::ThreadPool::defaultThreads()));
+    if (spec.jobs < 1)
+        util::fatal("--jobs must be >= 1");
+
+    runner::SweepRunner::JobFn body = &runner::SweepRunner::simJob;
+    if (args.has("inject-failure")) {
+        const auto victim =
+            static_cast<std::size_t>(args.num("inject-failure", 0));
+        body = [victim](const runner::JobSpec &job,
+                        const trace::PowerTrace &trace,
+                        util::Rng &rng) -> sim::SimResult {
+            if (job.index == victim)
+                throw std::runtime_error("injected failure (testing)");
+            return runner::SweepRunner::simJob(job, trace, rng);
+        };
+    }
+
+    runner::SweepRunner sweep(spec, body);
+    const runner::SweepReport report = sweep.run();
+
+    util::Table table(util::format(
+        "sweep: %zu jobs on %u workers, %.1f s wall",
+        report.results.size(), report.jobs_used, report.wall_seconds));
+    table.setHeader({"kernel", "trace", "variant", "FP (all lanes)",
+                     "on-time", "backups", "mean PSNR", "status"});
+    util::CsvWriter csv;
+    csv.setHeader({"kernel", "trace", "variant", "forward_progress",
+                   "on_time_fraction", "backups", "mean_psnr",
+                   "status"});
+    for (const auto &jr : report.results) {
+        const sim::SimResult &r = jr.result;
+        const std::string psnr =
+            jr.ok && r.frames_scored > 0
+                ? util::Table::num(r.mean_psnr, 1) + " dB"
+                : "-";
+        table.addRow(
+            {jr.spec.kernel, jr.spec.trace_name, jr.spec.variant,
+             jr.ok ? util::Table::integer(
+                         static_cast<long long>(r.forward_progress))
+                   : "-",
+             jr.ok ? util::Table::num(100.0 * r.on_time_fraction, 1) +
+                         " %"
+                   : "-",
+             jr.ok ? util::Table::integer(
+                         static_cast<long long>(r.backups))
+                   : "-",
+             psnr, jr.ok ? "ok" : "FAILED"});
+        csv.addRow({jr.spec.kernel, jr.spec.trace_name, jr.spec.variant,
+                    jr.ok ? std::to_string(r.forward_progress) : "",
+                    jr.ok ? util::Table::num(r.on_time_fraction, 6) : "",
+                    jr.ok ? std::to_string(r.backups) : "",
+                    jr.ok ? util::Table::num(r.mean_psnr, 3) : "",
+                    jr.ok ? "ok" : "failed"});
+    }
+    table.print();
+    if (args.has("out")) {
+        if (!csv.write(args.get("out")))
+            util::fatal("could not write '%s'", args.get("out").c_str());
+        std::printf("results written to %s\n", args.get("out").c_str());
+    }
+    if (!report.allOk()) {
+        std::fputs(report.failureReport().c_str(), stderr);
+        std::fprintf(stderr, "%zu of %zu jobs failed after retry\n",
+                     report.failureCount(), report.results.size());
+        return 1;
+    }
     return 0;
 }
 
@@ -318,9 +461,10 @@ int
 main(int argc, char **argv)
 {
     if (argc < 2) {
-        std::fprintf(stderr,
-                     "usage: nvpsim <trace|run|asm|kernels> [options]\n"
-                     "see the file header of tools/nvpsim.cc\n");
+        std::fprintf(
+            stderr,
+            "usage: nvpsim <trace|run|sweep|asm|kernels> [options]\n"
+            "see the file header of tools/nvpsim.cc\n");
         return 1;
     }
     const Args args(argc - 1, argv + 1);
@@ -329,6 +473,8 @@ main(int argc, char **argv)
         return cmdTrace(args);
     if (cmd == "run")
         return cmdRun(args);
+    if (cmd == "sweep")
+        return cmdSweep(args);
     if (cmd == "asm")
         return cmdAsm(args);
     if (cmd == "kernels")
