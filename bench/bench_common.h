@@ -17,6 +17,7 @@
 #define INC_BENCH_BENCH_COMMON_H
 
 #include <cerrno>
+#include <cstdint>
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -35,23 +36,38 @@ namespace inc::bench
 {
 
 /**
- * Parse a positive integer env knob. Garbage, negative, zero, or
- * trailing-junk values abort with a clear error — a silently zeroed
- * knob would run a 0-sample campaign and "pass" without measuring
- * anything.
+ * Parse a positive integer env knob. Garbage, negative, zero,
+ * trailing-junk, or out-of-range values abort with a clear error — a
+ * silently zeroed knob would run a 0-sample campaign and "pass"
+ * without measuring anything. Only plain decimal digits are accepted:
+ * strtoull on its own skips whitespace and wraps negatives (" -3"
+ * slips past a bare s[0] check as a huge unsigned), so the digit scan
+ * runs first.
  */
 inline std::uint64_t
-envPositive(const char *name, std::uint64_t fallback)
+envPositive(const char *name, std::uint64_t fallback,
+            std::uint64_t max_value = UINT64_MAX)
 {
     const char *s = std::getenv(name);
     if (!s)
         return fallback;
+    bool digits_only = *s != '\0';
+    for (const char *p = s; *p; ++p) {
+        if (*p < '0' || *p > '9') {
+            digits_only = false;
+            break;
+        }
+    }
     char *end = nullptr;
     errno = 0;
     const unsigned long long value = std::strtoull(s, &end, 10);
-    if (end == s || *end != '\0' || errno != 0 || s[0] == '-' ||
+    if (!digits_only || end == s || *end != '\0' || errno != 0 ||
         value == 0) {
         util::fatal("%s='%s' is not a positive integer", name, s);
+    }
+    if (value > max_value) {
+        util::fatal("%s=%llu exceeds the maximum of %llu", name, value,
+                    static_cast<unsigned long long>(max_value));
     }
     return value;
 }
@@ -73,8 +89,9 @@ benchSeed()
 inline int
 benchJobs()
 {
-    return static_cast<int>(envPositive(
-        "INC_BENCH_JOBS", runner::ThreadPool::defaultThreads()));
+    return static_cast<int>(
+        envPositive("INC_BENCH_JOBS",
+                    runner::ThreadPool::defaultThreads(), 4096));
 }
 
 inline std::string

@@ -1,0 +1,89 @@
+#include "check/oracle.h"
+
+#include "nvp/core.h"
+#include "nvp/memory.h"
+#include "util/logging.h"
+
+namespace inc::check
+{
+
+Oracle::Oracle(const kernels::Kernel &kernel, int bits, int frames,
+               std::uint64_t seed)
+    : kernel_(&kernel), seed_(seed),
+      scene_(kernel.width, kernel.height, kernel.scene, seed)
+{
+    sim::FunctionalConfig cfg;
+    cfg.frames = frames;
+    cfg.bits = bits;
+    // Noise off: at fixed bits, truncation alone is deterministic, so
+    // the reference is unique and bit-exact comparison is meaningful.
+    cfg.approx_alu = false;
+    cfg.approx_mem = true;
+    cfg.seed = seed;
+    exact_ = sim::runFunctional(kernel, cfg);
+}
+
+const std::vector<std::uint8_t> &
+Oracle::exact(std::uint32_t frame) const
+{
+    if (frame >= exact_.outputs.size())
+        util::fatal("Oracle: frame %u beyond the %zu reference frames",
+                    frame, exact_.outputs.size());
+    return exact_.outputs[frame];
+}
+
+const std::vector<std::uint8_t> &
+Oracle::golden(std::uint32_t frame)
+{
+    auto it = golden_cache_.find(frame);
+    if (it == golden_cache_.end()) {
+        it = golden_cache_
+                 .emplace(frame,
+                          kernel_->golden(kernel_->make_input(
+                              scene_, static_cast<int>(frame))))
+                 .first;
+    }
+    return it->second;
+}
+
+std::vector<std::uint8_t>
+exactFrameOutput(const kernels::Kernel &kernel,
+                 const std::vector<std::uint8_t> &input, int bits)
+{
+    util::Rng rng(1);
+    nvp::DataMemory mem(rng.split());
+    for (const auto &[addr, data] : kernel.init_blocks)
+        mem.hostWriteBlock(addr, data);
+    const core::FrameLayout &layout = kernel.layout;
+    mem.addAcRegion({layout.in_base,
+                     layout.in_bytes *
+                         static_cast<std::uint32_t>(layout.in_slots),
+                     nvm::RetentionPolicy::full});
+    mem.addVersionedRegion(layout.out_base,
+                           layout.out_bytes *
+                               static_cast<std::uint32_t>(
+                                   layout.out_slots));
+    if (kernel.scratch_bytes > 0)
+        mem.addVersionedRegion(kernel.scratch_base, kernel.scratch_bytes,
+                               /*write_through=*/false);
+
+    nvp::CoreConfig cfg;
+    cfg.approx_alu = false;
+    cfg.approx_mem = true;
+    nvp::Core core(&kernel.program, &mem, cfg, rng.split());
+    core.setMainBits(bits);
+    mem.hostWriteBlock(layout.inSlotAddr(0), input);
+
+    const std::uint64_t guard =
+        2000 + 64ull * layout.in_bytes * kernel.program.size();
+    for (std::uint64_t i = 0; i < guard; ++i) {
+        const nvp::StepResult step = core.step();
+        core.setMainBits(bits); // acen may have reset lane state
+        if (step.halted ||
+            (step.mark_resume && step.resume_frame_value >= 1))
+            break;
+    }
+    return mem.snapshot(layout.outSlotAddr(0), layout.out_bytes);
+}
+
+} // namespace inc::check

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The reference side of the differential harness: the same program the
+ * co-simulator runs, executed on sim::Functional with no outages.
+ *
+ * At a fixed bitwidth with the ALU noise model off, truncation is
+ * deterministic, so for a crash-free execution the functional outputs
+ * are THE unique correct answer: any deviation by SystemSimulator on
+ * the same program, inputs and bitwidth is a recovery bug. The oracle
+ * also serves the precise golden outputs (for the bounded-error and
+ * monotonicity invariants), keyed by frame index with the same scene
+ * seed the co-simulator uses.
+ */
+
+#ifndef INC_CHECK_ORACLE_H
+#define INC_CHECK_ORACLE_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "kernels/kernel.h"
+#include "sim/functional.h"
+
+namespace inc::check
+{
+
+/** Outage-free reference outputs for one kernel + bits + seed. */
+class Oracle
+{
+  public:
+    /**
+     * Precompute @p frames exact-truncation reference frames of
+     * @p kernel at fixed @p bits (noise off), with scene seed @p seed —
+     * the seed must equal the co-simulated SimConfig::seed so both
+     * sides consume identical sensor frames.
+     */
+    Oracle(const kernels::Kernel &kernel, int bits, int frames,
+           std::uint64_t seed);
+
+    /** Frames available from the reference run. */
+    std::size_t frames() const { return exact_.outputs.size(); }
+
+    /** Exact-truncation output of @p frame (fatal if out of range). */
+    const std::vector<std::uint8_t> &exact(std::uint32_t frame) const;
+
+    /** Precise golden output of @p frame (computed on demand). */
+    const std::vector<std::uint8_t> &golden(std::uint32_t frame);
+
+  private:
+    const kernels::Kernel *kernel_;
+    std::uint64_t seed_;
+    sim::FunctionalResult exact_;
+    util::SceneGenerator scene_;
+    std::map<std::uint32_t, std::vector<std::uint8_t>> golden_cache_;
+};
+
+/**
+ * Single-frame exact reference: run @p kernel 's program precisely
+ * (truncation at @p bits on AC loads, no ALU noise) over @p input on a
+ * private crash-free core and return the output-slot bytes. Unlike
+ * Oracle::exact() this takes the input bytes directly, so callers can
+ * feed it the input ring content a lane *actually* saw — which may
+ * legitimately differ from the pristine sensor frame when the DMA
+ * overwrote a ring slot the lane had not locked yet.
+ */
+std::vector<std::uint8_t> exactFrameOutput(
+    const kernels::Kernel &kernel, const std::vector<std::uint8_t> &input,
+    int bits);
+
+} // namespace inc::check
+
+#endif // INC_CHECK_ORACLE_H

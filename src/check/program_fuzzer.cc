@@ -1,0 +1,310 @@
+#include "check/program_fuzzer.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernels/common.h"
+#include "nvp/core.h"
+#include "util/logging.h"
+
+namespace inc::check
+{
+
+namespace
+{
+
+using isa::Reg;
+
+/** Gene kinds; the order is part of the seed contract (shrinking
+ *  truncates the genome, it never re-draws earlier genes). */
+enum GeneKind : int
+{
+    kAddB = 0,   ///< A += B
+    kAddImm,     ///< A += imm
+    kMinuB,      ///< A = minu(A, B)
+    kMaxuB,      ///< A = maxu(A, B)
+    kSrli,       ///< A >>= sh
+    kMulC,       ///< A *= small constant
+    kDouble,     ///< A += A
+    kOffsetSub,  ///< A = maxu(A, C) - C
+    kMonotoneKinds,
+    kRevSub = kMonotoneKinds, ///< A = C - A (order-reversing)
+    kNumKinds
+};
+
+/** Accumulator registers; address/induction registers follow the
+ *  kernel convention in kernels/common.h. */
+constexpr Reg kAccA = isa::r1;  // AC-flagged accumulator
+constexpr Reg kAccB = isa::r2;  // AC-flagged second input byte
+constexpr Reg kConst = isa::r7; // exact constants (never AC)
+constexpr Reg kBound = isa::r9; // pixel-loop bound
+constexpr Reg kAddr = isa::r10; // address scratch
+
+/** Interval + unit-error state of the accumulator during generation. */
+struct ValueCert
+{
+    std::uint32_t lo = 0;
+    std::uint32_t hi = 0;
+    int units = 0;
+};
+
+/** Intermediate values must stay clear of 16-bit wraparound even after
+ *  worst-case perturbation. */
+constexpr std::uint32_t kRangeCeiling = 60000;
+
+/** Build the golden closure: run the program itself, precisely, for one
+ *  frame on a private core (oracle and golden agree by construction). */
+std::function<std::vector<std::uint8_t>(const std::vector<std::uint8_t> &)>
+makeGolden(std::shared_ptr<const isa::Program> program,
+           core::FrameLayout layout)
+{
+    return [program, layout](const std::vector<std::uint8_t> &input) {
+        util::Rng rng(1);
+        nvp::DataMemory mem(rng.split());
+        nvp::CoreConfig cfg;
+        cfg.approx_alu = false;
+        cfg.approx_mem = false;
+        nvp::Core core(program.get(), &mem, cfg, rng.split());
+        mem.hostWriteBlock(layout.inSlotAddr(0), input);
+
+        // Run frame 0 to its closing markrp (frame register == 1).
+        const std::uint64_t guard =
+            2000 + 64ull * layout.in_bytes * program->size();
+        for (std::uint64_t i = 0; i < guard; ++i) {
+            const nvp::StepResult step = core.step();
+            if (step.halted ||
+                (step.mark_resume && step.resume_frame_value >= 1))
+                break;
+        }
+        return mem.snapshot(layout.outSlotAddr(0), layout.out_bytes);
+    };
+}
+
+} // namespace
+
+ProgramFuzzer::ProgramFuzzer(FuzzerConfig config) : config_(config)
+{
+    if (config_.min_body_ops < 0 ||
+        config_.max_body_ops < config_.min_body_ops)
+        util::fatal("FuzzerConfig body-op bounds are inconsistent");
+}
+
+FuzzedProgram
+ProgramFuzzer::generate(std::uint64_t seed, int unit_error,
+                        bool monotone_only, int body_ops) const
+{
+    using namespace isa;
+    util::Rng rng(seed);
+
+    // Frame geometry: square power-of-two frames within the configured
+    // bounds (the slot-base computation requires power-of-two sizes).
+    std::vector<int> dims;
+    for (int d = 4; d <= config_.max_dim; d *= 2) {
+        if (d >= config_.min_dim)
+            dims.push_back(d);
+    }
+    if (dims.empty())
+        util::fatal("FuzzerConfig dim bounds admit no power of two");
+    const int dim = dims[static_cast<size_t>(
+        rng.nextBounded(dims.size()))];
+    const auto pixels =
+        static_cast<std::uint32_t>(dim) * static_cast<std::uint32_t>(dim);
+
+    FuzzedProgram out;
+    out.seed = seed;
+    out.monotone = monotone_only;
+
+    kernels::Kernel &k = out.kernel;
+    k.name = "fuzz_" + std::to_string(seed);
+    k.width = dim;
+    k.height = dim;
+    k.scene = util::SceneKind::scene;
+    k.ac_reg_mask = kernels::regMask({kAccA, kAccB});
+    k.match_mask = kernels::regMask({kernels::kColReg});
+
+    const kernels::MemoryPlan plan = kernels::planMemory(pixels, pixels);
+    k.layout = plan.layout();
+
+    ProgramBuilder b;
+    const Label frame_loop = kernels::emitFrameLoopHead(
+        b, plan, k.ac_reg_mask, k.match_mask);
+
+    // Pixel loop: load the pixel byte into A and a second byte (fixed
+    // rotation of the linear index) into B, run the genome, store.
+    b.ldi(kernels::kColReg, 0);
+    b.ldi(kBound, static_cast<std::uint16_t>(pixels));
+    const Label px_loop = b.here("px_loop");
+    b.add(kAddr, kernels::kInBase, kernels::kColReg);
+    b.ld8(kAccA, kAddr, 0);
+    const auto delta = static_cast<std::int16_t>(
+        rng.nextRange(1, static_cast<std::int64_t>(pixels) - 1));
+    b.addi(kAddr, kernels::kColReg, delta);
+    b.andi(kAddr, kAddr, static_cast<std::uint16_t>(pixels - 1));
+    b.add(kAddr, kAddr, kernels::kInBase);
+    b.ld8(kAccB, kAddr, 0);
+
+    // Certificates: each load of AC-region input costs one truncation
+    // unit; every subsequent op writing an AC register costs one noise
+    // unit and propagates its operands' units per interval arithmetic.
+    ValueCert a{0, 255, 1};
+    const ValueCert bval{0, 255, 1};
+    const int slack = unit_error > 0 ? unit_error : 0;
+    const int unit_budget = slack > 0 ? std::max(2, 160 / slack) : 64;
+
+    const int genome_len = static_cast<int>(rng.nextRange(
+        config_.min_body_ops, config_.max_body_ops));
+    const int emit_limit =
+        body_ops >= 0 ? std::min(body_ops, genome_len) : genome_len;
+    const int kind_pool = monotone_only ? kMonotoneKinds : kNumKinds;
+
+    for (int i = 0; i < emit_limit; ++i) {
+        // Draw kind and operand unconditionally so a truncated genome
+        // is a strict prefix of the full one.
+        const int kind = static_cast<int>(rng.nextBounded(
+            static_cast<std::uint64_t>(kind_pool)));
+        const auto operand = static_cast<int>(rng.nextRange(1, 64));
+
+        ValueCert n = a; // tentative post-gene certificate
+        switch (kind) {
+          case kAddB:
+            n.lo += bval.lo;
+            n.hi += bval.hi;
+            n.units = a.units + bval.units + 1;
+            break;
+          case kAddImm:
+            n.lo += static_cast<std::uint32_t>(operand);
+            n.hi += static_cast<std::uint32_t>(operand);
+            n.units = a.units + 1;
+            break;
+          case kMinuB:
+            n.lo = std::min(a.lo, bval.lo);
+            n.hi = std::min(a.hi, bval.hi);
+            n.units = std::max(a.units, bval.units) + 1;
+            break;
+          case kMaxuB:
+            n.lo = std::max(a.lo, bval.lo);
+            n.hi = std::max(a.hi, bval.hi);
+            n.units = std::max(a.units, bval.units) + 1;
+            break;
+          case kSrli: {
+            const int sh = 1 + operand % 3;
+            n.lo >>= sh;
+            n.hi >>= sh;
+            n.units = a.units + 1;
+            break;
+          }
+          case kMulC: {
+            const std::uint32_t c = operand % 2 ? 3 : 2;
+            n.lo *= c;
+            n.hi *= c;
+            n.units = a.units * static_cast<int>(c) + 1;
+            break;
+          }
+          case kDouble:
+            n.lo *= 2;
+            n.hi *= 2;
+            n.units = 2 * a.units + 1;
+            break;
+          case kOffsetSub: {
+            // The maxu guard must sit `slack` above the subtrahend:
+            // ALU noise lands on the maxu *result*, so a guard at C
+            // exactly would let a noised value dip below C and make
+            // the sub wrap through zero.
+            const auto c = static_cast<std::uint32_t>(operand);
+            const auto guard = c + static_cast<std::uint32_t>(slack);
+            n.lo = std::max(a.lo, guard) - c;
+            n.hi = std::max(a.hi, guard) - c;
+            n.units = a.units + 2;
+            break;
+          }
+          case kRevSub: {
+            // C - A with C chosen above A's worst-case reach, so the
+            // result never wraps below zero.
+            const std::uint32_t c =
+                a.hi + static_cast<std::uint32_t>(a.units * slack);
+            if (c > 65535)
+                continue;
+            n.lo = c - a.hi;
+            n.hi = c - a.lo;
+            n.units = a.units + 1;
+            break;
+          }
+          default:
+            continue;
+        }
+        if (n.units > unit_budget ||
+            n.hi + static_cast<std::uint32_t>(n.units * slack) >=
+                kRangeCeiling)
+            continue; // gene would void the certificate; skip it
+
+        switch (kind) {
+          case kAddB: b.add(kAccA, kAccA, kAccB); break;
+          case kAddImm:
+            b.addi(kAccA, kAccA, static_cast<std::int16_t>(operand));
+            break;
+          case kMinuB: b.minu(kAccA, kAccA, kAccB); break;
+          case kMaxuB: b.maxu(kAccA, kAccA, kAccB); break;
+          case kSrli:
+            b.srli(kAccA, kAccA,
+                   static_cast<std::uint16_t>(1 + operand % 3));
+            break;
+          case kMulC:
+            b.ldi(kConst, operand % 2 ? 3 : 2);
+            b.mul(kAccA, kAccA, kConst);
+            break;
+          case kDouble: b.add(kAccA, kAccA, kAccA); break;
+          case kOffsetSub:
+            b.ldi(kConst, static_cast<std::uint16_t>(operand + slack));
+            b.maxu(kAccA, kAccA, kConst);
+            b.ldi(kConst, static_cast<std::uint16_t>(operand));
+            b.sub(kAccA, kAccA, kConst);
+            break;
+          case kRevSub: {
+            const std::uint32_t c =
+                a.hi + static_cast<std::uint32_t>(a.units * slack);
+            b.ldi(kConst, static_cast<std::uint16_t>(c));
+            b.sub(kAccA, kConst, kAccA);
+            break;
+          }
+          default: break;
+        }
+        a = n;
+    }
+
+    // Normalize into byte range: shift right until the worst-case value
+    // (interval top plus full perturbation slack) fits in [0, 255], so
+    // the stored byte never aliases modulo 256.
+    std::uint32_t target = 255;
+    const auto shift_slack =
+        static_cast<std::uint32_t>((a.units + 1) * slack);
+    target = shift_slack < target ? target - shift_slack : 8;
+    int shift = 0;
+    while ((a.hi >> shift) > target)
+        ++shift;
+    if (shift > 0) {
+        b.srli(kAccA, kAccA, static_cast<std::uint16_t>(shift));
+        a.lo >>= shift;
+        a.hi >>= shift;
+        a.units += 1;
+    }
+
+    b.add(kAddr, kernels::kOutBase, kernels::kColReg);
+    b.st8(kAccA, kAddr, 0);
+    b.addi(kernels::kColReg, kernels::kColReg, 1);
+    b.bltu(kernels::kColReg, kBound, px_loop);
+    kernels::emitFrameLoopTail(b, frame_loop);
+
+    auto program = std::make_shared<const isa::Program>(b.finish());
+    k.program = *program;
+    k.golden = makeGolden(program, k.layout);
+    k.make_input = [](const util::SceneGenerator &scene, int frame) {
+        return scene.frame(frame).data();
+    };
+
+    out.body_ops = emit_limit;
+    out.error_units = a.units;
+    return out;
+}
+
+} // namespace inc::check

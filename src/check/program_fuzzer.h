@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Randomized-but-valid kernel generation for differential testing.
+ *
+ * The fuzzer composes programs through isa::ProgramBuilder following the
+ * same conventions as the hand-written testbenches (src/kernels): the
+ * standard frame loop opened by markrp, ring-slot base computation from
+ * the frame induction register, and a branchless per-pixel body so
+ * incidental SIMD lanes never diverge. The per-pixel body is driven by a
+ * seeded genome of small dataflow "genes"; truncating the genome yields
+ * a smaller program that is valid by construction (shrinking).
+ *
+ * Alongside the program the fuzzer derives, by interval arithmetic over
+ * the genome, a static error certificate: every approximation event in
+ * the body (AC-region load truncation, approximate-ALU noise on an
+ * AC-flagged destination) perturbs its value by at most
+ * E = 2^(8-bits)-1, and the certificate counts how many such unit
+ * errors can reach the stored output byte. The DiffHarness checks
+ * |output - golden| <= error_units * E on every completed frame. The
+ * generator also keeps all intermediate values clear of 16-bit
+ * wraparound and the final store within [0, 255] under the worst-case
+ * slack, because modular aliasing would void the bound.
+ */
+
+#ifndef INC_CHECK_PROGRAM_FUZZER_H
+#define INC_CHECK_PROGRAM_FUZZER_H
+
+#include <cstdint>
+
+#include "kernels/kernel.h"
+
+namespace inc::check
+{
+
+/** Program-generation knobs. */
+struct FuzzerConfig
+{
+    int min_body_ops = 2;  ///< genome length lower bound
+    int max_body_ops = 10; ///< genome length upper bound
+    int min_dim = 8;       ///< frame width/height lower bound (pow2)
+    int max_dim = 16;      ///< frame width/height upper bound (pow2)
+};
+
+/** A generated kernel plus its static error certificate. */
+struct FuzzedProgram
+{
+    std::uint64_t seed = 0;
+    kernels::Kernel kernel;
+
+    /** Genome length actually emitted (for shrink-by-truncation). */
+    int body_ops = 0;
+
+    /**
+     * Unit-error count of the stored byte: for any run where every
+     * approximation event errs by at most E, the output byte differs
+     * from golden by at most error_units * E.
+     */
+    int error_units = 0;
+
+    /**
+     * True when the body is monotone non-decreasing in every input
+     * byte under truncation-only approximation (no ALU noise), so
+     * outputs at bits b are <= outputs at bits b+1 <= golden, byte for
+     * byte — the basis of the quality-monotonicity invariant.
+     */
+    bool monotone = false;
+};
+
+/** Seeded generator of valid frame-loop kernels. */
+class ProgramFuzzer
+{
+  public:
+    explicit ProgramFuzzer(FuzzerConfig config = {});
+
+    /**
+     * Generate the kernel for @p seed. @p unit_error is the worst-case
+     * per-event error amplitude E the harness will test with (0 for
+     * purely differential trials); the generator budgets genes so the
+     * certificate never allows aliasing at that amplitude.
+     *
+     * @p monotone_only restricts the gene pool to order-preserving ops.
+     * @p body_ops, when >= 0, truncates the genome (shrinking); the
+     * result is the same program the full genome would have produced,
+     * minus its tail.
+     */
+    FuzzedProgram generate(std::uint64_t seed, int unit_error = 0,
+                           bool monotone_only = false,
+                           int body_ops = -1) const;
+
+  private:
+    FuzzerConfig config_;
+};
+
+} // namespace inc::check
+
+#endif // INC_CHECK_PROGRAM_FUZZER_H

@@ -1,0 +1,141 @@
+#include "check/trace_mutator.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace inc::check
+{
+
+std::vector<MutationOp>
+TraceMutator::randomOps(util::Rng &rng, std::size_t samples, int count)
+{
+    std::vector<MutationOp> ops;
+    if (samples < 16 || count <= 0)
+        return ops;
+    ops.reserve(static_cast<size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        MutationOp op;
+        op.kind = static_cast<MutationOp::Kind>(rng.nextBounded(5));
+        switch (op.kind) {
+          case MutationOp::Kind::outage:
+            // Sub-ms to tens-of-ms blackout (the paper's Fig. 3 range).
+            op.len = static_cast<std::size_t>(rng.nextRange(4, 400));
+            break;
+          case MutationOp::Kind::micro_outage:
+            // Shorter than the restore sequence fits in.
+            op.len = static_cast<std::size_t>(rng.nextRange(1, 3));
+            break;
+          case MutationOp::Kind::double_outage:
+            // Two blackouts with a 1-2 sample breather: the second hits
+            // while the system is mid-restore or barely restarted.
+            op.len = static_cast<std::size_t>(rng.nextRange(8, 120));
+            op.amount = static_cast<double>(rng.nextRange(1, 2));
+            break;
+          case MutationOp::Kind::charge_cliff:
+            // A generous ramp parks the capacitor right at the backup
+            // threshold, then power vanishes on a single sample edge.
+            op.len = static_cast<std::size_t>(rng.nextRange(20, 200));
+            op.amount = static_cast<double>(rng.nextRange(300, 1800));
+            break;
+          case MutationOp::Kind::scale_segment:
+            op.len = static_cast<std::size_t>(rng.nextRange(50, 500));
+            op.amount = 0.25 + rng.nextDouble() * 2.0;
+            break;
+        }
+        op.len = std::min(op.len, samples / 2);
+        op.pos = static_cast<std::size_t>(
+            rng.nextBounded(samples - op.len));
+        ops.push_back(op);
+    }
+    return ops;
+}
+
+trace::PowerTrace
+TraceMutator::apply(const trace::PowerTrace &base,
+                    const std::vector<MutationOp> &ops)
+{
+    std::vector<double> s = base.samples();
+    for (const MutationOp &op : ops) {
+        if (op.pos >= s.size())
+            continue;
+        const std::size_t end = std::min(op.pos + op.len, s.size());
+        switch (op.kind) {
+          case MutationOp::Kind::outage:
+          case MutationOp::Kind::micro_outage:
+            std::fill(s.begin() + static_cast<std::ptrdiff_t>(op.pos),
+                      s.begin() + static_cast<std::ptrdiff_t>(end), 0.0);
+            break;
+          case MutationOp::Kind::double_outage: {
+            const auto gap = static_cast<std::size_t>(
+                std::max(1.0, op.amount));
+            const std::size_t half = (end - op.pos) / 2;
+            const std::size_t first_end =
+                std::min(op.pos + half, s.size());
+            const std::size_t second_start =
+                std::min(first_end + gap, s.size());
+            std::fill(s.begin() + static_cast<std::ptrdiff_t>(op.pos),
+                      s.begin() + static_cast<std::ptrdiff_t>(first_end),
+                      0.0);
+            std::fill(
+                s.begin() + static_cast<std::ptrdiff_t>(second_start),
+                s.begin() + static_cast<std::ptrdiff_t>(end), 0.0);
+            break;
+          }
+          case MutationOp::Kind::charge_cliff: {
+            // Linear ramp up to `amount` uW across the window, then a
+            // hard zero edge for a quarter of the window.
+            const std::size_t ramp_len = end - op.pos;
+            for (std::size_t i = op.pos; i < end; ++i) {
+                const double f = static_cast<double>(i - op.pos + 1) /
+                                 static_cast<double>(ramp_len);
+                s[i] = op.amount * f;
+            }
+            const std::size_t zero_end =
+                std::min(end + ramp_len / 4 + 1, s.size());
+            std::fill(s.begin() + static_cast<std::ptrdiff_t>(end),
+                      s.begin() + static_cast<std::ptrdiff_t>(zero_end),
+                      0.0);
+            break;
+          }
+          case MutationOp::Kind::scale_segment:
+            for (std::size_t i = op.pos; i < end; ++i)
+                s[i] *= op.amount;
+            break;
+        }
+    }
+    return trace::PowerTrace(std::move(s), base.name() + "+mut");
+}
+
+std::string
+TraceMutator::serialize(const std::vector<MutationOp> &ops)
+{
+    std::ostringstream out;
+    out.precision(17); // amounts must round-trip bit-exactly for replay
+    for (const MutationOp &op : ops) {
+        out << static_cast<int>(op.kind) << " " << op.pos << " "
+            << op.len << " " << op.amount << "\n";
+    }
+    return out.str();
+}
+
+std::vector<MutationOp>
+TraceMutator::deserialize(const std::string &text)
+{
+    std::vector<MutationOp> ops;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream fields(line);
+        int kind = 0;
+        MutationOp op;
+        if (fields >> kind >> op.pos >> op.len >> op.amount) {
+            op.kind = static_cast<MutationOp::Kind>(kind);
+            ops.push_back(op);
+        }
+    }
+    return ops;
+}
+
+} // namespace inc::check

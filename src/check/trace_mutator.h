@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Seeded perturbation of power traces toward outage edge cases.
+ *
+ * The recovery bugs this subsystem hunts hide in rarely-taken
+ * checkpoint/restore interleavings, so the mutator biases traces toward
+ * the shapes that trigger them: an abrupt power cliff right after a
+ * charge ramp (outage landing exactly at the backup boundary),
+ * back-to-back outages separated by barely enough charge to restore,
+ * micro-outages shorter than the restore sequence, and long blackouts
+ * that outlive shaped retention. A mutation list is plain data — it can
+ * be serialized into a repro bundle, re-applied deterministically, and
+ * bisected down to a minimal failing subset.
+ */
+
+#ifndef INC_CHECK_TRACE_MUTATOR_H
+#define INC_CHECK_TRACE_MUTATOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/power_trace.h"
+#include "util/rng.h"
+
+namespace inc::check
+{
+
+/** One trace perturbation. Length-preserving by construction. */
+struct MutationOp
+{
+    enum class Kind : int
+    {
+        outage = 0,     ///< zero power over [pos, pos+len)
+        micro_outage,   ///< 1-3 sample blackout (shorter than restore)
+        double_outage,  ///< two outages separated by a 1-2 sample gap
+        charge_cliff,   ///< strong charge ramp, then a hard zero edge
+        scale_segment,  ///< multiply a window by a factor
+    };
+
+    Kind kind = Kind::outage;
+    std::size_t pos = 0;  ///< first affected sample
+    std::size_t len = 0;  ///< affected window length in samples
+    double amount = 0.0;  ///< kind-specific magnitude (uW or factor)
+};
+
+/** Generates and applies mutation lists. */
+class TraceMutator
+{
+  public:
+    /** Draw @p count seeded mutations for a trace of @p samples. */
+    static std::vector<MutationOp> randomOps(util::Rng &rng,
+                                             std::size_t samples,
+                                             int count);
+
+    /** Apply @p ops to @p base in order (deterministic, pure). */
+    static trace::PowerTrace apply(const trace::PowerTrace &base,
+                                   const std::vector<MutationOp> &ops);
+
+    /** One "kind pos len amount" line per op. */
+    static std::string serialize(const std::vector<MutationOp> &ops);
+
+    /** Inverse of serialize(); ignores blank lines. */
+    static std::vector<MutationOp> deserialize(const std::string &text);
+};
+
+} // namespace inc::check
+
+#endif // INC_CHECK_TRACE_MUTATOR_H

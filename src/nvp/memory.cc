@@ -196,10 +196,22 @@ DataMemory::assemble(std::uint32_t start, std::uint32_t len,
                     prec = lp;
                 }
                 break;
-              case isa::AssembleMode::sum:
-                value = std::min(255, value + lv);
+              case isa::AssembleMode::sum: {
+                // Delta-merge: a lane's previously merged contribution
+                // is replaced, not re-added, so assembling the same
+                // lane values twice (recompute passes, re-adopted
+                // frames) leaves main unchanged.
+                const int before =
+                    (cell.merged & (1u << lane))
+                        ? cell.merged_value[static_cast<size_t>(lane)]
+                        : 0;
+                value = std::clamp(value + lv - before, 0, 255);
+                cell.merged_value[static_cast<size_t>(lane)] =
+                    static_cast<std::uint8_t>(lv);
+                cell.merged |= static_cast<std::uint8_t>(1u << lane);
                 prec = std::max(prec, lp);
                 break;
+              }
               case isa::AssembleMode::max:
                 value = std::max(value, lv);
                 prec = std::max(prec, lp);

@@ -178,6 +178,12 @@ class DataMemory
             std::array<std::uint8_t, kMaxVersions> value{};
             std::array<std::uint8_t, kMaxVersions> prec{};
             std::uint8_t written = 0;
+            // Per-lane contribution already folded into main by a
+            // sum-mode assemble. Re-merging replaces the contribution
+            // instead of re-adding it, so recompute passes that
+            // re-produce an identical frame are idempotent.
+            std::array<std::uint8_t, kMaxVersions> merged_value{};
+            std::uint8_t merged = 0;
         };
         std::vector<Cell> cells;
     };

@@ -12,6 +12,30 @@
 namespace inc::runner
 {
 
+namespace
+{
+
+/**
+ * Seed for one retry attempt. Attempt 0 returns the job's own seed
+ * untouched (bit-compatible with pre-retry sweeps); later attempts mix
+ * the attempt index through a splitmix64 finalizer so a job whose
+ * failure depends on its draws gets a genuinely different stream
+ * instead of deterministically re-failing.
+ */
+std::uint64_t
+retrySeed(std::uint64_t base, int attempt)
+{
+    if (attempt == 0)
+        return base;
+    std::uint64_t z = base + 0x9e3779b97f4a7c15ULL *
+                                 static_cast<std::uint64_t>(attempt);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
 std::string
 JobSpec::describe() const
 {
@@ -171,9 +195,13 @@ SweepRunner::run()
                 for (int attempt = 0; attempt <= retries; ++attempt) {
                     jr.attempts = attempt + 1;
                     try {
-                        // A fresh RNG per attempt keeps retries
-                        // identical to first runs.
-                        util::Rng rng(job.rng_seed);
+                        // Attempt 0 uses the job's own seed so results
+                        // are reproducible; retries fork a distinct
+                        // stream — replaying the identical RNG state
+                        // would deterministically re-fail any job whose
+                        // failure is draw-dependent.
+                        util::Rng rng(
+                            retrySeed(job.rng_seed, attempt));
                         jr.result = body_(
                             job, spec_.traces[job.trace_index], rng);
                         jr.ok = true;

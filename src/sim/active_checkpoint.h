@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include "energy/energy_model.h"
+#include "nvm/retention_policy.h"
 #include "trace/power_trace.h"
 
 namespace inc::sim
@@ -42,6 +43,15 @@ struct ActiveCheckpointConfig
     double capacity_nj = 2000.0;
     double efficiency = 0.70;
 
+    /**
+     * Retention shaping of the checkpoint image in FeRAM. With `full`
+     * every bit survives any off period (the classic assumption of this
+     * system class); shaped policies let low bits of the image expire
+     * while the system is dark, which the result reports as
+     * restore_bit_expirations.
+     */
+    nvm::RetentionPolicy checkpoint_policy = nvm::RetentionPolicy::full;
+
     energy::EnergyParams energy{};
 };
 
@@ -60,6 +70,25 @@ struct ActiveCheckpointResult
 
     std::uint64_t checkpoints = 0;
     double checkpoint_energy_nj = 0.0;
+
+    /**
+     * Checkpoints that browned out mid-copy. The copy loop is
+     * interruptible (the software has no income foresight, only a
+     * voltage trigger); a torn image is discarded — the model assumes
+     * the double-buffered commit these systems use — so the previous
+     * intact checkpoint is restored and the work since it is lost.
+     */
+    std::uint64_t torn_checkpoints = 0;
+
+    /** Power-up software restore passes. */
+    std::uint64_t restores = 0;
+
+    /**
+     * Sum over restores of the highest expired bit index of the
+     * checkpoint image (nvm::NvmArray::expiredCutoff of the off
+     * duration under checkpoint_policy). 0 with full retention.
+     */
+    std::uint64_t restore_bit_expirations = 0;
 };
 
 /** Simulate the active-checkpointing MCU over @p trace. */

@@ -157,6 +157,9 @@ class SystemSimulator
     /** The controller (for scripted recompute requests in examples). */
     core::IncidentalController &controller() { return *controller_; }
 
+    /** Live data memory (for differential checkers in src/check). */
+    nvp::DataMemory &memory() { return *mem_; }
+
     /** Derived thresholds (for inspection / tests). */
     double startThresholdNj() const { return start_threshold_nj_; }
     double backupThresholdNj() const { return backup_threshold_nj_; }

@@ -261,6 +261,37 @@ TEST(SweepRunner, RetryRecoversTransientFailure)
     EXPECT_TRUE(report.results[1].error.empty());
 }
 
+TEST(SweepRunner, RetriesForkADistinctRngStream)
+{
+    // A draw-dependent failure: the job records its first draw on
+    // attempt 0 and then throws whenever it sees that value again.
+    // Replaying the identical RNG state on retry would re-fail
+    // deterministically forever; the retry must fork a distinct stream.
+    auto first_draw =
+        std::make_shared<std::atomic<std::uint64_t>>(0);
+    auto attempts = std::make_shared<std::atomic<int>>(0);
+    auto body = [first_draw, attempts](const runner::JobSpec &spec,
+                                       const trace::PowerTrace &,
+                                       util::Rng &rng) -> sim::SimResult {
+        if (spec.index == 0) {
+            const std::uint64_t draw = rng.next();
+            if (attempts->fetch_add(1) == 0) {
+                first_draw->store(draw);
+                throw std::runtime_error("draw-dependent failure");
+            }
+            if (draw == first_draw->load())
+                throw std::runtime_error("identical RNG state replayed");
+        }
+        return sim::SimResult{};
+    };
+    auto spec = tinySpec(1);
+    spec.max_retries = 2;
+    runner::SweepRunner sweep(spec, body);
+    const auto report = sweep.run();
+    EXPECT_TRUE(report.allOk()) << report.failureReport();
+    EXPECT_EQ(report.results[0].attempts, 2);
+}
+
 TEST(SweepRunner, NoRetryWhenMaxRetriesZero)
 {
     auto body = [](const runner::JobSpec &spec, const trace::PowerTrace &,

@@ -27,6 +27,19 @@
  *       if failures remain after retry. --inject-failure J makes job J
  *       throw (a testing aid for the failure-capture path).
  *
+ *   nvpsim fuzz [--trials N] [--seed K] [--jobs N] [--samples S]
+ *               [--repro-dir DIR] [--minimize] [--replay DIR]
+ *               [--inject-bug leaky-backup]
+ *       Differential crash-consistency fuzzing (src/check): N seeded
+ *       trials of randomized kernels on mutated power traces through
+ *       the co-simulator, cross-validated against the functional
+ *       simulator and the structural invariants of incidental
+ *       computing. Violations exit nonzero and, with --repro-dir,
+ *       write self-contained repro bundles (--minimize also shrinks
+ *       them). --replay re-runs one bundle deterministically.
+ *       --inject-bug is a testing aid that plants a known recovery
+ *       bug so the harness itself can be validated.
+ *
  *   nvpsim asm FILE.s [--run] [--steps N]
  *       Assemble a program; print the disassembly, optionally execute.
  *
@@ -42,6 +55,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "check/diff_harness.h"
 #include "core/pragma_parser.h"
 #include "isa/assembler.h"
 #include "isa/disassembler.h"
@@ -455,6 +469,56 @@ cmdKernels()
     return 0;
 }
 
+int
+cmdFuzz(const Args &args)
+{
+    if (args.has("replay")) {
+        check::TrialSpec spec;
+        if (!check::loadBundle(args.get("replay"), &spec))
+            util::fatal("could not load repro bundle '%s'",
+                        args.get("replay").c_str());
+        const check::Divergence div = check::runTrial(spec);
+        if (div.violated) {
+            std::printf("replay: VIOLATION invariant=%s frame=%u "
+                        "byte=%zu expected=%d actual=%d\n  %s\n",
+                        div.invariant.c_str(), div.frame, div.byte,
+                        div.expected, div.actual, div.detail.c_str());
+            return 1;
+        }
+        std::printf("replay: clean (seed=%llu mode=%s)\n",
+                    static_cast<unsigned long long>(spec.seed),
+                    check::modeName(spec.mode));
+        return 0;
+    }
+
+    check::CheckConfig cfg;
+    cfg.trials = static_cast<int>(args.num("trials", 200));
+    if (cfg.trials < 1)
+        util::fatal("--trials must be >= 1");
+    cfg.master_seed = static_cast<std::uint64_t>(args.num("seed", 1));
+    cfg.jobs = static_cast<unsigned>(args.num("jobs", 0));
+    cfg.trace_samples =
+        static_cast<std::size_t>(args.num("samples", 6000));
+    if (cfg.trace_samples < 100)
+        util::fatal("--samples must be >= 100");
+    cfg.repro_dir = args.get("repro-dir");
+    cfg.minimize = args.has("minimize");
+    const std::string bug = args.get("inject-bug", "none");
+    if (bug == "leaky-backup" || bug == "leaky_backup")
+        cfg.inject = check::BugKind::leaky_backup;
+    else if (bug != "none")
+        util::fatal("unknown --inject-bug '%s'", bug.c_str());
+
+    const check::CheckReport report = check::runCheck(cfg);
+    std::printf("fuzz: %s\n", report.summary().c_str());
+    for (const auto &failure : report.failures) {
+        if (!failure.bundle_dir.empty())
+            std::printf("  repro bundle: %s\n",
+                        failure.bundle_dir.c_str());
+    }
+    return report.allOk() ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -463,7 +527,8 @@ main(int argc, char **argv)
     if (argc < 2) {
         std::fprintf(
             stderr,
-            "usage: nvpsim <trace|run|sweep|asm|kernels> [options]\n"
+            "usage: nvpsim <trace|run|sweep|fuzz|asm|kernels> "
+            "[options]\n"
             "see the file header of tools/nvpsim.cc\n");
         return 1;
     }
@@ -475,6 +540,8 @@ main(int argc, char **argv)
         return cmdRun(args);
     if (cmd == "sweep")
         return cmdSweep(args);
+    if (cmd == "fuzz")
+        return cmdFuzz(args);
     if (cmd == "asm")
         return cmdAsm(args);
     if (cmd == "kernels")
