@@ -1,0 +1,57 @@
+#!/usr/bin/env sh
+# CI gate: the obs layer must cost <= 3 % when compiled in but idle.
+#
+# Runs the two obs_overhead binaries (see bench/obs_overhead.cc)
+# interleaved for several rounds, keeps each variant's best ns/instr,
+# and fails when
+#
+#   (enabled_idle - compiled_out) / compiled_out > threshold
+#
+# Usage: bench/check_obs_overhead.sh BUILD_DIR
+# Env:   INC_OBS_OVERHEAD_MAX_PCT  gate threshold in percent (default 3)
+#        INC_OBS_BENCH_ROUNDS      interleaved rounds (default 3)
+#        INC_OBS_BENCH_INSTRUCTIONS / INC_OBS_BENCH_REPS are forwarded
+#        to the binaries.
+set -eu
+
+build_dir="${1:?usage: check_obs_overhead.sh BUILD_DIR}"
+max_pct="${INC_OBS_OVERHEAD_MAX_PCT:-3}"
+rounds="${INC_OBS_BENCH_ROUNDS:-3}"
+
+enabled_bin="$build_dir/bench/obs_overhead"
+noobs_bin="$build_dir/bench/obs_overhead_noobs"
+for bin in "$enabled_bin" "$noobs_bin"; do
+    [ -x "$bin" ] || { echo "missing $bin (build the bench targets)"; exit 2; }
+done
+
+extract() {
+    sed -n 's/.*best_ns_per_instr=\([0-9.]*\).*/\1/p'
+}
+
+best_enabled=""
+best_noobs=""
+i=0
+while [ "$i" -lt "$rounds" ]; do
+    # Interleave the variants so slow-machine noise (thermal drift, a
+    # neighbor CI job) hits both sides, not just one.
+    e=$("$enabled_bin" | tee /dev/stderr | extract)
+    n=$("$noobs_bin" | tee /dev/stderr | extract)
+    best_enabled=$(awk -v a="${best_enabled:-$e}" -v b="$e" \
+        'BEGIN { print (b < a) ? b : a }')
+    best_noobs=$(awk -v a="${best_noobs:-$n}" -v b="$n" \
+        'BEGIN { print (b < a) ? b : a }')
+    i=$((i + 1))
+done
+
+awk -v idle="$best_enabled" -v off="$best_noobs" -v max="$max_pct" '
+BEGIN {
+    pct = 100.0 * (idle - off) / off
+    printf "obs idle overhead: %.2f %% (enabled-idle %.4f ns/instr vs " \
+           "compiled-out %.4f ns/instr, gate %s %%)\n",
+           pct, idle, off, max
+    if (pct > max + 0.0) {
+        print "FAIL: idle obs overhead exceeds the gate" > "/dev/stderr"
+        exit 1
+    }
+    print "OK"
+}'

@@ -9,6 +9,7 @@
 
 #include "isa/assembler.h"
 #include "kernels/kernel.h"
+#include "obs/observer.h"
 #include "sim/system_sim.h"
 #include "trace/trace_generator.h"
 
@@ -33,6 +34,33 @@ BM_CoreStep(benchmark::State &state)
     state.SetItemsProcessed(static_cast<std::int64_t>(instructions));
 }
 BENCHMARK(BM_CoreStep);
+
+/**
+ * Same loop with obs hot counters attached (the worst case: every
+ * null-check taken AND the increment executed). BM_CoreStep above is
+ * the "enabled but idle" case; the compiled-out baseline lives in
+ * bench/obs_overhead.cc, which rebuilds the interpreter with
+ * INC_OBS_ENABLED=0 — a macro this one binary cannot toggle.
+ */
+void
+BM_CoreStepObsCounters(benchmark::State &state)
+{
+    const auto kernel = kernels::makeKernel("sobel");
+    nvp::DataMemory mem{util::Rng(1)};
+    mem.addVersionedRegion(kernel.layout.out_base,
+                           kernel.layout.out_bytes * 4);
+    nvp::Core core(&kernel.program, &mem, {}, util::Rng(2));
+    obs::Observer observer;
+    core.setObsCounters(&observer.core);
+    mem.setObsCounters(&observer.mem);
+    std::uint64_t instructions = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core.step());
+        ++instructions;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(instructions));
+}
+BENCHMARK(BM_CoreStepObsCounters);
 
 void
 BM_CoreStepFourLanes(benchmark::State &state)
@@ -99,6 +127,28 @@ BM_SystemSimSecond(benchmark::State &state)
     }
 }
 BENCHMARK(BM_SystemSimSecond)->Unit(benchmark::kMillisecond);
+
+/** Full co-simulation with an attached observer + tracer — bounds the
+ *  cost of `nvpsim run --metrics --trace-out`. */
+void
+BM_SystemSimSecondObserved(benchmark::State &state)
+{
+    trace::TraceGenerator gen(trace::paperProfile(2), 7);
+    const auto trace = gen.generate(10000); // 1 s of harvester time
+    for (auto _ : state) {
+        obs::Observer observer;
+        obs::EventTracer tracer;
+        observer.tracer = &tracer;
+        sim::SimConfig cfg;
+        cfg.bits.mode = approx::ApproxMode::dynamic;
+        cfg.score_quality = false;
+        cfg.obs = &observer;
+        sim::SystemSimulator s(kernels::makeKernel("sobel"), &trace,
+                               cfg);
+        benchmark::DoNotOptimize(s.run());
+    }
+}
+BENCHMARK(BM_SystemSimSecondObserved)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

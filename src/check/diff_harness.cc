@@ -11,6 +11,8 @@
 #include "check/program_fuzzer.h"
 #include "isa/disassembler.h"
 #include "nvp/memory.h"
+#include "obs/observer.h"
+#include "obs/schema.h"
 #include "runner/thread_pool.h"
 #include "sim/functional.h"
 #include "sim/system_sim.h"
@@ -38,6 +40,30 @@ byteMismatch(const std::string &invariant, std::uint32_t frame,
     d.expected = expected;
     d.actual = actual;
     d.detail = detail;
+    return d;
+}
+
+/**
+ * The cross-cutting metrics invariant: a co-simulator trial replays
+ * with an attached observer whose registry must satisfy the
+ * cross-metric identities of obs/schema.h. Returns the first identity
+ * violation as a Divergence (none when the registry is consistent).
+ */
+Divergence
+metricsDivergence(const obs::Observer &observer)
+{
+    const std::vector<std::string> problems =
+        obs::verifySimMetricIdentities(observer.registry);
+    if (problems.empty())
+        return {};
+    Divergence d;
+    d.violated = true;
+    d.invariant = "metrics";
+    std::ostringstream detail;
+    detail << problems.size() << " metric identit"
+           << (problems.size() == 1 ? "y" : "ies")
+           << " violated; first: " << problems.front();
+    d.detail = detail.str();
     return d;
 }
 
@@ -78,6 +104,8 @@ runExactTrial(const TrialSpec &spec)
     cfg.score_quality = false;
     cfg.frame_period_tenth_ms = spec.frame_period;
     cfg.seed = spec.seed;
+    obs::Observer observer;
+    cfg.obs = &observer; // non-perturbing; checked after the run
 
     const int max_frames =
         static_cast<int>(static_cast<double>(spec.samples) /
@@ -134,6 +162,8 @@ runExactTrial(const TrialSpec &spec)
             }
         });
     sim.run();
+    if (!div.violated)
+        div = metricsDivergence(observer);
     return div;
 }
 
@@ -167,6 +197,8 @@ runBoundedTrial(const TrialSpec &spec)
     cfg.score_quality = false;
     cfg.frame_period_tenth_ms = spec.frame_period;
     cfg.seed = spec.seed;
+    obs::Observer observer;
+    cfg.obs = &observer; // non-perturbing; checked after the run
 
     Oracle oracle(fp.kernel, 8, 1, spec.seed);
     const std::vector<std::uint8_t> &golden = oracle.golden(0);
@@ -200,6 +232,8 @@ runBoundedTrial(const TrialSpec &spec)
             }
         });
     sim.run();
+    if (!div.violated)
+        div = metricsDivergence(observer);
     return div;
 }
 

@@ -34,6 +34,14 @@
  *     idempotent, and write-through arbitration must agree with the
  *     model.
  *
+ *   metrics (cross-cutting) — every trial that drives the co-simulator
+ *     (exact_recovery, bounded_error) runs with an attached
+ *     obs::Observer and, after its primary invariant passes, validates
+ *     the cross-metric identities of obs/schema.h (backup/restore
+ *     accounting, energy conservation, hot-counter cross-checks).
+ *     Observation is non-perturbing by contract, so this rides along
+ *     without changing the trial distribution or any result.
+ *
  * A TrialSpec is plain data: everything a trial does is derived from it
  * deterministically, so any failure can be serialized into a repro
  * bundle, replayed bit-exactly, and minimized by bisection over its

@@ -14,6 +14,7 @@ RecomputeQueue::request(std::uint16_t frame, int min_bits, int passes)
         return;
     if (min_bits < 1 || min_bits > 8)
         util::fatal("recompute min_bits must be 1..8, got %d", min_bits);
+    INC_OBS_COUNT(obs_, requests);
     for (RecomputeRequest &r : queue_) {
         if (r.frame == frame) {
             r.min_bits = std::max(r.min_bits, min_bits);
@@ -29,6 +30,7 @@ RecomputeQueue::takePass()
 {
     if (queue_.empty())
         util::panic("RecomputeQueue::takePass on empty queue");
+    INC_OBS_COUNT(obs_, passes);
     RecomputeRequest pass = queue_.front();
     if (--queue_.front().passes_left <= 0)
         queue_.pop_front();
@@ -54,6 +56,7 @@ RecomputeQueue::dropStale(std::uint32_t oldest_live_frame)
                                     return r.frame < oldest_live_frame;
                                 }),
                  queue_.end());
+    INC_OBS_ADD(obs_, dropped, before - queue_.size());
     return static_cast<int>(before - queue_.size());
 }
 

@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <deque>
 
+#include "obs/obs.h"
+
 namespace inc::core
 {
 
@@ -53,8 +55,15 @@ class RecomputeQueue
 
     void clear() { queue_.clear(); }
 
+    /** Attach (or detach with nullptr) observability counters. */
+    void setObsCounters(obs::QueueCounters *counters)
+    {
+        obs_ = counters;
+    }
+
   private:
     std::deque<RecomputeRequest> queue_;
+    obs::QueueCounters *obs_ = nullptr;
 };
 
 } // namespace inc::core

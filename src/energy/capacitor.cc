@@ -70,10 +70,12 @@ Capacitor::draw(double amount_nj)
     return true;
 }
 
-void
+double
 Capacitor::drain(double amount_nj)
 {
-    energy_nj_ = std::max(0.0, energy_nj_ - amount_nj);
+    const double drained = std::min(amount_nj, energy_nj_);
+    energy_nj_ -= drained;
+    return drained;
 }
 
 void

@@ -66,8 +66,13 @@ class Capacitor
      */
     bool draw(double amount_nj);
 
-    /** Unconditional drain (brown-out modeling); clamps at zero. */
-    void drain(double amount_nj);
+    /**
+     * Unconditional drain (brown-out modeling); clamps at zero. Returns
+     * the energy actually removed, which is less than @p amount_nj when
+     * the charge ran out — callers tracking a conservation ledger
+     * account the shortfall as unfunded demand.
+     */
+    double drain(double amount_nj);
 
     /** Set the state of charge directly (tests / scenario setup). */
     void setEnergyNj(double energy_nj);

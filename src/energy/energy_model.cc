@@ -52,6 +52,12 @@ EnergyModel::instructionEnergyNj(isa::Op op, int main_bits,
 }
 
 double
+EnergyModel::instructionBaseEnergyNj(isa::Op op) const
+{
+    return base_nj_ * isa::opCycles(op);
+}
+
+double
 EnergyModel::idleCycleEnergyNj() const
 {
     // Clock-gated core: base only, halved.

@@ -102,6 +102,15 @@ class EnergyModel
         nvm::RetentionPolicy store_policy =
             nvm::RetentionPolicy::full) const;
 
+    /**
+     * Bit-independent fetch/decode/control component of one
+     * instruction's energy, nJ — the `base` term of
+     * instructionEnergyNj. Lets the observability ledger split
+     * consumption into fetch vs datapath without re-deriving the
+     * model's internals.
+     */
+    double instructionBaseEnergyNj(isa::Op op) const;
+
     /** Idle (clock-gated but on) energy per cycle, nJ. */
     double idleCycleEnergyNj() const;
 

@@ -188,10 +188,12 @@ StepResult
 Core::step()
 {
     StepResult result;
+    INC_OBS_COUNT(obs_, steps);
     if (halted_) {
         result.op = isa::Op::halt;
         result.halted = true;
         result.lanes_committed = 0;
+        INC_OBS_COUNT(obs_, instr_system);
         return result;
     }
 
@@ -205,6 +207,7 @@ Core::step()
 
     switch (cls) {
       case isa::OpClass::system:
+        INC_OBS_COUNT(obs_, instr_system);
         if (inst.op == isa::Op::halt) {
             halted_ = true;
             result.halted = true;
@@ -214,6 +217,7 @@ Core::step()
       case isa::OpClass::alu:
       case isa::OpClass::mul:
       case isa::OpClass::div:
+        INC_OBS_COUNT(obs_, instr_alu);
         for (int lane = 0; lane < kMaxLanes; ++lane) {
             if (lanes_[static_cast<size_t>(lane)].active)
                 executeDataOp(inst, lane);
@@ -221,6 +225,7 @@ Core::step()
         break;
 
       case isa::OpClass::load:
+        INC_OBS_COUNT(obs_, instr_load);
         for (int lane = 0; lane < kMaxLanes; ++lane) {
             if (lanes_[static_cast<size_t>(lane)].active)
                 executeLoad(inst, lane);
@@ -228,6 +233,7 @@ Core::step()
         break;
 
       case isa::OpClass::store:
+        INC_OBS_COUNT(obs_, instr_store);
         for (int lane = 0; lane < kMaxLanes; ++lane) {
             if (lanes_[static_cast<size_t>(lane)].active)
                 executeStore(inst, lane, result);
@@ -235,6 +241,7 @@ Core::step()
         break;
 
       case isa::OpClass::branch: {
+        INC_OBS_COUNT(obs_, instr_branch);
         const std::uint16_t a = rf_.read(0, inst.rs1);
         const std::uint16_t b = rf_.read(0, inst.rs2);
         const auto sa = static_cast<std::int16_t>(a);
@@ -250,6 +257,7 @@ Core::step()
           default: util::panic("unhandled branch");
         }
         if (taken) {
+            INC_OBS_COUNT(obs_, branch_taken);
             next_pc = inst.imm;
             ++result.cycles; // taken-branch bubble
         }
@@ -257,6 +265,7 @@ Core::step()
       }
 
       case isa::OpClass::jump:
+        INC_OBS_COUNT(obs_, instr_jump);
         if (inst.op == isa::Op::jmp) {
             next_pc = inst.imm;
         } else if (inst.op == isa::Op::jal) {
@@ -272,6 +281,7 @@ Core::step()
         break;
 
       case isa::OpClass::incidental:
+        INC_OBS_COUNT(obs_, instr_incidental);
         switch (inst.op) {
           case isa::Op::markrp:
             has_resume_ = true;
@@ -296,6 +306,8 @@ Core::step()
             result.assemble_bytes = mem_->assemble(
                 base, len, static_cast<isa::AssembleMode>(inst.imm));
             result.cycles += static_cast<int>(2 * result.assemble_bytes);
+            INC_OBS_COUNT(obs_, assembles);
+            INC_OBS_ADD(obs_, assemble_bytes, result.assemble_bytes);
             break;
           }
           default:
@@ -308,6 +320,7 @@ Core::step()
         if (l.active)
             ++l.instret;
     }
+    INC_OBS_ADD(obs_, lane_commits, result.lanes_committed);
     pc_ = next_pc;
     return result;
 }

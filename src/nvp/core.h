@@ -25,6 +25,7 @@
 #include "nvp/approx_alu.h"
 #include "nvp/memory.h"
 #include "nvp/register_file.h"
+#include "obs/obs.h"
 
 namespace inc::nvp
 {
@@ -130,6 +131,13 @@ class Core
     const isa::Program &program() const { return *program_; }
     DataMemory &memory() { return *mem_; }
 
+    /** Attach (or detach with nullptr) hot-path event counters. The
+     *  counters only observe — attaching never perturbs execution. */
+    void setObsCounters(obs::CoreCounters *counters)
+    {
+        obs_ = counters;
+    }
+
   private:
     /** Effective precision of a lane (8 when approximation disabled). */
     int effectiveBits(int lane) const;
@@ -155,6 +163,7 @@ class Core
     std::uint16_t match_mask_ = 0;
 
     std::array<LaneInfo, kMaxLanes> lanes_;
+    obs::CoreCounters *obs_ = nullptr;
 };
 
 } // namespace inc::nvp

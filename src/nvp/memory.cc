@@ -107,6 +107,7 @@ std::uint8_t
 DataMemory::load8(int lane, std::uint32_t addr, int bits, bool approx_mem)
 {
     checkAddr(addr);
+    INC_OBS_COUNT(obs_, loads);
     std::uint8_t value = main_[addr];
     if (lane > 0) {
         if (const VersionedRegion *r = findVersioned(addr)) {
@@ -115,8 +116,10 @@ DataMemory::load8(int lane, std::uint32_t addr, int bits, bool approx_mem)
                 value = cell.value[static_cast<size_t>(lane)];
         }
     }
-    if (approx_mem && bits < 8 && isAc(addr))
+    if (approx_mem && bits < 8 && isAc(addr)) {
+        INC_OBS_COUNT(obs_, ac_truncated_loads);
         value = truncateToBits(value, bits);
+    }
     return value;
 }
 
@@ -125,8 +128,11 @@ DataMemory::store8(int lane, std::uint32_t addr, std::uint8_t value,
                    int bits, bool approx_mem)
 {
     checkAddr(addr);
-    if (approx_mem && bits < 8 && isAc(addr))
+    INC_OBS_COUNT(obs_, stores);
+    if (approx_mem && bits < 8 && isAc(addr)) {
+        INC_OBS_COUNT(obs_, ac_truncated_stores);
         value = truncateToBits(value, bits);
+    }
 
     VersionedRegion *r = findVersioned(addr);
     if (!r || lane == 0) {
@@ -140,15 +146,21 @@ DataMemory::store8(int lane, std::uint32_t addr, std::uint8_t value,
     cell.written |= static_cast<std::uint8_t>(1u << lane);
     // Higher-bits write-through arbitration into the main version —
     // output regions only; lane-private scratch never disturbs lane 0.
-    if (r->write_through && bits >= main_prec_[addr]) {
-        main_[addr] = value;
-        main_prec_[addr] = static_cast<std::uint8_t>(bits);
+    if (r->write_through) {
+        if (bits >= main_prec_[addr]) {
+            INC_OBS_COUNT(obs_, wt_commits);
+            main_[addr] = value;
+            main_prec_[addr] = static_cast<std::uint8_t>(bits);
+        } else {
+            INC_OBS_COUNT(obs_, wt_rejects);
+        }
     }
 }
 
 void
 DataMemory::resetVersionedRange(std::uint32_t start, std::uint32_t len)
 {
+    INC_OBS_ADD(obs_, version_resets, len);
     for (std::uint32_t addr = start; addr < start + len; ++addr) {
         checkAddr(addr);
         main_[addr] = 0;
@@ -163,6 +175,7 @@ DataMemory::clearLaneVersions(int lane)
 {
     if (lane <= 0 || lane >= kMaxVersions)
         util::panic("clearLaneVersions: bad lane %d", lane);
+    INC_OBS_COUNT(obs_, lane_clears);
     const auto mask = static_cast<std::uint8_t>(~(1u << lane));
     for (VersionedRegion &r : versioned_) {
         for (auto &cell : r.cells)
@@ -226,6 +239,7 @@ DataMemory::assemble(std::uint32_t start, std::uint32_t len,
         main_[addr] = static_cast<std::uint8_t>(value);
         main_prec_[addr] = static_cast<std::uint8_t>(prec);
     }
+    INC_OBS_ADD(obs_, assemble_bytes, processed);
     return processed;
 }
 
@@ -239,6 +253,7 @@ DataMemory::precisionAt(std::uint32_t addr) const
 void
 DataMemory::applyOutageDecay(double duration_tenth_ms)
 {
+    INC_OBS_COUNT(obs_, decay_passes);
     for (const AcRegion &region : ac_regions_) {
         if (region.policy == nvm::RetentionPolicy::full)
             continue;

@@ -33,6 +33,7 @@
 #include "isa/isa.h"
 #include "nvm/nvm_array.h"
 #include "nvm/retention_policy.h"
+#include "obs/obs.h"
 #include "util/rng.h"
 
 namespace inc::nvp
@@ -164,6 +165,10 @@ class DataMemory
     std::vector<std::uint8_t> precisionMask(std::uint32_t start,
                                             std::uint32_t len) const;
 
+    /** Attach (or detach with nullptr) hot-path event counters; purely
+     *  observational. */
+    void setObsCounters(obs::MemCounters *counters) { obs_ = counters; }
+
   private:
     struct VersionedRegion
     {
@@ -198,6 +203,7 @@ class DataMemory
     std::vector<VersionedRegion> versioned_;
     util::Rng rng_;
     nvm::RetentionFailureCounts failures_;
+    obs::MemCounters *obs_ = nullptr;
 };
 
 } // namespace inc::nvp

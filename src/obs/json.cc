@@ -1,0 +1,396 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace inc::obs
+{
+
+JsonValue
+JsonValue::of(bool b)
+{
+    JsonValue v;
+    v.kind_ = Kind::boolean;
+    v.bool_ = b;
+    return v;
+}
+
+JsonValue
+JsonValue::of(double n)
+{
+    JsonValue v;
+    v.kind_ = Kind::number;
+    v.number_ = n;
+    return v;
+}
+
+JsonValue
+JsonValue::of(std::uint64_t n)
+{
+    return of(static_cast<double>(n));
+}
+
+JsonValue
+JsonValue::of(std::string s)
+{
+    JsonValue v;
+    v.kind_ = Kind::string;
+    v.string_ = std::move(s);
+    return v;
+}
+
+JsonValue
+JsonValue::array()
+{
+    JsonValue v;
+    v.kind_ = Kind::array;
+    return v;
+}
+
+JsonValue
+JsonValue::object()
+{
+    JsonValue v;
+    v.kind_ = Kind::object;
+    return v;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind_ != Kind::object)
+        return nullptr;
+    const auto it = members_.find(key);
+    return it == members_.end() ? nullptr : &it->second;
+}
+
+std::string
+formatJsonNumber(double value)
+{
+    // Whole numbers up to 2^53 print without an exponent or decimal
+    // point so counters stay readable and byte-stable.
+    if (std::isfinite(value) && value == std::floor(value) &&
+        std::fabs(value) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.0f", value);
+        return buf;
+    }
+    if (!std::isfinite(value))
+        return "0"; // JSON has no inf/nan; sinks must not emit them
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    return buf;
+}
+
+namespace
+{
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+dumpValue(const JsonValue &v, std::string &out)
+{
+    switch (v.kind()) {
+      case JsonValue::Kind::null:
+        out += "null";
+        break;
+      case JsonValue::Kind::boolean:
+        out += v.boolean() ? "true" : "false";
+        break;
+      case JsonValue::Kind::number:
+        out += formatJsonNumber(v.number());
+        break;
+      case JsonValue::Kind::string:
+        appendEscaped(out, v.string());
+        break;
+      case JsonValue::Kind::array: {
+        out += '[';
+        bool first = true;
+        for (const JsonValue &item : v.items()) {
+            if (!first)
+                out += ',';
+            first = false;
+            dumpValue(item, out);
+        }
+        out += ']';
+        break;
+      }
+      case JsonValue::Kind::object: {
+        out += '{';
+        bool first = true;
+        for (const auto &[key, member] : v.members()) {
+            if (!first)
+                out += ',';
+            first = false;
+            appendEscaped(out, key);
+            out += ':';
+            dumpValue(member, out);
+        }
+        out += '}';
+        break;
+      }
+    }
+}
+
+/** Recursive-descent parser over the plain value grammar. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *error)
+        : text_(text), error_(error)
+    {
+    }
+
+    bool parse(JsonValue *out)
+    {
+        skipWs();
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    bool fail(const std::string &why)
+    {
+        if (error_)
+            *error_ = why + " (offset " + std::to_string(pos_) + ")";
+        return false;
+    }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool literal(const char *word, JsonValue value, JsonValue *out)
+    {
+        const std::size_t n = std::string(word).size();
+        if (text_.compare(pos_, n, word) != 0)
+            return fail("bad literal");
+        pos_ += n;
+        *out = std::move(value);
+        return true;
+    }
+
+    bool parseString(std::string *out)
+    {
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            return fail("expected string");
+        ++pos_;
+        std::string s;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"') {
+                *out = std::move(s);
+                return true;
+            }
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    return fail("dangling escape");
+                const char e = text_[pos_++];
+                switch (e) {
+                  case '"': s += '"'; break;
+                  case '\\': s += '\\'; break;
+                  case '/': s += '/'; break;
+                  case 'b': s += '\b'; break;
+                  case 'f': s += '\f'; break;
+                  case 'n': s += '\n'; break;
+                  case 'r': s += '\r'; break;
+                  case 't': s += '\t'; break;
+                  case 'u': {
+                    if (pos_ + 4 > text_.size())
+                        return fail("truncated \\u escape");
+                    const std::string hex = text_.substr(pos_, 4);
+                    char *end = nullptr;
+                    const long code = std::strtol(hex.c_str(), &end, 16);
+                    if (end != hex.c_str() + 4)
+                        return fail("bad \\u escape");
+                    pos_ += 4;
+                    // The sinks only emit control-character escapes;
+                    // fold anything else to UTF-8 best effort.
+                    if (code < 0x80) {
+                        s += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        s += static_cast<char>(0xC0 | (code >> 6));
+                        s += static_cast<char>(0x80 | (code & 0x3F));
+                    } else {
+                        s += static_cast<char>(0xE0 | (code >> 12));
+                        s += static_cast<char>(0x80 |
+                                               ((code >> 6) & 0x3F));
+                        s += static_cast<char>(0x80 | (code & 0x3F));
+                    }
+                    break;
+                  }
+                  default:
+                    return fail("unknown escape");
+                }
+            } else {
+                s += c;
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool parseNumber(JsonValue *out)
+    {
+        const char *start = text_.c_str() + pos_;
+        char *end = nullptr;
+        const double value = std::strtod(start, &end);
+        if (end == start)
+            return fail("expected number");
+        pos_ += static_cast<std::size_t>(end - start);
+        *out = JsonValue::of(value);
+        return true;
+    }
+
+    bool parseValue(JsonValue *out)
+    {
+        if (pos_ >= text_.size())
+            return fail("unexpected end of document");
+        switch (text_[pos_]) {
+          case 'n': return literal("null", JsonValue::makeNull(), out);
+          case 't': return literal("true", JsonValue::of(true), out);
+          case 'f': return literal("false", JsonValue::of(false), out);
+          case '"': {
+            std::string s;
+            if (!parseString(&s))
+                return false;
+            *out = JsonValue::of(std::move(s));
+            return true;
+          }
+          case '[': {
+            ++pos_;
+            JsonValue arr = JsonValue::array();
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ']') {
+                ++pos_;
+                *out = std::move(arr);
+                return true;
+            }
+            while (true) {
+                JsonValue item;
+                skipWs();
+                if (!parseValue(&item))
+                    return false;
+                arr.push(std::move(item));
+                skipWs();
+                if (pos_ >= text_.size())
+                    return fail("unterminated array");
+                if (text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (text_[pos_] == ']') {
+                    ++pos_;
+                    *out = std::move(arr);
+                    return true;
+                }
+                return fail("expected ',' or ']'");
+            }
+          }
+          case '{': {
+            ++pos_;
+            JsonValue obj = JsonValue::object();
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == '}') {
+                ++pos_;
+                *out = std::move(obj);
+                return true;
+            }
+            while (true) {
+                skipWs();
+                std::string key;
+                if (!parseString(&key))
+                    return false;
+                skipWs();
+                if (pos_ >= text_.size() || text_[pos_] != ':')
+                    return fail("expected ':'");
+                ++pos_;
+                skipWs();
+                JsonValue member;
+                if (!parseValue(&member))
+                    return false;
+                obj.set(key, std::move(member));
+                skipWs();
+                if (pos_ >= text_.size())
+                    return fail("unterminated object");
+                if (text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (text_[pos_] == '}') {
+                    ++pos_;
+                    *out = std::move(obj);
+                    return true;
+                }
+                return fail("expected ',' or '}'");
+            }
+          }
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    const std::string &text_;
+    std::string *error_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::string
+JsonValue::dump() const
+{
+    std::string out;
+    dumpValue(*this, out);
+    return out;
+}
+
+bool
+parseJson(const std::string &text, JsonValue *out, std::string *error)
+{
+    Parser parser(text, error);
+    JsonValue v;
+    if (!parser.parse(&v))
+        return false;
+    if (out)
+        *out = std::move(v);
+    return true;
+}
+
+bool
+jsonIsValid(const std::string &text)
+{
+    return parseJson(text, nullptr, nullptr);
+}
+
+} // namespace inc::obs

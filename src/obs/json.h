@@ -1,0 +1,102 @@
+/**
+ * @file
+ * A minimal JSON document model for the observability sinks.
+ *
+ * Scope is deliberately narrow: parse/serialize the metrics and
+ * Chrome-trace files the obs layer itself writes, and give tests a
+ * structural validity check. Objects keep their members in sorted key
+ * order (std::map), which is exactly the canonical-form property the
+ * byte-identical aggregation guarantee rests on. Numbers are doubles;
+ * values that are whole numbers within 2^53 serialize without a
+ * decimal point, everything else with %.17g (round-trip exact).
+ */
+
+#ifndef INC_OBS_JSON_H
+#define INC_OBS_JSON_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace inc::obs
+{
+
+/** One JSON value (null / bool / number / string / array / object). */
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        null,
+        boolean,
+        number,
+        string,
+        array,
+        object
+    };
+
+    JsonValue() = default;
+    static JsonValue makeNull() { return JsonValue(); }
+    static JsonValue of(bool b);
+    static JsonValue of(double n);
+    static JsonValue of(std::uint64_t n);
+    static JsonValue of(std::string s);
+    static JsonValue array();
+    static JsonValue object();
+
+    Kind kind() const { return kind_; }
+    bool isObject() const { return kind_ == Kind::object; }
+    bool isArray() const { return kind_ == Kind::array; }
+    bool isNumber() const { return kind_ == Kind::number; }
+    bool isString() const { return kind_ == Kind::string; }
+
+    bool boolean() const { return bool_; }
+    double number() const { return number_; }
+    const std::string &string() const { return string_; }
+    const std::vector<JsonValue> &items() const { return items_; }
+    const std::map<std::string, JsonValue> &members() const
+    {
+        return members_;
+    }
+
+    /** Object member by key, or nullptr. */
+    const JsonValue *find(const std::string &key) const;
+
+    void push(JsonValue v) { items_.push_back(std::move(v)); }
+    void set(const std::string &key, JsonValue v)
+    {
+        members_[key] = std::move(v);
+    }
+
+    /** Canonical serialization (sorted object keys, %.17g doubles). */
+    std::string dump() const;
+
+  private:
+    Kind kind_ = Kind::null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> items_;
+    std::map<std::string, JsonValue> members_;
+};
+
+/** Canonical number formatting shared by every obs sink. */
+std::string formatJsonNumber(double value);
+
+/**
+ * Parse @p text into a document. Returns false (and sets @p error with
+ * an offset-tagged message) on malformed input; @p out is untouched
+ * then. Accepts exactly the JSON value grammar — no comments, no
+ * trailing commas.
+ */
+bool parseJson(const std::string &text, JsonValue *out,
+               std::string *error);
+
+/** Structural validity only (the golden tests' "loads in Perfetto"
+ *  gate starts here). */
+bool jsonIsValid(const std::string &text);
+
+} // namespace inc::obs
+
+#endif // INC_OBS_JSON_H

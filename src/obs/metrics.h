@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The metrics registry: named counters, gauges and histograms with a
+ * canonical JSON sink and a deterministic merge.
+ *
+ * Determinism contract (the property tests/test_obs.cc pins): a
+ * registry's JSON form depends only on its contents — names are kept
+ * sorted, numbers use one canonical formatting — and merge() is
+ * performed by the runner in job-index order, so a sharded sweep's
+ * aggregated metrics file is byte-identical at any --jobs value.
+ *
+ * The registry is the *cold* side of the obs layer: lookups walk a
+ * map and are meant for publish-time and rare events (a backup, a
+ * restore). Per-instruction hot counters live in the plain structs of
+ * obs/obs.h and are folded into the registry once, at publish.
+ *
+ * Not thread-safe; every simulator run / sweep job owns its own
+ * registry and the runner merges after the pool has drained.
+ */
+
+#ifndef INC_OBS_METRICS_H
+#define INC_OBS_METRICS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace inc::obs
+{
+
+/** Monotone event count. */
+struct Counter
+{
+    std::uint64_t value = 0;
+
+    void inc(std::uint64_t by = 1) { value += by; }
+};
+
+/** Double-valued total (energy ledgers, fractions). Merging sums, so
+ *  gauges published into aggregated registries should be additive
+ *  quantities (totals, not instantaneous readings). */
+struct Gauge
+{
+    double value = 0.0;
+
+    void set(double v) { value = v; }
+    void add(double v) { value += v; }
+};
+
+/** Fixed-bound histogram: counts[i] holds samples <= bounds[i], the
+ *  final implicit bucket is overflow. */
+struct Histogram
+{
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts; ///< bounds.size() + 1 buckets
+    std::uint64_t total = 0;
+    double sum = 0.0;
+
+    explicit Histogram(std::vector<double> upper_bounds = {});
+    void record(double sample);
+};
+
+/** Name -> metric store. */
+class MetricsRegistry
+{
+  public:
+    /** Get-or-create. Names are free-form; the schema constants in
+     *  obs/schema.h are the ones the identity checker understands. */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    /** @p bounds is used only on first creation. */
+    Histogram &histogram(const std::string &name,
+                         std::vector<double> bounds);
+
+    bool empty() const;
+
+    /** Value lookups (0 when absent) — convenience for tests and the
+     *  identity checker. */
+    std::uint64_t counterValue(const std::string &name) const;
+    double gaugeValue(const std::string &name) const;
+    bool has(const std::string &name) const;
+
+    const std::map<std::string, Counter> &counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, Gauge> &gauges() const
+    {
+        return gauges_;
+    }
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return histograms_;
+    }
+
+    /**
+     * Fold @p other into this registry: counters and gauges add,
+     * histograms add bucket-wise (bounds must match; mismatched
+     * histograms are summed into total/sum only and flagged via the
+     * returned false). Used by the runner in job-index order.
+     */
+    bool merge(const MetricsRegistry &other);
+
+    /** Canonical JSON document (schema "inc-metrics-v1"). */
+    std::string toJson() const;
+
+    /** Write toJson() to @p path. False on I/O failure. */
+    bool writeJson(const std::string &path) const;
+
+    /** Parse a toJson() document back. */
+    static bool fromJson(const std::string &text, MetricsRegistry *out,
+                         std::string *error);
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Gauge> gauges_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+/**
+ * Compare two metrics JSON documents with a float tolerance: every
+ * metric present in either must be present in both, counters must be
+ * exactly equal, gauges/histogram sums within max(abs_tol, rel_tol *
+ * |expected|). Returns human-readable difference lines (empty =>
+ * match). The golden regression test is built on this.
+ */
+std::vector<std::string> compareMetricsJson(const std::string &expected,
+                                            const std::string &actual,
+                                            double rel_tol = 1e-9,
+                                            double abs_tol = 1e-9);
+
+} // namespace inc::obs
+
+#endif // INC_OBS_METRICS_H

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The metric-name schema published by the instrumented simulators, and
+ * the cross-metric identity checker built on it.
+ *
+ * Names are dotted paths grouped by producer: `sim.*` and `energy.*`
+ * from sim/system_sim, `ctrl.*` from the incidental controller's stats,
+ * `bits.ticks.N` from the bitwidth controller, `core.*` / `mem.*` /
+ * `queue.*` from the hot-path counter structs, `ac.*` from
+ * sim/active_checkpoint, `runner.*` from runner-level aggregation.
+ *
+ * The identities verified here are the obs layer's test surface: they
+ * are exact (or 1e-9-relative, for energy ledgers) consequences of the
+ * simulator's bookkeeping, so any violation is an instrumentation or
+ * simulator bug — the diff-harness fuzzer checks them on every trial.
+ */
+
+#ifndef INC_OBS_SCHEMA_H
+#define INC_OBS_SCHEMA_H
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace inc::obs
+{
+
+// ---- system-simulator counters -----------------------------------------
+inline constexpr char kSimSamples[] = "sim.samples";
+inline constexpr char kSimOnSamples[] = "sim.on_samples";
+inline constexpr char kSimColdBoots[] = "sim.cold_boots";
+inline constexpr char kSimInstructions[] = "sim.instructions";
+inline constexpr char kSimForwardProgress[] = "sim.forward_progress";
+inline constexpr char kSimCycles[] = "sim.cycles";
+inline constexpr char kSimAdoptedLaneCycles[] = "sim.adopted_lane_cycles";
+inline constexpr char kSimBackupAttempts[] = "sim.backup.attempts";
+inline constexpr char kSimBackupsCommitted[] = "sim.backup.committed";
+inline constexpr char kSimBackupsTorn[] = "sim.backup.torn";
+inline constexpr char kSimRestores[] = "sim.restore.successes";
+inline constexpr char kSimFrameAttempts[] = "sim.frames.capture_attempts";
+inline constexpr char kSimFramesCaptured[] = "sim.frames.captured";
+inline constexpr char kSimFramesDmaDropped[] = "sim.frames.dma_dropped";
+inline constexpr char kSimFramesScored[] = "sim.frames.scored";
+inline constexpr char kSimRetentionViolations[] =
+    "sim.retention.violations";
+inline constexpr char kSimRetentionFlips[] = "sim.retention.flips";
+
+/** Per-bitwidth occupancy: "bits.ticks.0" (off) .. "bits.ticks.8". */
+inline constexpr char kBitTicksPrefix[] = "bits.ticks.";
+
+// ---- energy ledger gauges (all nJ, additive across shards) -------------
+inline constexpr char kEnergyInitial[] = "energy.initial_nj";
+inline constexpr char kEnergyIncome[] = "energy.income_nj";
+inline constexpr char kEnergyFetch[] = "energy.fetch_nj";
+inline constexpr char kEnergyDatapath[] = "energy.datapath_nj";
+inline constexpr char kEnergyIdle[] = "energy.idle_nj";
+inline constexpr char kEnergyAssemble[] = "energy.assemble_nj";
+inline constexpr char kEnergyConsumed[] = "energy.consumed_nj";
+inline constexpr char kEnergyBackup[] = "energy.backup_nj";
+inline constexpr char kEnergyRestore[] = "energy.restore_nj";
+inline constexpr char kEnergyLeak[] = "energy.leak_nj";
+inline constexpr char kEnergyStoredFinal[] = "energy.stored_final_nj";
+/** Demanded-but-unavailable drain (capacitor clamped at zero). */
+inline constexpr char kEnergyUnfunded[] = "energy.unfunded_nj";
+
+// ---- histograms ---------------------------------------------------------
+inline constexpr char kHistOutageSamples[] = "hist.outage_samples";
+inline constexpr char kHistBackupLanes[] = "hist.backup_lanes";
+
+// ---- hot-path counter groups (obs/obs.h structs, folded at publish) ----
+inline constexpr char kCoreSteps[] = "core.steps";
+inline constexpr char kCoreInstrAlu[] = "core.instr.alu";
+inline constexpr char kCoreInstrLoad[] = "core.instr.load";
+inline constexpr char kCoreInstrStore[] = "core.instr.store";
+inline constexpr char kCoreInstrBranch[] = "core.instr.branch";
+inline constexpr char kCoreBranchTaken[] = "core.branch_taken";
+inline constexpr char kCoreInstrJump[] = "core.instr.jump";
+inline constexpr char kCoreInstrIncidental[] = "core.instr.incidental";
+inline constexpr char kCoreInstrSystem[] = "core.instr.system";
+inline constexpr char kCoreAssembles[] = "core.assembles";
+inline constexpr char kCoreAssembleBytes[] = "core.assemble_bytes";
+inline constexpr char kCoreLaneCommits[] = "core.lane_commits";
+
+inline constexpr char kMemLoads[] = "mem.loads";
+inline constexpr char kMemStores[] = "mem.stores";
+inline constexpr char kMemAcTruncatedLoads[] = "mem.ac_truncated_loads";
+inline constexpr char kMemAcTruncatedStores[] = "mem.ac_truncated_stores";
+inline constexpr char kMemWtCommits[] = "mem.wt_commits";
+inline constexpr char kMemWtRejects[] = "mem.wt_rejects";
+inline constexpr char kMemAssembleBytes[] = "mem.assemble_bytes";
+inline constexpr char kMemVersionResets[] = "mem.version_resets";
+inline constexpr char kMemLaneClears[] = "mem.lane_clears";
+inline constexpr char kMemDecayPasses[] = "mem.decay_passes";
+
+inline constexpr char kQueueRequests[] = "queue.requests";
+inline constexpr char kQueuePasses[] = "queue.passes";
+inline constexpr char kQueueDropped[] = "queue.dropped";
+
+// ---- incidental-controller stats ---------------------------------------
+inline constexpr char kCtrlPrefix[] = "ctrl.";
+
+// ---- active-checkpoint baseline ----------------------------------------
+inline constexpr char kAcAttempts[] = "ac.checkpoint.attempts";
+inline constexpr char kAcCommitted[] = "ac.checkpoint.committed";
+inline constexpr char kAcTorn[] = "ac.checkpoint.torn";
+/** A copy still mid-flight when the trace ended (0 or 1 per run). */
+inline constexpr char kAcInFlightAtEnd[] = "ac.checkpoint.in_flight_at_end";
+inline constexpr char kAcRestores[] = "ac.restore.successes";
+inline constexpr char kAcBitExpirations[] = "ac.restore.bit_expirations";
+inline constexpr char kAcInstrExecuted[] = "ac.instructions.executed";
+inline constexpr char kAcInstrLost[] = "ac.instructions.lost";
+inline constexpr char kAcForwardProgress[] = "ac.forward_progress";
+inline constexpr char kAcCheckpointEnergy[] = "ac.energy.checkpoint_nj";
+
+// ---- runner aggregation -------------------------------------------------
+inline constexpr char kRunnerJobsTotal[] = "runner.jobs_total";
+inline constexpr char kRunnerJobsFailed[] = "runner.jobs_failed";
+
+/**
+ * Check every cross-metric identity a system-simulator registry must
+ * satisfy (counter identities exactly; energy ledgers within
+ * @p rel_tol relative). Returns one line per violation; empty means
+ * the registry is consistent. Registries that merged several runs
+ * satisfy the same identities — every one is preserved under
+ * addition.
+ */
+std::vector<std::string>
+verifySimMetricIdentities(const MetricsRegistry &m,
+                          double rel_tol = 1e-9);
+
+/** Identity check for an active-checkpoint baseline registry. */
+std::vector<std::string>
+verifyCheckpointMetricIdentities(const MetricsRegistry &m);
+
+} // namespace inc::obs
+
+#endif // INC_OBS_SCHEMA_H

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "kernels/kernel.h"
+#include "obs/observer.h"
+#include "obs/schema.h"
 #include "runner/thread_pool.h"
 #include "util/logging.h"
 
@@ -109,6 +111,24 @@ SweepReport::failures() const
     return out;
 }
 
+obs::MetricsRegistry
+SweepReport::mergedMetrics() const
+{
+    obs::MetricsRegistry merged;
+    // results is already in job-index order (ResultSink guarantees it),
+    // so this fold — including the floating-point gauge sums — visits
+    // jobs in the same order at any parallelism.
+    for (const JobResult &r : results) {
+        if (r.ok)
+            merged.merge(r.metrics);
+    }
+    merged.counter(obs::kRunnerJobsTotal).value +=
+        static_cast<std::uint64_t>(results.size());
+    merged.counter(obs::kRunnerJobsFailed).value +=
+        static_cast<std::uint64_t>(failureCount());
+    return merged;
+}
+
 std::string
 SweepReport::failureReport() const
 {
@@ -187,8 +207,9 @@ SweepRunner::run()
                             ? 0
                             : static_cast<unsigned>(spec_.jobs));
         report.jobs_used = pool.threadCount();
+        const bool collect = spec_.collect_metrics;
         for (const JobSpec &job : jobs) {
-            pool.submit([this, &sink, &job, retries] {
+            pool.submit([this, &sink, &job, retries, collect] {
                 JobResult jr;
                 jr.spec = job;
                 const auto start = clock::now();
@@ -202,8 +223,22 @@ SweepRunner::run()
                         // failure is draw-dependent.
                         util::Rng rng(
                             retrySeed(job.rng_seed, attempt));
-                        jr.result = body_(
-                            job, spec_.traces[job.trace_index], rng);
+                        if (collect) {
+                            // Fresh observer per attempt: a partial
+                            // registry from a thrown attempt must not
+                            // leak into the kept one.
+                            obs::Observer observer;
+                            JobSpec instrumented = job;
+                            instrumented.config.obs = &observer;
+                            jr.result = body_(
+                                instrumented,
+                                spec_.traces[job.trace_index], rng);
+                            jr.metrics = std::move(observer.registry);
+                        } else {
+                            jr.result = body_(
+                                job, spec_.traces[job.trace_index],
+                                rng);
+                        }
                         jr.ok = true;
                         jr.error.clear();
                         break;

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sim/system_sim.h"
 #include "trace/power_trace.h"
 #include "util/rng.h"
@@ -70,6 +71,15 @@ struct SweepSpec
 
     /** Bounded re-executions of a throwing job (0 = no retry). */
     int max_retries = 1;
+
+    /**
+     * Attach a per-job obs::Observer and keep each job's metric
+     * registry in its JobResult (see SweepReport::mergedMetrics()).
+     * Observation is non-perturbing, so results are unchanged; the
+     * merge is performed in job-index order, so the aggregated
+     * registry is byte-identical at any `jobs` value.
+     */
+    bool collect_metrics = false;
 };
 
 /** One fully resolved grid point. */
@@ -108,6 +118,10 @@ struct JobResult
     int attempts = 0;
     bool ok = false;
     std::string error; ///< last exception message when !ok
+
+    /** Per-job metric registry (populated when
+     *  SweepSpec::collect_metrics and the job succeeded). */
+    obs::MetricsRegistry metrics;
 };
 
 /** Aggregated campaign outcome, in deterministic job-index order. */
@@ -128,6 +142,15 @@ struct SweepReport
      * attempts, last error). Empty string when allOk().
      */
     std::string failureReport() const;
+
+    /**
+     * Merge every successful job's registry, in job-index order, plus
+     * `runner.jobs_total` / `runner.jobs_failed` counters. Excludes
+     * scheduling artifacts (jobs_used, wall time), so serialising the
+     * result is byte-identical at any parallelism. Empty unless the
+     * sweep ran with SweepSpec::collect_metrics.
+     */
+    obs::MetricsRegistry mergedMetrics() const;
 };
 
 /**

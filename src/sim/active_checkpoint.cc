@@ -2,6 +2,8 @@
 
 #include "energy/capacitor.h"
 #include "nvm/nvm_array.h"
+#include "obs/observer.h"
+#include "obs/schema.h"
 #include "util/logging.h"
 
 namespace inc::sim
@@ -41,6 +43,7 @@ runActiveCheckpoint(const trace::PowerTrace &trace,
 
     ActiveCheckpointResult result;
     constexpr int kCyclesPerSample = 100;
+    std::uint64_t checkpoint_attempts = 0; ///< prologue starts
     bool on = false;
     bool has_image = false;     // an intact checkpoint exists in FeRAM
     int copy_progress = -1;     // bytes copied; -1 = no copy in flight
@@ -118,6 +121,7 @@ runActiveCheckpoint(const trace::PowerTrace &trace,
                 budget -= config.checkpoint_overhead_instr;
                 result.checkpoint_energy_nj += prologue_energy;
                 copy_progress = 0;
+                ++checkpoint_attempts;
                 continue;
             }
             if (copy_progress >= 0) {
@@ -147,6 +151,24 @@ runActiveCheckpoint(const trace::PowerTrace &trace,
     // Work since the final checkpoint never persisted.
     result.instructions_lost +=
         static_cast<std::uint64_t>(since_checkpoint);
+
+    if (config.obs) {
+        obs::MetricsRegistry &m = config.obs->registry;
+        const auto count = [&m](const char *name, std::uint64_t v) {
+            m.counter(name).value += v;
+        };
+        count(obs::kAcAttempts, checkpoint_attempts);
+        count(obs::kAcCommitted, result.checkpoints);
+        count(obs::kAcTorn, result.torn_checkpoints);
+        count(obs::kAcInFlightAtEnd, copy_progress >= 0 ? 1 : 0);
+        count(obs::kAcRestores, result.restores);
+        count(obs::kAcBitExpirations, result.restore_bit_expirations);
+        count(obs::kAcInstrExecuted, result.instructions_executed);
+        count(obs::kAcInstrLost, result.instructions_lost);
+        count(obs::kAcForwardProgress, result.forward_progress);
+        m.gauge(obs::kAcCheckpointEnergy).value +=
+            result.checkpoint_energy_nj;
+    }
     return result;
 }
 

@@ -20,6 +20,11 @@
 #include "nvm/retention_policy.h"
 #include "trace/power_trace.h"
 
+namespace inc::obs
+{
+struct Observer;
+}
+
 namespace inc::sim
 {
 
@@ -53,6 +58,10 @@ struct ActiveCheckpointConfig
     nvm::RetentionPolicy checkpoint_policy = nvm::RetentionPolicy::full;
 
     energy::EnergyParams energy{};
+
+    /** Optional observability sink (publishes the `ac.*` schema of
+     *  obs/schema.h). Not owned; may be null. */
+    obs::Observer *obs = nullptr;
 };
 
 /** Run metrics. */

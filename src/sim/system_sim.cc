@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/observer.h"
+#include "obs/schema.h"
 #include "sim/functional.h"
 #include "util/logging.h"
 
@@ -57,6 +59,14 @@ SystemSimulator::SystemSimulator(kernels::Kernel kernel,
     if (config_.score_quality) {
         controller_->setCompletionCallback(
             [this](const core::FrameCompletion &c) { scoreFrame(c); });
+    }
+
+    obs_ = config_.obs;
+    if (obs_) {
+        obs_initial_nj_ = capacitor_.energyNj();
+        core_->setObsCounters(&obs_->core);
+        mem_->setObsCounters(&obs_->mem);
+        controller_->recomputeQueue().setObsCounters(&obs_->queue);
     }
 
     // ---- thresholds -------------------------------------------------------
@@ -176,6 +186,13 @@ SystemSimulator::scoreFrame(const core::FrameCompletion &completion)
         if (it != capture_time_.end()) {
             score.first_completion_age =
                 static_cast<double>(current_sample_ - it->second);
+            if (obs_ && obs_->tracer) {
+                // Frame lifetime: capture to first completion.
+                obs_->tracer->span(
+                    obs::Track::frames, "frame",
+                    100.0 * static_cast<double>(it->second),
+                    100.0 * score.first_completion_age);
+            }
         }
     }
     score.out_byte_sum = 0.0;
@@ -199,9 +216,20 @@ SystemSimulator::performBackup(std::size_t sample)
     const int lanes = core_->activeLaneCount();
     const double cost = energy_model_.backupEnergyNj(
         config_.controller.backup_policy, lanes);
-    capacitor_.drain(cost);
+    const double drained = capacitor_.drain(cost);
     result_.backup_energy_nj += cost;
     ++result_.backups;
+    if (obs_) {
+        obs_unfunded_nj_ += cost - drained;
+        obs_->registry
+            .histogram(obs::kHistBackupLanes, {1.0, 2.0, 3.0})
+            .record(static_cast<double>(lanes));
+        if (obs_->tracer) {
+            obs_->tracer->instant(obs::Track::checkpoint, "backup",
+                                  100.0 * static_cast<double>(sample));
+        }
+    }
+    tracePowerPhase(sample, /*next_on=*/false);
     on_ = false;
     off_since_ = sample;
 
@@ -229,11 +257,24 @@ SystemSimulator::performRestore(std::size_t sample)
 {
     const double cost =
         energy_model_.restoreEnergyNj(reserve_versions_);
-    capacitor_.drain(cost);
+    const double drained = capacitor_.drain(cost);
     result_.restore_energy_nj += cost;
     ++result_.restores;
     const double outage =
         static_cast<double>(sample - off_since_); // 0.1 ms units
+    if (obs_) {
+        obs_unfunded_nj_ += cost - drained;
+        obs_->registry
+            .histogram(obs::kHistOutageSamples,
+                       {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0,
+                        500.0, 1000.0})
+            .record(outage);
+        if (obs_->tracer) {
+            obs_->tracer->instant(obs::Track::checkpoint, "restore",
+                                  100.0 * static_cast<double>(sample));
+        }
+    }
+    tracePowerPhase(sample, /*next_on=*/true);
     controller_->onRestore(
         outage, static_cast<std::uint32_t>(std::max<std::int64_t>(
                     0, newest_frame_)));
@@ -249,8 +290,14 @@ SystemSimulator::run()
 
     for (std::size_t i = 0; i < samples; ++i) {
         current_sample_ = i;
+        ++obs_samples_;
         captureFramesUpTo(i);
         capacitor_.step(config_.income_scale * trace_->at(i), 0.1);
+        if (obs_ && obs_->tracer) {
+            obs_->tracer->counter("cap_nj",
+                                  100.0 * static_cast<double>(i),
+                                  capacitor_.energyNj());
+        }
 
         if (!on_) {
             const double wake = next_start_threshold_nj_ > 0.0
@@ -261,6 +308,8 @@ SystemSimulator::run()
                     // Cold boot: no restore cost, start at the program
                     // entry.
                     first_start = false;
+                    ++obs_cold_boots_;
+                    tracePowerPhase(i, /*next_on=*/true);
                     on_ = true;
                     ++result_.restores;
                 } else {
@@ -293,6 +342,8 @@ SystemSimulator::run()
                         capacitor_.energyNj());
                     capacitor_.drain(idle);
                     result_.consumed_energy_nj += idle;
+                    if (obs_)
+                        obs_idle_nj_ += idle;
                     budget = 0;
                     const double reserve =
                         config_.backup_guard *
@@ -313,14 +364,46 @@ SystemSimulator::run()
             const nvp::StepResult step = core_->step();
             const int main_bits =
                 core_->acEnabled() ? core_->mainBits() : 8;
-            double cost = energy_model_.instructionEnergyNj(
+            const double instr_cost = energy_model_.instructionEnergyNj(
                 step.op, main_bits, core_->incidentalBitsSum(),
                 step.store_policy);
+            double cost = instr_cost;
             if (step.assemble_bytes > 0) {
-                cost += energy_model_.assembleEnergyNj(
-                    static_cast<int>(step.assemble_bytes));
+                const double assemble_cost =
+                    energy_model_.assembleEnergyNj(
+                        static_cast<int>(step.assemble_bytes));
+                cost += assemble_cost;
+#if INC_OBS_ENABLED
+                if (obs_) {
+                    obs_assemble_nj_ += assemble_cost;
+                    if (obs_->tracer) {
+                        obs_->tracer->instant(
+                            obs::Track::rac, "assemble",
+                            100.0 * static_cast<double>(i));
+                    }
+                }
+#endif
             }
+#if INC_OBS_ENABLED
+            // Ledger split + unfunded-demand tracking. Compiled out
+            // (leaving the plain drain below) with INCIDENTAL_OBS=OFF,
+            // so the hot loop carries no extra branches then.
+            if (obs_) {
+                const double fetch =
+                    energy_model_.instructionBaseEnergyNj(step.op);
+                obs_fetch_nj_ += fetch;
+                obs_datapath_nj_ += instr_cost - fetch;
+                if (step.lanes_committed > 1) {
+                    obs_adopted_cycles_ +=
+                        static_cast<std::uint64_t>(step.cycles);
+                }
+                obs_unfunded_nj_ += cost - capacitor_.drain(cost);
+            } else {
+                capacitor_.drain(cost);
+            }
+#else
             capacitor_.drain(cost);
+#endif
             result_.consumed_energy_nj += cost;
             result_.forward_progress +=
                 static_cast<std::uint64_t>(step.lanes_committed);
@@ -400,7 +483,142 @@ SystemSimulator::run()
     }
     if (aged > 0)
         result_.mean_completion_age /= aged;
+
+    if (obs_) {
+        // Close the trailing power phase and fold everything into the
+        // observer's registry.
+        tracePowerPhase(static_cast<std::size_t>(obs_samples_), on_);
+        publishMetrics(on_samples);
+    }
     return result_;
+}
+
+void
+SystemSimulator::tracePowerPhase(std::size_t now_sample, bool next_on)
+{
+    if (!obs_ || !obs_->tracer) {
+        obs_phase_start_ = now_sample;
+        return;
+    }
+    // Emit the span of the phase that just ended (state still in on_).
+    if (now_sample > obs_phase_start_ || on_ != next_on) {
+        obs_->tracer->span(
+            obs::Track::power, on_ ? "power_on" : "power_off",
+            100.0 * static_cast<double>(obs_phase_start_),
+            100.0 * static_cast<double>(now_sample - obs_phase_start_));
+    }
+    obs_phase_start_ = now_sample;
+}
+
+void
+SystemSimulator::publishMetrics(std::uint64_t on_samples)
+{
+    obs::MetricsRegistry &m = obs_->registry;
+    const auto count = [&m](const char *name, std::uint64_t v) {
+        m.counter(name).value += v;
+    };
+    const auto gauge = [&m](const char *name, double v) {
+        m.gauge(name).value += v;
+    };
+
+    count(obs::kSimSamples, obs_samples_);
+    count(obs::kSimOnSamples, on_samples);
+    count(obs::kSimColdBoots, obs_cold_boots_);
+    count(obs::kSimInstructions, result_.main_instructions);
+    count(obs::kSimForwardProgress, result_.forward_progress);
+    count(obs::kSimCycles, result_.cycles_executed);
+    count(obs::kSimAdoptedLaneCycles, obs_adopted_cycles_);
+    // The NVP's passive in-situ backup is atomic at this model's
+    // granularity (contrast the active-checkpoint baseline's torn
+    // copies); torn is published so the identity is uniform.
+    count(obs::kSimBackupAttempts, result_.backups);
+    count(obs::kSimBackupsCommitted, result_.backups);
+    count(obs::kSimBackupsTorn, 0);
+    count(obs::kSimRestores, result_.restores);
+    count(obs::kSimFrameAttempts, captures_attempted_);
+    count(obs::kSimFramesCaptured, result_.frames_captured);
+    count(obs::kSimFramesDmaDropped, result_.frames_dropped_by_dma);
+    count(obs::kSimFramesScored,
+          static_cast<std::uint64_t>(result_.frames_scored));
+
+    std::uint64_t violations = 0;
+    std::uint64_t flips = 0;
+    for (std::size_t b = 0; b < result_.retention_failures.flips.size();
+         ++b) {
+        violations += result_.retention_failures.violations[b];
+        flips += result_.retention_failures.flips[b];
+    }
+    count(obs::kSimRetentionViolations, violations);
+    count(obs::kSimRetentionFlips, flips);
+
+    for (int b = 0; b <= 8; ++b) {
+        count((std::string(obs::kBitTicksPrefix) + std::to_string(b))
+                  .c_str(),
+              result_.bit_ticks[static_cast<std::size_t>(b)]);
+    }
+
+    const core::ControllerStats &cs = result_.controller;
+    count("ctrl.backups", cs.backups);
+    count("ctrl.restores", cs.restores);
+    count("ctrl.roll_forwards", cs.roll_forwards);
+    count("ctrl.plain_resumes", cs.plain_resumes);
+    count("ctrl.adoptions", cs.adoptions);
+    count("ctrl.history_spawns", cs.history_spawns);
+    count("ctrl.recompute_spawns", cs.recompute_spawns);
+    count("ctrl.retirements", cs.retirements);
+    count("ctrl.dropped_stale", cs.dropped_stale);
+    count("ctrl.frames_started", cs.frames_started);
+    count("ctrl.frames_completed", cs.frames_completed);
+    count("ctrl.frames_abandoned", cs.frames_abandoned);
+    count("ctrl.reg_decay_events", cs.reg_decay_events);
+
+    gauge(obs::kEnergyInitial, obs_initial_nj_);
+    gauge(obs::kEnergyIncome, result_.income_energy_nj);
+    gauge(obs::kEnergyFetch, obs_fetch_nj_);
+    gauge(obs::kEnergyDatapath, obs_datapath_nj_);
+    gauge(obs::kEnergyIdle, obs_idle_nj_);
+    gauge(obs::kEnergyAssemble, obs_assemble_nj_);
+    gauge(obs::kEnergyConsumed, result_.consumed_energy_nj);
+    gauge(obs::kEnergyBackup, result_.backup_energy_nj);
+    gauge(obs::kEnergyRestore, result_.restore_energy_nj);
+    gauge(obs::kEnergyLeak, capacitor_.totalLossNj());
+    gauge(obs::kEnergyStoredFinal, capacitor_.energyNj());
+    gauge(obs::kEnergyUnfunded, obs_unfunded_nj_);
+
+#if INC_OBS_ENABLED
+    // Hot-path counter structs (all zero — and misleading — when the
+    // increments are compiled out, so only published when live).
+    const obs::CoreCounters &cc = obs_->core;
+    count(obs::kCoreSteps, cc.steps);
+    count(obs::kCoreInstrAlu, cc.instr_alu);
+    count(obs::kCoreInstrLoad, cc.instr_load);
+    count(obs::kCoreInstrStore, cc.instr_store);
+    count(obs::kCoreInstrBranch, cc.instr_branch);
+    count(obs::kCoreBranchTaken, cc.branch_taken);
+    count(obs::kCoreInstrJump, cc.instr_jump);
+    count(obs::kCoreInstrIncidental, cc.instr_incidental);
+    count(obs::kCoreInstrSystem, cc.instr_system);
+    count(obs::kCoreAssembles, cc.assembles);
+    count(obs::kCoreAssembleBytes, cc.assemble_bytes);
+    count(obs::kCoreLaneCommits, cc.lane_commits);
+
+    const obs::MemCounters &mc = obs_->mem;
+    count(obs::kMemLoads, mc.loads);
+    count(obs::kMemStores, mc.stores);
+    count(obs::kMemAcTruncatedLoads, mc.ac_truncated_loads);
+    count(obs::kMemAcTruncatedStores, mc.ac_truncated_stores);
+    count(obs::kMemWtCommits, mc.wt_commits);
+    count(obs::kMemWtRejects, mc.wt_rejects);
+    count(obs::kMemAssembleBytes, mc.assemble_bytes);
+    count(obs::kMemVersionResets, mc.version_resets);
+    count(obs::kMemLaneClears, mc.lane_clears);
+    count(obs::kMemDecayPasses, mc.decay_passes);
+
+    const obs::QueueCounters &qc = obs_->queue;
+    count(obs::kQueueRequests, qc.requests);
+    count(obs::kQueuePasses, qc.passes);
+    count(obs::kQueueDropped, qc.dropped);
+#endif
 }
 
 } // namespace inc::sim

@@ -38,6 +38,11 @@
 #include "kernels/kernel.h"
 #include "trace/power_trace.h"
 
+namespace inc::obs
+{
+struct Observer;
+}
+
 namespace inc::sim
 {
 
@@ -76,6 +81,15 @@ struct SimConfig
     bool score_quality = true;
 
     std::uint64_t seed = 2017;
+
+    /**
+     * Observability sink (src/obs). When non-null the run publishes the
+     * metric schema of obs/schema.h into its registry (and Chrome-trace
+     * events into its tracer, if one is attached). Observation is
+     * non-perturbing: attaching an observer never changes simulation
+     * results. Not owned; must outlive the simulator.
+     */
+    obs::Observer *obs = nullptr;
 };
 
 /** Per-frame quality record. */
@@ -170,6 +184,12 @@ class SystemSimulator
     void performBackup(std::size_t sample);
     void performRestore(std::size_t sample);
 
+    /** Fold the run's counters + energy ledger into the observer's
+     *  registry (end of run()). */
+    void publishMetrics(std::uint64_t on_samples);
+    /** Close the current power phase span on the tracer. */
+    void tracePowerPhase(std::size_t now_sample, bool next_on);
+
     kernels::Kernel kernel_;
     const trace::PowerTrace *trace_;
     SimConfig config_;
@@ -205,6 +225,20 @@ class SystemSimulator
 
     SimResult result_;
     std::map<std::uint32_t, FrameScore> scores_;
+
+    // Observability state (inert when obs_ is null; the per-instruction
+    // accumulation sites additionally compile out with INCIDENTAL_OBS=OFF).
+    obs::Observer *obs_ = nullptr;
+    double obs_initial_nj_ = 0.0;
+    double obs_fetch_nj_ = 0.0;
+    double obs_datapath_nj_ = 0.0;
+    double obs_idle_nj_ = 0.0;
+    double obs_assemble_nj_ = 0.0;
+    double obs_unfunded_nj_ = 0.0;
+    std::uint64_t obs_adopted_cycles_ = 0;
+    std::uint64_t obs_samples_ = 0;
+    std::uint64_t obs_cold_boots_ = 0;
+    std::size_t obs_phase_start_ = 0; ///< sample the power phase began
 };
 
 } // namespace inc::sim

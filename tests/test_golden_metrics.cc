@@ -1,0 +1,190 @@
+/**
+ * Golden-file regression test for the observability sinks: a pinned
+ * co-simulator scenario (sobel, power profile 2, seed 2017, 1000
+ * samples, dynamic bits) must keep producing the same metrics registry
+ * and the same Chrome-trace timeline as the checked-in golden files in
+ * tests/golden/.
+ *
+ * Comparison is normalizing, not textual: both sides are parsed and
+ * re-serialized through the canonical obs/json.h dump before
+ * comparison, so the test is insensitive to incidental formatting
+ * changes but catches any semantic drift (an extra backup, a shifted
+ * span, a renamed counter). Metrics are additionally compared through
+ * compareMetricsJson, which gives per-metric diff lines and a 1e-9
+ * relative tolerance for the energy gauges.
+ *
+ * Updating the goldens after an intentional behavior change:
+ *
+ *     INC_UPDATE_GOLDEN=1 ./build/tests/test_golden_metrics
+ *
+ * rewrites tests/golden/*.json in the source tree (the build embeds
+ * the source path via the INC_GOLDEN_DIR compile definition); commit
+ * the new files together with the change that moved them.
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kernels/kernel.h"
+#include "obs/event_tracer.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/observer.h"
+#include "obs/schema.h"
+#include "sim/system_sim.h"
+#include "trace/trace_generator.h"
+
+#ifndef INC_GOLDEN_DIR
+#error "INC_GOLDEN_DIR must point at tests/golden (see CMakeLists.txt)"
+#endif
+
+using namespace inc;
+
+namespace
+{
+
+const char *kMetricsGolden = INC_GOLDEN_DIR "/sobel_p2_metrics.json";
+const char *kTraceGolden = INC_GOLDEN_DIR "/sobel_p2_trace.json";
+
+bool
+updateRequested()
+{
+    const char *env = std::getenv("INC_UPDATE_GOLDEN");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return "";
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** Parse + canonical re-dump; empty string on malformed input. */
+std::string
+normalizeJson(const std::string &text)
+{
+    obs::JsonValue doc;
+    std::string error;
+    if (!obs::parseJson(text, &doc, &error))
+        return "";
+    return doc.dump();
+}
+
+/** The pinned scenario every golden file is derived from. */
+struct GoldenRun
+{
+    std::string metrics_json;
+    std::string trace_json;
+};
+
+GoldenRun
+runPinnedScenario()
+{
+    trace::TraceGenerator gen(trace::paperProfile(2), 2017);
+    const trace::PowerTrace power = gen.generate(1000);
+
+    sim::SimConfig cfg;
+    cfg.bits.mode = approx::ApproxMode::dynamic;
+    cfg.bits.min_bits = 2;
+    cfg.seed = 2017;
+    obs::Observer observer;
+    obs::EventTracer tracer;
+    observer.tracer = &tracer;
+    cfg.obs = &observer;
+
+    sim::SystemSimulator sim(kernels::makeKernel("sobel"), &power, cfg);
+    sim.run();
+
+    GoldenRun out;
+    out.metrics_json = observer.registry.toJson();
+    out.trace_json = tracer.toChromeTraceJson();
+    return out;
+}
+
+TEST(GoldenMetrics, PinnedScenarioMatchesGoldenFiles)
+{
+#if !INC_OBS_ENABLED
+    GTEST_SKIP() << "hot-path counters compiled out "
+                    "(INCIDENTAL_OBS=OFF); the golden files assume "
+                    "the default build";
+#endif
+    const GoldenRun now = runPinnedScenario();
+
+    // The produced artifacts must be self-consistent regardless of the
+    // golden state: valid JSON and clean identities.
+    ASSERT_TRUE(obs::jsonIsValid(now.metrics_json));
+    ASSERT_TRUE(obs::jsonIsValid(now.trace_json));
+    {
+        obs::MetricsRegistry registry;
+        std::string error;
+        ASSERT_TRUE(obs::MetricsRegistry::fromJson(now.metrics_json,
+                                                   &registry, &error))
+            << error;
+        const std::vector<std::string> problems =
+            obs::verifySimMetricIdentities(registry);
+        ASSERT_TRUE(problems.empty())
+            << problems.size()
+            << " identity violations; first: " << problems.front();
+    }
+
+    if (updateRequested()) {
+        std::ofstream(kMetricsGolden) << now.metrics_json;
+        std::ofstream(kTraceGolden) << now.trace_json;
+        GTEST_SKIP() << "golden files updated in " << INC_GOLDEN_DIR
+                     << "; review and commit them";
+    }
+
+    const std::string golden_metrics = readFile(kMetricsGolden);
+    const std::string golden_trace = readFile(kTraceGolden);
+    ASSERT_FALSE(golden_metrics.empty())
+        << kMetricsGolden
+        << " missing; run with INC_UPDATE_GOLDEN=1 to create it";
+    ASSERT_FALSE(golden_trace.empty())
+        << kTraceGolden
+        << " missing; run with INC_UPDATE_GOLDEN=1 to create it";
+
+    // Metrics: tolerance-aware, per-metric diff lines.
+    const std::vector<std::string> diffs =
+        obs::compareMetricsJson(golden_metrics, now.metrics_json);
+    if (!diffs.empty()) {
+        std::ostringstream msg;
+        msg << diffs.size() << " metric(s) drifted from golden:";
+        for (const auto &d : diffs)
+            msg << "\n  " << d;
+        msg << "\nIf intentional: INC_UPDATE_GOLDEN=1 "
+               "./build/tests/test_golden_metrics";
+        FAIL() << msg.str();
+    }
+
+    // Trace: normalized structural comparison.
+    const std::string want = normalizeJson(golden_trace);
+    const std::string got = normalizeJson(now.trace_json);
+    ASSERT_FALSE(want.empty()) << "golden trace is malformed JSON";
+    ASSERT_FALSE(got.empty());
+    if (want != got) {
+        const std::size_t n = std::min(want.size(), got.size());
+        std::size_t at = 0;
+        while (at < n && want[at] == got[at])
+            ++at;
+        const std::size_t from = at < 60 ? 0 : at - 60;
+        FAIL() << "chrome trace drifted from golden at byte " << at
+               << "\n  golden: ..."
+               << want.substr(from, 120) << "\n  actual: ..."
+               << got.substr(from, 120)
+               << "\nIf intentional: INC_UPDATE_GOLDEN=1 "
+                  "./build/tests/test_golden_metrics";
+    }
+}
+
+} // namespace

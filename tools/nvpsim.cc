@@ -12,20 +12,32 @@
  *              [--mode precise|fixed|dynamic] [--bits B] [--minbits B]
  *              [--policy full|linear|log|parabola] [--baseline]
  *              [--seconds S] [--seed K]
+ *              [--metrics F.json] [--trace-out F.trace.json]
  *       Co-simulate a kernel on a power trace and print the result
  *       record (forward progress, backups, quality, lane statistics).
+ *       --metrics attaches an observer (src/obs) and writes its metric
+ *       registry as JSON, then verifies the cross-metric identities of
+ *       obs/schema.h (violations exit nonzero). --trace-out writes a
+ *       Chrome-trace / Perfetto JSON timeline (power phases, backups,
+ *       restores, frame lifetimes, capacitor level); it is named
+ *       --trace-out rather than --trace because --trace already means
+ *       "input power-trace CSV".
  *
  *   nvpsim sweep [--kernels A,B,...|all] [--profiles 1,2,...|all]
  *                [--mode precise|fixed|dynamic] [--bits B] [--minbits B]
  *                [--policy full|linear|log|parabola] [--baseline]
  *                [--seconds S] [--seed K] [--jobs N] [--out F.csv]
+ *                [--metrics F.json]
  *       Run the kernel x profile grid in parallel on N worker threads
  *       (default: hardware concurrency) via runner::SweepRunner.
  *       Results are aggregated in deterministic job order — the output
- *       is byte-identical at any --jobs value. Failing jobs are
- *       retried once, then reported; the exit status is nonzero only
- *       if failures remain after retry. --inject-failure J makes job J
- *       throw (a testing aid for the failure-capture path).
+ *       is byte-identical at any --jobs value, including the merged
+ *       metric registry that --metrics writes (per-job registries are
+ *       folded in job-index order and scheduling artifacts are
+ *       excluded). Failing jobs are retried once, then reported; the
+ *       exit status is nonzero only if failures remain after retry.
+ *       --inject-failure J makes job J throw (a testing aid for the
+ *       failure-capture path).
  *
  *   nvpsim fuzz [--trials N] [--seed K] [--jobs N] [--samples S]
  *               [--repro-dir DIR] [--minimize] [--replay DIR]
@@ -60,6 +72,9 @@
 #include "isa/assembler.h"
 #include "isa/disassembler.h"
 #include "kernels/kernel.h"
+#include "obs/event_tracer.h"
+#include "obs/observer.h"
+#include "obs/schema.h"
 #include "runner/sweep.h"
 #include "runner/thread_pool.h"
 #include "sim/system_sim.h"
@@ -84,7 +99,11 @@ class Args
             std::string arg = argv[i];
             if (arg.rfind("--", 0) == 0) {
                 const std::string key = arg.substr(2);
-                if (i + 1 < argc && argv[i + 1][0] != '-') {
+                const std::size_t eq = key.find('=');
+                if (eq != std::string::npos) {
+                    // --key=value form.
+                    values_[key.substr(0, eq)] = key.substr(eq + 1);
+                } else if (i + 1 < argc && argv[i + 1][0] != '-') {
                     values_[key] = argv[++i];
                 } else {
                     values_[key] = "1";
@@ -218,7 +237,17 @@ cmdRun(const Args &args)
     const std::string name = args.get("kernel", "sobel");
     const trace::PowerTrace t = loadOrGenerateTrace(args);
     const kernels::Kernel kernel = kernels::makeKernel(name);
-    const sim::SimConfig cfg = configFromArgs(args);
+    sim::SimConfig cfg = configFromArgs(args);
+
+    const bool want_metrics = args.has("metrics");
+    const bool want_trace = args.has("trace-out");
+    obs::Observer observer;
+    obs::EventTracer tracer;
+    if (want_metrics || want_trace) {
+        if (want_trace)
+            observer.tracer = &tracer;
+        cfg.obs = &observer;
+    }
 
     sim::SystemSimulator s(kernel, &t, cfg);
     const sim::SimResult r = s.run();
@@ -267,6 +296,33 @@ cmdRun(const Args &args)
         util::Table::integer(static_cast<long long>(
             r.retention_failures.totalViolations())));
     table.print();
+
+    if (want_trace) {
+        const std::string path = args.get("trace-out");
+        if (!tracer.writeChromeTraceJson(path))
+            util::fatal("could not write '%s'", path.c_str());
+        std::printf("chrome trace written to %s (%zu events",
+                    path.c_str(), tracer.size());
+        if (tracer.dropped() > 0)
+            std::printf(", %llu dropped",
+                        static_cast<unsigned long long>(
+                            tracer.dropped()));
+        std::printf(")\n");
+    }
+    if (want_metrics) {
+        const std::string path = args.get("metrics");
+        if (!observer.registry.writeJson(path))
+            util::fatal("could not write '%s'", path.c_str());
+        std::printf("metrics written to %s\n", path.c_str());
+        const std::vector<std::string> problems =
+            obs::verifySimMetricIdentities(observer.registry);
+        if (!problems.empty()) {
+            for (const auto &p : problems)
+                std::fprintf(stderr, "metric identity violated: %s\n",
+                             p.c_str());
+            return 1;
+        }
+    }
     return 0;
 }
 
@@ -324,6 +380,7 @@ cmdSweep(const Args &args)
         "jobs", runner::ThreadPool::defaultThreads()));
     if (spec.jobs < 1)
         util::fatal("--jobs must be >= 1");
+    spec.collect_metrics = args.has("metrics");
 
     runner::SweepRunner::JobFn body = &runner::SweepRunner::simJob;
     if (args.has("inject-failure")) {
@@ -380,6 +437,13 @@ cmdSweep(const Args &args)
         if (!csv.write(args.get("out")))
             util::fatal("could not write '%s'", args.get("out").c_str());
         std::printf("results written to %s\n", args.get("out").c_str());
+    }
+    if (spec.collect_metrics) {
+        const std::string path = args.get("metrics");
+        const obs::MetricsRegistry merged = report.mergedMetrics();
+        if (!merged.writeJson(path))
+            util::fatal("could not write '%s'", path.c_str());
+        std::printf("merged metrics written to %s\n", path.c_str());
     }
     if (!report.allOk()) {
         std::fputs(report.failureReport().c_str(), stderr);
