@@ -18,6 +18,7 @@ using namespace inc;
 namespace
 {
 
+/** Default engine (predecoded since DESIGN.md §11). */
 void
 BM_CoreStep(benchmark::State &state)
 {
@@ -34,6 +35,28 @@ BM_CoreStep(benchmark::State &state)
     state.SetItemsProcessed(static_cast<std::int64_t>(instructions));
 }
 BENCHMARK(BM_CoreStep);
+
+/** The always-decode baseline interpreter, for the §11 speedup ratio.
+ *  The CI-gated measurement lives in bench/vm_speedup.cc; this variant
+ *  makes the comparison visible in the ordinary benchmark listing. */
+void
+BM_CoreStepReference(benchmark::State &state)
+{
+    const auto kernel = kernels::makeKernel("sobel");
+    nvp::DataMemory mem{util::Rng(1)};
+    mem.addVersionedRegion(kernel.layout.out_base,
+                           kernel.layout.out_bytes * 4);
+    nvp::CoreConfig cfg;
+    cfg.engine = nvp::ExecEngine::reference;
+    nvp::Core core(&kernel.program, &mem, cfg, util::Rng(2));
+    std::uint64_t instructions = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core.step());
+        ++instructions;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(instructions));
+}
+BENCHMARK(BM_CoreStepReference);
 
 /**
  * Same loop with obs hot counters attached (the worst case: every

@@ -15,6 +15,7 @@
 #include "obs/schema.h"
 #include "runner/thread_pool.h"
 #include "sim/functional.h"
+#include "sim/result_io.h"
 #include "sim/system_sim.h"
 #include "trace/trace_generator.h"
 #include "util/fs.h"
@@ -65,6 +66,55 @@ metricsDivergence(const obs::Observer &observer)
            << " violated; first: " << problems.front();
     d.detail = detail.str();
     return d;
+}
+
+/**
+ * The engine-equivalence invariant: re-run @p spec's co-simulation with
+ * the reference interpreter and compare against the predecoded run's
+ * serialized SimResult + metrics JSON. Any byte of difference is a
+ * divergence (the first differing line is reported).
+ */
+Divergence
+engineDiffDivergence(const kernels::Kernel &kernel,
+                     const trace::PowerTrace &power,
+                     const sim::SimConfig &fast_cfg,
+                     const std::string &fast_result,
+                     const obs::Observer &fast_obs)
+{
+    sim::SimConfig ref_cfg = fast_cfg;
+    ref_cfg.exec_engine = nvp::ExecEngine::reference;
+    obs::Observer ref_obs;
+    ref_cfg.obs = &ref_obs;
+    sim::SystemSimulator ref_sim(kernel, &power, ref_cfg);
+    const std::string ref_result = sim::serializeResult(ref_sim.run());
+
+    if (ref_result != fast_result) {
+        std::istringstream ref_lines(ref_result);
+        std::istringstream fast_lines(fast_result);
+        std::string ref_line, fast_line;
+        while (std::getline(ref_lines, ref_line) &&
+               std::getline(fast_lines, fast_line)) {
+            if (ref_line != fast_line)
+                break;
+        }
+        Divergence d;
+        d.violated = true;
+        d.invariant = "engine";
+        d.detail = "SimResult diverged between engines: reference '" +
+                   ref_line + "' vs predecoded '" + fast_line + "'";
+        return d;
+    }
+    const std::string ref_json = ref_obs.registry.toJson();
+    const std::string fast_json = fast_obs.registry.toJson();
+    if (ref_json != fast_json) {
+        Divergence d;
+        d.violated = true;
+        d.invariant = "engine_metrics";
+        d.detail =
+            "metrics JSON diverged between engines (results agree)";
+        return d;
+    }
+    return {};
 }
 
 /** Baseline controller: plain suspend/resume, exactly one lane. */
@@ -161,9 +211,14 @@ runExactTrial(const TrialSpec &spec)
                 }
             }
         });
-    sim.run();
+    const sim::SimResult result = sim.run();
     if (!div.violated)
         div = metricsDivergence(observer);
+    if (!div.violated && spec.engine_diff) {
+        div = engineDiffDivergence(fp.kernel, power, cfg,
+                                   sim::serializeResult(result),
+                                   observer);
+    }
     return div;
 }
 
@@ -231,9 +286,14 @@ runBoundedTrial(const TrialSpec &spec)
                 }
             }
         });
-    sim.run();
+    const sim::SimResult result = sim.run();
     if (!div.violated)
         div = metricsDivergence(observer);
+    if (!div.violated && spec.engine_diff) {
+        div = engineDiffDivergence(fp.kernel, power, cfg,
+                                   sim::serializeResult(result),
+                                   observer);
+    }
     return div;
 }
 
@@ -570,6 +630,7 @@ expandTrials(const CheckConfig &config)
         s.mutations = TraceMutator::randomOps(t, s.samples, n_mut);
         if (s.mode == TrialMode::exact_recovery)
             s.bug = config.inject;
+        s.engine_diff = config.engine_diff;
         specs.push_back(std::move(s));
     }
     return specs;
@@ -624,6 +685,7 @@ writeBundle(const std::string &dir, const TrialSpec &spec,
               << "frame_period=" << spec.frame_period << "\n"
               << "bug=" << static_cast<int>(spec.bug) << "\n"
               << "bug_name=" << bugName(spec.bug) << "\n"
+              << "engine_diff=" << (spec.engine_diff ? 1 : 0) << "\n"
               << "violated=" << (divergence.violated ? 1 : 0) << "\n"
               << "invariant=" << divergence.invariant << "\n"
               << "frame=" << divergence.frame << "\n"
@@ -696,6 +758,7 @@ loadBundle(const std::string &dir, TrialSpec *out)
     if (auto it = kv.find("frame_period"); it != kv.end())
         s.frame_period = std::strtod(it->second.c_str(), nullptr);
     s.bug = static_cast<BugKind>(i32("bug", 0));
+    s.engine_diff = i32("engine_diff", 0) != 0;
 
     std::ifstream muts(dir + "/mutations.txt");
     if (muts) {

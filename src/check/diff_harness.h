@@ -42,6 +42,13 @@
  *     Observation is non-perturbing by contract, so this rides along
  *     without changing the trial distribution or any result.
  *
+ *   engine_diff (cross-cutting, opt-in via `fuzz --engine-diff`) — a
+ *     co-simulator trial whose primary invariant passed re-runs under
+ *     the reference interpreter (SimConfig::exec_engine) and the
+ *     serialized SimResult plus the metrics JSON must equal the
+ *     predecoded run byte-for-byte: the fast path may never drift from
+ *     the semantic baseline, on any fuzzed program or mutated trace.
+ *
  * A TrialSpec is plain data: everything a trial does is derived from it
  * deterministically, so any failure can be serialized into a repro
  * bundle, replayed bit-exactly, and minimized by bisection over its
@@ -96,6 +103,15 @@ struct TrialSpec
     double frame_period = 50.0; ///< sensor period, 0.1 ms units
     std::vector<MutationOp> mutations;
     BugKind bug = BugKind::none;
+
+    /**
+     * Engine-equivalence invariant (the sixth fuzzer invariant): after
+     * the primary invariant passes, co-simulator trials re-run the same
+     * spec under the reference engine and require the serialized
+     * SimResult and the metrics JSON to match the predecoded run
+     * byte-for-byte (sim/result_io.h).
+     */
+    bool engine_diff = false;
 };
 
 /** First observed invariant violation of a trial (none if !violated). */
@@ -130,6 +146,7 @@ struct CheckConfig
     std::string repro_dir;      ///< bundle output root; empty = no bundles
     bool minimize = false;
     BugKind inject = BugKind::none;
+    bool engine_diff = false;   ///< enable TrialSpec::engine_diff on all trials
 };
 
 /** Aggregate outcome of a fuzzing run. */

@@ -91,4 +91,29 @@ decodeAll(const std::vector<std::uint32_t> &words)
     return code;
 }
 
+std::optional<std::vector<std::uint32_t>>
+imageToWords(const std::vector<std::uint8_t> &bytes)
+{
+    if (bytes.size() % 4 != 0)
+        return std::nullopt;
+    std::vector<std::uint32_t> words;
+    words.reserve(bytes.size() / 4);
+    for (std::size_t i = 0; i < bytes.size(); i += 4) {
+        words.push_back(static_cast<std::uint32_t>(bytes[i]) |
+                        static_cast<std::uint32_t>(bytes[i + 1]) << 8 |
+                        static_cast<std::uint32_t>(bytes[i + 2]) << 16 |
+                        static_cast<std::uint32_t>(bytes[i + 3]) << 24);
+    }
+    return words;
+}
+
+std::optional<std::vector<Instruction>>
+decodeImage(const std::vector<std::uint8_t> &bytes)
+{
+    const auto words = imageToWords(bytes);
+    if (!words)
+        return std::nullopt;
+    return decodeAll(*words);
+}
+
 } // namespace inc::isa

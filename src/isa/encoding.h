@@ -41,6 +41,20 @@ std::vector<std::uint32_t> encodeAll(const std::vector<Instruction> &code);
 std::optional<std::vector<Instruction>>
 decodeAll(const std::vector<std::uint32_t> &words);
 
+/**
+ * Reassemble a raw byte image into little-endian 32-bit words; nullopt
+ * if the image is truncated (length not a multiple of 4).
+ */
+std::optional<std::vector<std::uint32_t>>
+imageToWords(const std::vector<std::uint8_t> &bytes);
+
+/**
+ * Decode a raw byte image (little-endian words); nullopt on truncated
+ * images or any invalid word.
+ */
+std::optional<std::vector<Instruction>>
+decodeImage(const std::vector<std::uint8_t> &bytes);
+
 } // namespace inc::isa
 
 #endif // INC_ISA_ENCODING_H

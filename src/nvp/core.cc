@@ -1,10 +1,33 @@
 #include "nvp/core.h"
 
+#include <algorithm>
+
 #include "util/bit_ops.h"
 #include "util/logging.h"
 
 namespace inc::nvp
 {
+
+namespace
+{
+
+} // namespace
+
+std::optional<ExecEngine>
+execEngineFromName(const std::string &name)
+{
+    if (name == "reference")
+        return ExecEngine::reference;
+    if (name == "predecoded")
+        return ExecEngine::predecoded;
+    return std::nullopt;
+}
+
+const char *
+execEngineName(ExecEngine engine)
+{
+    return engine == ExecEngine::reference ? "reference" : "predecoded";
+}
 
 Core::Core(const isa::Program *program, DataMemory *memory,
            CoreConfig config, util::Rng rng)
@@ -15,6 +38,8 @@ Core::Core(const isa::Program *program, DataMemory *memory,
     if (config_.max_lanes < 1 || config_.max_lanes > kMaxLanes)
         util::fatal("CoreConfig::max_lanes must be 1..%d", kMaxLanes);
     lanes_[0].active = true;
+    if (config_.engine == ExecEngine::predecoded)
+        decoded_ = isa::PredecodedProgram(*program_);
 }
 
 const LaneInfo &
@@ -58,6 +83,7 @@ Core::activateLane(int index, const RegSnapshot &regs, int bits,
     l.active = true;
     l.bits = bits;
     l.frame = frame;
+    ++active_lanes_;
     rf_.load(index, regs);
     mem_->clearLaneVersions(index);
 }
@@ -71,6 +97,7 @@ Core::deactivateLane(int index)
     if (!l.active)
         return;
     l.active = false;
+    --active_lanes_;
     mem_->clearLaneVersions(index);
 }
 
@@ -185,7 +212,7 @@ Core::executeStore(const isa::Instruction &inst, int lane,
 }
 
 StepResult
-Core::step()
+Core::stepReference()
 {
     StepResult result;
     INC_OBS_COUNT(obs_, steps);
@@ -319,6 +346,383 @@ Core::step()
     for (LaneInfo &l : lanes_) {
         if (l.active)
             ++l.instret;
+    }
+    INC_OBS_ADD(obs_, lane_commits, result.lanes_committed);
+    pc_ = next_pc;
+    return result;
+}
+
+// ---- predecoded fast path --------------------------------------------------
+//
+// Mirrors stepReference() exactly — same semantics, same RNG draw
+// conditions, same observability increments, same memory-model calls in
+// the same order — but fetches from the dense DecodedInst array and uses
+// the unchecked register-file accessors. Any divergence is a bug caught
+// by tests/test_engine_diff.cc and `nvpsim fuzz --engine-diff`.
+
+template <typename ComputeFn>
+inline void
+Core::dataOpLaneFast(const isa::DecodedInst &d, int lane,
+                     ComputeFn compute)
+{
+    const std::uint16_t a = rf_.readFast(lane, d.rs1);
+    const std::uint16_t b =
+        d.b_is_imm ? d.imm : rf_.readFast(lane, d.rs2);
+    std::uint16_t result = compute(a, b);
+    // Identical noise predicate to the reference engine: the RNG must be
+    // drawn under exactly the same conditions for bit-identity.
+    if (d.noise_candidate && config_.approx_alu && rf_.isAcFast(d.rd)) {
+        const int bits = effectiveBits(lane);
+        if (bits < 8)
+            result = alu_.injectNoise(result, bits);
+    }
+    rf_.writeFast(lane, d.rd, result);
+}
+
+template <typename ComputeFn>
+inline void
+Core::dataOpFast(const isa::DecodedInst &d, ComputeFn compute)
+{
+    INC_OBS_COUNT(obs_, instr_alu);
+    if (active_lanes_ == 1) {
+        dataOpLaneFast(d, 0, compute); // lane 0 is always active
+    } else {
+        for (int lane = 0; lane < kMaxLanes; ++lane) {
+            if (lanes_[static_cast<size_t>(lane)].active)
+                dataOpLaneFast(d, lane, compute);
+        }
+    }
+}
+
+template <typename LoadFn>
+inline void
+Core::loadLaneFast(const isa::DecodedInst &d, int lane, LoadFn load)
+{
+    const std::uint32_t addr = static_cast<std::uint16_t>(
+        rf_.readFast(lane, d.rs1) + d.imm);
+    const bool approx = config_.approx_mem && ac_en_;
+    const int bits = effectiveBits(lane);
+    rf_.writeFast(lane, d.rd, load(lane, addr, bits, approx));
+}
+
+template <typename LoadFn>
+inline void
+Core::loadFast(const isa::DecodedInst &d, LoadFn load)
+{
+    INC_OBS_COUNT(obs_, instr_load);
+    if (active_lanes_ == 1) {
+        loadLaneFast(d, 0, load);
+    } else {
+        for (int lane = 0; lane < kMaxLanes; ++lane) {
+            if (lanes_[static_cast<size_t>(lane)].active)
+                loadLaneFast(d, lane, load);
+        }
+    }
+}
+
+template <bool kWide>
+inline void
+Core::storeLaneFast(const isa::DecodedInst &d, int lane,
+                    StepResult &result)
+{
+    const std::uint32_t addr = static_cast<std::uint16_t>(
+        rf_.readFast(lane, d.rs1) + d.imm);
+    const bool approx = config_.approx_mem && ac_en_;
+    const int bits = effectiveBits(lane);
+    const std::uint16_t value = rf_.readFast(lane, d.rs2);
+    mem_->store8(lane, addr, static_cast<std::uint8_t>(value), bits,
+                 approx);
+    if constexpr (kWide) {
+        mem_->store8(lane, static_cast<std::uint16_t>(addr + 1),
+                     static_cast<std::uint8_t>(value >> 8), bits,
+                     approx);
+    }
+    if (lane == 0)
+        result.store_policy = mem_->policyAt(addr);
+}
+
+template <bool kWide>
+inline void
+Core::storeFast(const isa::DecodedInst &d, StepResult &result)
+{
+    INC_OBS_COUNT(obs_, instr_store);
+    if (active_lanes_ == 1) {
+        storeLaneFast<kWide>(d, 0, result);
+    } else {
+        for (int lane = 0; lane < kMaxLanes; ++lane) {
+            if (lanes_[static_cast<size_t>(lane)].active)
+                storeLaneFast<kWide>(d, lane, result);
+        }
+    }
+}
+
+template <typename CmpFn>
+inline void
+Core::branchFast(const isa::DecodedInst &d, StepResult &result,
+                 std::uint16_t &next_pc, CmpFn cmp)
+{
+    INC_OBS_COUNT(obs_, instr_branch);
+    const std::uint16_t a = rf_.readFast(0, d.rs1);
+    const std::uint16_t b = rf_.readFast(0, d.rs2);
+    if (cmp(a, b)) {
+        INC_OBS_COUNT(obs_, branch_taken);
+        next_pc = d.imm;
+        ++result.cycles; // taken-branch bubble
+    }
+}
+
+StepResult
+Core::stepPredecoded()
+{
+    StepResult result;
+    INC_OBS_COUNT(obs_, steps);
+    if (halted_) {
+        result.op = isa::Op::halt;
+        result.halted = true;
+        result.lanes_committed = 0;
+        INC_OBS_COUNT(obs_, instr_system);
+        return result;
+    }
+
+    const isa::DecodedInst &d = decoded_.at(pc_);
+    result.op = d.op;
+    result.cycles = d.cycles;
+    result.lanes_committed = active_lanes_;
+
+    std::uint16_t next_pc = static_cast<std::uint16_t>(pc_ + 1);
+
+    // One jump table on the predecoded opcode: each case inlines its
+    // compute/comparator/access into the shared lane-stepping bodies,
+    // so the dominant data/load/store steps pay a single indirect
+    // branch instead of class dispatch plus a second per-op switch.
+    // Semantics per op are an exact twin of ApproxAlu::compute and the
+    // stepReference() class handlers — the differential tier
+    // (test_engine_diff, fuzz --engine-diff) compares both engines
+    // bit-for-bit.
+    using U = std::uint16_t;
+    using S = std::int16_t;
+    switch (d.op) {
+      case isa::Op::nop:
+        INC_OBS_COUNT(obs_, instr_system);
+        break;
+      case isa::Op::halt:
+        INC_OBS_COUNT(obs_, instr_system);
+        halted_ = true;
+        result.halted = true;
+        break;
+
+      case isa::Op::ldi:
+        dataOpFast(d, [](U, U b) { return b; });
+        break;
+      case isa::Op::mov:
+        dataOpFast(d, [](U a, U) { return a; });
+        break;
+      case isa::Op::add:
+      case isa::Op::addi:
+        dataOpFast(d, [](U a, U b) { return static_cast<U>(a + b); });
+        break;
+      case isa::Op::sub:
+        dataOpFast(d, [](U a, U b) { return static_cast<U>(a - b); });
+        break;
+      case isa::Op::mul:
+        dataOpFast(d, [](U a, U b) {
+            return static_cast<U>(static_cast<std::uint32_t>(a) * b);
+        });
+        break;
+      case isa::Op::divu:
+        dataOpFast(d, [](U a, U b) {
+            return b == 0 ? static_cast<U>(0xFFFF)
+                          : static_cast<U>(a / b);
+        });
+        break;
+      case isa::Op::remu:
+        dataOpFast(d, [](U a, U b) {
+            return b == 0 ? a : static_cast<U>(a % b);
+        });
+        break;
+      case isa::Op::and_:
+      case isa::Op::andi:
+        dataOpFast(d, [](U a, U b) { return static_cast<U>(a & b); });
+        break;
+      case isa::Op::or_:
+      case isa::Op::ori:
+        dataOpFast(d, [](U a, U b) { return static_cast<U>(a | b); });
+        break;
+      case isa::Op::xor_:
+      case isa::Op::xori:
+        dataOpFast(d, [](U a, U b) { return static_cast<U>(a ^ b); });
+        break;
+      case isa::Op::sll:
+      case isa::Op::slli:
+        dataOpFast(d, [](U a, U b) {
+            return static_cast<U>(a << (b & 15));
+        });
+        break;
+      case isa::Op::srl:
+      case isa::Op::srli:
+        dataOpFast(d, [](U a, U b) {
+            return static_cast<U>(a >> (b & 15));
+        });
+        break;
+      case isa::Op::sra:
+      case isa::Op::srai:
+        dataOpFast(d, [](U a, U b) {
+            return static_cast<U>(static_cast<S>(a) >> (b & 15));
+        });
+        break;
+      case isa::Op::slt:
+      case isa::Op::slti:
+        dataOpFast(d, [](U a, U b) {
+            return static_cast<U>(
+                static_cast<S>(a) < static_cast<S>(b) ? 1 : 0);
+        });
+        break;
+      case isa::Op::sltu:
+      case isa::Op::sltiu:
+        dataOpFast(d, [](U a, U b) {
+            return static_cast<U>(a < b ? 1 : 0);
+        });
+        break;
+      case isa::Op::min:
+        dataOpFast(d, [](U a, U b) {
+            return static_cast<U>(
+                std::min(static_cast<S>(a), static_cast<S>(b)));
+        });
+        break;
+      case isa::Op::max:
+        dataOpFast(d, [](U a, U b) {
+            return static_cast<U>(
+                std::max(static_cast<S>(a), static_cast<S>(b)));
+        });
+        break;
+      case isa::Op::minu:
+        dataOpFast(d, [](U a, U b) { return std::min(a, b); });
+        break;
+      case isa::Op::maxu:
+        dataOpFast(d, [](U a, U b) { return std::max(a, b); });
+        break;
+
+      case isa::Op::ld8:
+        loadFast(d, [this](int lane, std::uint32_t addr, int bits,
+                           bool approx) -> U {
+            return mem_->load8(lane, addr, bits, approx);
+        });
+        break;
+      case isa::Op::ld8s:
+        loadFast(d, [this](int lane, std::uint32_t addr, int bits,
+                           bool approx) -> U {
+            return static_cast<U>(util::signExtend(
+                mem_->load8(lane, addr, bits, approx), 8));
+        });
+        break;
+      case isa::Op::ld16:
+        loadFast(d, [this](int lane, std::uint32_t addr, int bits,
+                           bool approx) -> U {
+            const std::uint8_t lo =
+                mem_->load8(lane, addr, bits, approx);
+            const std::uint8_t hi = mem_->load8(
+                lane, static_cast<std::uint16_t>(addr + 1), bits,
+                approx);
+            return static_cast<U>(lo | (hi << 8));
+        });
+        break;
+
+      case isa::Op::st8:
+        storeFast<false>(d, result);
+        break;
+      case isa::Op::st16:
+        storeFast<true>(d, result);
+        break;
+
+      case isa::Op::beq:
+        branchFast(d, result, next_pc,
+                   [](U a, U b) { return a == b; });
+        break;
+      case isa::Op::bne:
+        branchFast(d, result, next_pc,
+                   [](U a, U b) { return a != b; });
+        break;
+      case isa::Op::blt:
+        branchFast(d, result, next_pc, [](U a, U b) {
+            return static_cast<S>(a) < static_cast<S>(b);
+        });
+        break;
+      case isa::Op::bge:
+        branchFast(d, result, next_pc, [](U a, U b) {
+            return static_cast<S>(a) >= static_cast<S>(b);
+        });
+        break;
+      case isa::Op::bltu:
+        branchFast(d, result, next_pc,
+                   [](U a, U b) { return a < b; });
+        break;
+      case isa::Op::bgeu:
+        branchFast(d, result, next_pc,
+                   [](U a, U b) { return a >= b; });
+        break;
+
+      case isa::Op::jmp:
+        INC_OBS_COUNT(obs_, instr_jump);
+        next_pc = d.imm;
+        break;
+      case isa::Op::jal:
+        INC_OBS_COUNT(obs_, instr_jump);
+        for (int lane = 0; lane < kMaxLanes; ++lane) {
+            if (lanes_[static_cast<size_t>(lane)].active)
+                rf_.writeFast(lane, d.rd,
+                              static_cast<std::uint16_t>(pc_ + 1));
+        }
+        next_pc = d.imm;
+        break;
+      case isa::Op::jr:
+        INC_OBS_COUNT(obs_, instr_jump);
+        next_pc = rf_.readFast(0, d.rs1);
+        break;
+
+      case isa::Op::markrp:
+        INC_OBS_COUNT(obs_, instr_incidental);
+        has_resume_ = true;
+        resume_pc_ = pc_;
+        frame_reg_ = d.rs1;
+        match_mask_ = d.imm;
+        result.mark_resume = true;
+        result.resume_frame_value = rf_.readFast(0, d.rs1);
+        break;
+      case isa::Op::acset:
+        INC_OBS_COUNT(obs_, instr_incidental);
+        rf_.orAcMask(d.imm);
+        break;
+      case isa::Op::acclr:
+        INC_OBS_COUNT(obs_, instr_incidental);
+        rf_.clearAcMask(d.imm);
+        break;
+      case isa::Op::acen:
+        INC_OBS_COUNT(obs_, instr_incidental);
+        ac_en_ = d.imm != 0;
+        break;
+      case isa::Op::assem: {
+        INC_OBS_COUNT(obs_, instr_incidental);
+        const std::uint32_t base = rf_.readFast(0, d.rs1);
+        const std::uint32_t len = rf_.readFast(0, d.rs2);
+        result.assemble_bytes = mem_->assemble(
+            base, len, static_cast<isa::AssembleMode>(d.imm));
+        result.cycles += static_cast<int>(2 * result.assemble_bytes);
+        INC_OBS_COUNT(obs_, assembles);
+        INC_OBS_ADD(obs_, assemble_bytes, result.assemble_bytes);
+        break;
+      }
+
+      case isa::Op::num_ops:
+        util::panic("stepPredecoded: invalid opcode");
+    }
+
+    if (active_lanes_ == 1) {
+        ++lanes_[0].instret;
+    } else {
+        for (LaneInfo &l : lanes_) {
+            if (l.active)
+                ++l.instret;
+        }
     }
     INC_OBS_ADD(obs_, lane_commits, result.lanes_committed);
     pc_ = next_pc;

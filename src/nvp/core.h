@@ -20,7 +20,10 @@
 #define INC_NVP_CORE_H
 
 #include <cstdint>
+#include <optional>
+#include <string>
 
+#include "isa/predecode.h"
 #include "isa/program.h"
 #include "nvp/approx_alu.h"
 #include "nvp/memory.h"
@@ -30,12 +33,35 @@
 namespace inc::nvp
 {
 
+/**
+ * Interpreter selection. Both engines implement identical architectural
+ * semantics — same results, same RNG draw sequence, same observability
+ * counters — enforced bit-for-bit by tests/test_engine_diff.cc and the
+ * fuzzer's engine-diff invariant (`nvpsim fuzz --engine-diff`).
+ *
+ *  - reference:  decode-as-you-go loop; metadata re-derived every step.
+ *  - predecoded: dispatches over a dense DecodedInst array resolved at
+ *    program load (isa/predecode.h); the default.
+ */
+enum class ExecEngine
+{
+    reference,
+    predecoded,
+};
+
+/** Parse "reference"/"predecoded"; nullopt otherwise. */
+std::optional<ExecEngine> execEngineFromName(const std::string &name);
+
+/** Engine name ("reference"/"predecoded"). */
+const char *execEngineName(ExecEngine engine);
+
 /** Static core configuration. */
 struct CoreConfig
 {
     bool approx_alu = true; ///< enable ALU noise model
     bool approx_mem = true; ///< enable AC-region truncation model
     int max_lanes = kMaxLanes;
+    ExecEngine engine = ExecEngine::predecoded;
 };
 
 /** Per-lane bookkeeping. */
@@ -125,7 +151,12 @@ class Core
     // ---- execution ---------------------------------------------------------
 
     /** Execute one instruction across all active lanes. */
-    StepResult step();
+    StepResult step()
+    {
+        return config_.engine == ExecEngine::predecoded
+                   ? stepPredecoded()
+                   : stepReference();
+    }
 
     const CoreConfig &config() const { return config_; }
     const isa::Program &program() const { return *program_; }
@@ -142,14 +173,42 @@ class Core
     /** Effective precision of a lane (8 when approximation disabled). */
     int effectiveBits(int lane) const;
 
+    /** Decode-as-you-go engine (the semantic baseline). */
+    StepResult stepReference();
+    /** Fast-path engine over the predecoded program. */
+    StepResult stepPredecoded();
+
     void executeDataOp(const isa::Instruction &inst, int lane);
     void executeLoad(const isa::Instruction &inst, int lane);
     void executeStore(const isa::Instruction &inst, int lane,
                       StepResult &result);
 
+    // Fast-path bodies (core.cc). stepPredecoded() dispatches once on
+    // the predecoded opcode and instantiates these per op, so the
+    // compute/comparator/access lambdas inline into a single jump
+    // table — no second-level switch per step.
+    template <typename ComputeFn>
+    void dataOpFast(const isa::DecodedInst &d, ComputeFn compute);
+    template <typename ComputeFn>
+    void dataOpLaneFast(const isa::DecodedInst &d, int lane,
+                        ComputeFn compute);
+    template <typename LoadFn>
+    void loadFast(const isa::DecodedInst &d, LoadFn load);
+    template <typename LoadFn>
+    void loadLaneFast(const isa::DecodedInst &d, int lane, LoadFn load);
+    template <bool kWide>
+    void storeFast(const isa::DecodedInst &d, StepResult &result);
+    template <bool kWide>
+    void storeLaneFast(const isa::DecodedInst &d, int lane,
+                       StepResult &result);
+    template <typename CmpFn>
+    void branchFast(const isa::DecodedInst &d, StepResult &result,
+                    std::uint16_t &next_pc, CmpFn cmp);
+
     const isa::Program *program_;
     DataMemory *mem_;
     CoreConfig config_;
+    isa::PredecodedProgram decoded_; ///< built iff engine == predecoded
     RegisterFile rf_;
     ApproxAlu alu_;
 
@@ -163,6 +222,9 @@ class Core
     std::uint16_t match_mask_ = 0;
 
     std::array<LaneInfo, kMaxLanes> lanes_;
+    /** Cached activeLaneCount(), maintained by (de)activateLane; the
+     *  fast path reads it instead of re-scanning the lane array. */
+    int active_lanes_ = 1;
     obs::CoreCounters *obs_ = nullptr;
 };
 

@@ -40,6 +40,32 @@ class RegisterFile
     /** Write register @p reg of version @p version (r0 writes ignored). */
     void write(int version, int reg, std::uint16_t value);
 
+    /**
+     * Unchecked read for the predecoded fast path. Sound because (a)
+     * operand fields come from 4-bit encodings so reg < kNumRegs, and
+     * (b) the r0 slot of every version is invariantly zero — write()/
+     * writeFast() skip r0 and load()/clearVersion() re-zero it — so no
+     * r0 special case is needed here.
+     */
+    std::uint16_t readFast(int version, int reg) const
+    {
+        return values_[static_cast<size_t>(version)]
+                      [static_cast<size_t>(reg)];
+    }
+
+    /** Unchecked write for the fast path; preserves the r0-zero
+     *  invariant readFast() relies on. */
+    void writeFast(int version, int reg, std::uint16_t value)
+    {
+        if (reg == 0)
+            return;
+        values_[static_cast<size_t>(version)][static_cast<size_t>(reg)] =
+            value;
+    }
+
+    /** Unchecked AC-flag probe for the fast path (reg < kNumRegs). */
+    bool isAcFast(int reg) const { return (ac_mask_ >> reg) & 1; }
+
     /** Snapshot a whole version. */
     RegSnapshot snapshot(int version) const;
 

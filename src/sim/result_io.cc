@@ -1,0 +1,131 @@
+#include "sim/result_io.h"
+
+#include <cstdio>
+
+namespace inc::sim
+{
+
+namespace
+{
+
+void
+appendU64(std::string &out, const char *key, std::uint64_t v)
+{
+    char buf[192];
+    std::snprintf(buf, sizeof buf, "%s=%llu\n", key,
+                  static_cast<unsigned long long>(v));
+    out += buf;
+}
+
+void
+appendI64(std::string &out, const char *key, long long v)
+{
+    char buf[192];
+    std::snprintf(buf, sizeof buf, "%s=%lld\n", key, v);
+    out += buf;
+}
+
+/** Hexfloat: round-trips the exact bit pattern of the double. */
+void
+appendF64(std::string &out, const char *key, double v)
+{
+    char buf[192];
+    std::snprintf(buf, sizeof buf, "%s=%a\n", key, v);
+    out += buf;
+}
+
+} // namespace
+
+std::string
+serializeResult(const SimResult &r)
+{
+    std::string out;
+    out.reserve(4096);
+
+    appendU64(out, "forward_progress", r.forward_progress);
+    appendU64(out, "main_instructions", r.main_instructions);
+    appendU64(out, "cycles_executed", r.cycles_executed);
+    appendU64(out, "backups", r.backups);
+    appendU64(out, "restores", r.restores);
+    appendF64(out, "on_time_fraction", r.on_time_fraction);
+
+    appendF64(out, "income_energy_nj", r.income_energy_nj);
+    appendF64(out, "consumed_energy_nj", r.consumed_energy_nj);
+    appendF64(out, "backup_energy_nj", r.backup_energy_nj);
+    appendF64(out, "restore_energy_nj", r.restore_energy_nj);
+
+    appendU64(out, "ctrl.backups", r.controller.backups);
+    appendU64(out, "ctrl.restores", r.controller.restores);
+    appendU64(out, "ctrl.roll_forwards", r.controller.roll_forwards);
+    appendU64(out, "ctrl.plain_resumes", r.controller.plain_resumes);
+    appendU64(out, "ctrl.adoptions", r.controller.adoptions);
+    appendU64(out, "ctrl.history_spawns", r.controller.history_spawns);
+    appendU64(out, "ctrl.recompute_spawns",
+              r.controller.recompute_spawns);
+    appendU64(out, "ctrl.retirements", r.controller.retirements);
+    appendU64(out, "ctrl.dropped_stale", r.controller.dropped_stale);
+    appendU64(out, "ctrl.frames_started", r.controller.frames_started);
+    appendU64(out, "ctrl.frames_completed",
+              r.controller.frames_completed);
+    appendU64(out, "ctrl.frames_abandoned",
+              r.controller.frames_abandoned);
+    appendU64(out, "ctrl.reg_decay_events",
+              r.controller.reg_decay_events);
+
+    for (std::size_t b = 0; b < r.retention_failures.violations.size();
+         ++b) {
+        char key[64];
+        std::snprintf(key, sizeof key, "retention.violations.%zu", b);
+        appendU64(out, key, r.retention_failures.violations[b]);
+        std::snprintf(key, sizeof key, "retention.flips.%zu", b);
+        appendU64(out, key, r.retention_failures.flips[b]);
+    }
+
+    appendF64(out, "start_threshold_nj", r.start_threshold_nj);
+    appendF64(out, "backup_threshold_nj", r.backup_threshold_nj);
+
+    for (std::size_t b = 0; b < r.bit_ticks.size(); ++b) {
+        char key[64];
+        std::snprintf(key, sizeof key, "bit_ticks.%zu", b);
+        appendU64(out, key, r.bit_ticks[b]);
+    }
+
+    appendI64(out, "frames_scored", r.frames_scored);
+    appendF64(out, "mean_mse", r.mean_mse);
+    appendF64(out, "mean_psnr", r.mean_psnr);
+    appendF64(out, "mean_coverage", r.mean_coverage);
+    appendF64(out, "mean_completion_age", r.mean_completion_age);
+
+    appendU64(out, "frame_scores.size", r.frame_scores.size());
+    for (std::size_t i = 0; i < r.frame_scores.size(); ++i) {
+        const FrameScore &s = r.frame_scores[i];
+        char key[96];
+        std::snprintf(key, sizeof key, "frame_scores.%zu.frame", i);
+        appendU64(out, key, s.frame);
+        std::snprintf(key, sizeof key, "frame_scores.%zu.mse", i);
+        appendF64(out, key, s.mse);
+        std::snprintf(key, sizeof key, "frame_scores.%zu.psnr", i);
+        appendF64(out, key, s.psnr);
+        std::snprintf(key, sizeof key, "frame_scores.%zu.coverage", i);
+        appendF64(out, key, s.coverage);
+        std::snprintf(key, sizeof key, "frame_scores.%zu.completions",
+                      i);
+        appendI64(out, key, s.completions);
+        std::snprintf(key, sizeof key, "frame_scores.%zu.out_byte_sum",
+                      i);
+        appendF64(out, key, s.out_byte_sum);
+        std::snprintf(key, sizeof key,
+                      "frame_scores.%zu.golden_byte_sum", i);
+        appendF64(out, key, s.golden_byte_sum);
+        std::snprintf(key, sizeof key,
+                      "frame_scores.%zu.first_completion_age", i);
+        appendF64(out, key, s.first_completion_age);
+    }
+
+    appendF64(out, "frame_period_tenth_ms", r.frame_period_tenth_ms);
+    appendU64(out, "frames_captured", r.frames_captured);
+    appendU64(out, "frames_dropped_by_dma", r.frames_dropped_by_dma);
+    return out;
+}
+
+} // namespace inc::sim

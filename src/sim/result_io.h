@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Exact text serialization of SimResult for differential testing.
+ *
+ * The engine-equivalence contract (DESIGN.md §11) is *bit* identity:
+ * two runs agree iff every SimResult field — including every double —
+ * is bit-for-bit equal. serializeResult() therefore renders floating-
+ * point fields as C99 hexfloats (%a), which round-trip exactly, so a
+ * byte comparison of two serializations is equivalent to a field-wise
+ * bit comparison. Used by tests/test_engine_diff.cc and the fuzzer's
+ * engine-diff invariant (check/diff_harness).
+ */
+
+#ifndef INC_SIM_RESULT_IO_H
+#define INC_SIM_RESULT_IO_H
+
+#include <string>
+
+#include "sim/system_sim.h"
+
+namespace inc::sim
+{
+
+/** Render every field of @p result as one canonical key=value text
+ *  block (doubles as hexfloats; byte equality == bit equality). */
+std::string serializeResult(const SimResult &result);
+
+} // namespace inc::sim
+
+#endif // INC_SIM_RESULT_IO_H

@@ -56,6 +56,16 @@ struct SimConfig
     nvp::CoreConfig core{};
 
     /**
+     * Interpreter engine (propagated into core.engine at construction).
+     * `predecoded` additionally enables quantum stepping: the per-step
+     * backup-reserve comparison is skipped for a whole sample when the
+     * stored energy provably cannot fall to the reserve within it (see
+     * DESIGN.md §11). Both engines are bit-identical by contract —
+     * enforced by tests/test_engine_diff.cc and fuzz --engine-diff.
+     */
+    nvp::ExecEngine exec_engine = nvp::ExecEngine::predecoded;
+
+    /**
      * Income calibration factor applied to the trace's power samples.
      * The paper reports 42 % system-on time for the precise 8-bit NVP
      * (0.209 mW @ 1 MHz) on its watch traces (Fig. 9), which requires a
@@ -207,6 +217,16 @@ class SystemSimulator
     double backup_threshold_nj_ = 0.0;
     double next_start_threshold_nj_ = 0.0;
     int reserve_versions_ = 1;
+
+    /**
+     * Quantum-stepping level: stored energy strictly above this at the
+     * top of a sample guarantees the backup-reserve comparison cannot
+     * trip anywhere inside the sample (worst-case reserve plus the
+     * worst-case drain of a full cycle budget), so the per-step check
+     * is provably dead and may be skipped. assem steps drain an
+     * unbounded assemble cost and therefore re-derive the guarantee.
+     */
+    double quantum_safe_level_nj_ = 0.0;
 
     // Sensor state.
     double frame_period_ = 0.0;

@@ -1,0 +1,163 @@
+/**
+ * Differential tier for the two execution engines (DESIGN.md §11): the
+ * predecoded fast-path interpreter must be observationally identical to
+ * the reference decode-as-you-go interpreter — not approximately, but
+ * bit-for-bit.
+ *
+ * Every paper kernel runs under power profiles 1-3 in three system
+ * configurations (baseline, incidental minbits=2, forced 4-lane SIMD)
+ * through both engines; the serialized SimResult (sim/result_io.h,
+ * hexfloat doubles, so byte equality is bit equality) and the full
+ * metrics-registry JSON must match exactly. Any drift — an extra RNG
+ * draw, a reordered memory access, a skipped capacitor check that was
+ * not provably dead — shows up as a byte diff with the first divergent
+ * line in the failure message.
+ *
+ * The randomized companion to this fixed grid is the sixth fuzzer
+ * invariant: `nvpsim fuzz --engine-diff`.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kernels/kernel.h"
+#include "obs/observer.h"
+#include "sim/result_io.h"
+#include "sim/system_sim.h"
+#include "trace/trace_generator.h"
+
+using namespace inc;
+
+namespace
+{
+
+constexpr std::size_t kSamples = 2500; ///< 0.25 s of harvester time
+
+sim::SimConfig
+baselineConfig()
+{
+    sim::SimConfig cfg;
+    cfg.bits.mode = approx::ApproxMode::precise;
+    cfg.controller.roll_forward = false;
+    cfg.controller.simd_adoption = false;
+    cfg.controller.history_spawn = false;
+    cfg.controller.process_newest_first = false;
+    // Pin the sensor period: engine equivalence must not depend on the
+    // calibration run, and a fixed period keeps the grid fast.
+    cfg.frame_period_tenth_ms = 50.0;
+    return cfg;
+}
+
+sim::SimConfig
+incidentalConfig()
+{
+    sim::SimConfig cfg;
+    cfg.bits.mode = approx::ApproxMode::dynamic;
+    cfg.bits.min_bits = 2;
+    cfg.bits.max_bits = 8;
+    cfg.controller.backup_policy = nvm::RetentionPolicy::linear;
+    cfg.frame_period_tenth_ms = 50.0;
+    return cfg;
+}
+
+sim::SimConfig
+simd4Config()
+{
+    sim::SimConfig cfg = incidentalConfig();
+    cfg.controller.force_full_simd = true;
+    return cfg;
+}
+
+struct NamedConfig
+{
+    const char *name;
+    sim::SimConfig cfg;
+};
+
+std::vector<NamedConfig>
+configs()
+{
+    return {{"baseline", baselineConfig()},
+            {"incidental28", incidentalConfig()},
+            {"simd4", simd4Config()}};
+}
+
+/** Serialized SimResult + metrics JSON of one run under @p engine. */
+struct RunOut
+{
+    std::string result;
+    std::string metrics;
+};
+
+RunOut
+runEngine(const std::string &kernel, const trace::PowerTrace &power,
+          sim::SimConfig cfg, nvp::ExecEngine engine)
+{
+    cfg.exec_engine = engine;
+    obs::Observer observer;
+    cfg.obs = &observer;
+    sim::SystemSimulator sim(kernels::makeKernel(kernel), &power, cfg);
+    const sim::SimResult result = sim.run();
+    return {sim::serializeResult(result), observer.registry.toJson()};
+}
+
+/** First line where @p a and @p b differ, for readable failures. */
+std::string
+firstDiffLine(const std::string &a, const std::string &b)
+{
+    std::size_t pos = 0;
+    while (pos < a.size() && pos < b.size()) {
+        const std::size_t ea = a.find('\n', pos);
+        const std::size_t eb = b.find('\n', pos);
+        const std::string la = a.substr(pos, ea - pos);
+        const std::string lb = b.substr(pos, eb - pos);
+        if (la != lb)
+            return "reference '" + la + "' vs predecoded '" + lb + "'";
+        if (ea == std::string::npos || eb == std::string::npos)
+            break;
+        pos = ea + 1;
+    }
+    return "length mismatch (" + std::to_string(a.size()) + " vs " +
+           std::to_string(b.size()) + " bytes)";
+}
+
+class EngineDiff : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(EngineDiff, BitIdenticalAcrossProfilesAndConfigs)
+{
+    const std::string kernel = GetParam();
+    for (int profile = 1; profile <= 3; ++profile) {
+        trace::TraceGenerator gen(trace::paperProfile(profile), 99);
+        const trace::PowerTrace power = gen.generate(kSamples);
+        for (const NamedConfig &nc : configs()) {
+            SCOPED_TRACE(kernel + " profile " +
+                         std::to_string(profile) + " " + nc.name);
+            const RunOut ref = runEngine(
+                kernel, power, nc.cfg, nvp::ExecEngine::reference);
+            const RunOut pre = runEngine(
+                kernel, power, nc.cfg, nvp::ExecEngine::predecoded);
+            EXPECT_EQ(ref.result, pre.result)
+                << "SimResult diverged: "
+                << firstDiffLine(ref.result, pre.result);
+            EXPECT_EQ(ref.metrics, pre.metrics)
+                << "metrics JSON diverged between engines";
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, EngineDiff,
+    ::testing::ValuesIn(kernels::kernelNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name)
+            if (c == '.')
+                c = '_';
+        return name;
+    });
+
+} // namespace

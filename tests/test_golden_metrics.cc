@@ -1,9 +1,9 @@
 /**
- * Golden-file regression test for the observability sinks: a pinned
- * co-simulator scenario (sobel, power profile 2, seed 2017, 1000
- * samples, dynamic bits) must keep producing the same metrics registry
- * and the same Chrome-trace timeline as the checked-in golden files in
- * tests/golden/.
+ * Golden-file regression test for the observability sinks: pinned
+ * co-simulator scenarios (sobel on power profile 2 and median on
+ * profile 1, both seed 2017, 1000 samples, dynamic bits) must keep
+ * producing the same metrics registry and the same Chrome-trace
+ * timeline as the checked-in golden files in tests/golden/.
  *
  * Comparison is normalizing, not textual: both sides are parsed and
  * re-serialized through the canonical obs/json.h dump before
@@ -17,9 +17,10 @@
  *
  *     INC_UPDATE_GOLDEN=1 ./build/tests/test_golden_metrics
  *
- * rewrites tests/golden/*.json in the source tree (the build embeds
- * the source path via the INC_GOLDEN_DIR compile definition); commit
- * the new files together with the change that moved them.
+ * rewrites the golden JSON files under tests/golden/ in the source
+ * tree (the build embeds the source path via the INC_GOLDEN_DIR
+ * compile definition); commit the new files together with the change
+ * that moved them.
  */
 
 #include <cstdlib>
@@ -49,8 +50,22 @@ using namespace inc;
 namespace
 {
 
-const char *kMetricsGolden = INC_GOLDEN_DIR "/sobel_p2_metrics.json";
-const char *kTraceGolden = INC_GOLDEN_DIR "/sobel_p2_trace.json";
+/** One pinned co-simulator scenario with its golden-file pair. */
+struct Scenario
+{
+    const char *name;    ///< test-case suffix
+    const char *kernel;
+    int profile;
+    const char *metrics_golden;
+    const char *trace_golden;
+};
+
+const Scenario kScenarios[] = {
+    {"sobel_p2", "sobel", 2, INC_GOLDEN_DIR "/sobel_p2_metrics.json",
+     INC_GOLDEN_DIR "/sobel_p2_trace.json"},
+    {"median_p1", "median", 1, INC_GOLDEN_DIR "/median_p1_metrics.json",
+     INC_GOLDEN_DIR "/median_p1_trace.json"},
+};
 
 bool
 updateRequested()
@@ -89,9 +104,10 @@ struct GoldenRun
 };
 
 GoldenRun
-runPinnedScenario()
+runPinnedScenario(const Scenario &scenario)
 {
-    trace::TraceGenerator gen(trace::paperProfile(2), 2017);
+    trace::TraceGenerator gen(trace::paperProfile(scenario.profile),
+                              2017);
     const trace::PowerTrace power = gen.generate(1000);
 
     sim::SimConfig cfg;
@@ -103,7 +119,8 @@ runPinnedScenario()
     observer.tracer = &tracer;
     cfg.obs = &observer;
 
-    sim::SystemSimulator sim(kernels::makeKernel("sobel"), &power, cfg);
+    sim::SystemSimulator sim(kernels::makeKernel(scenario.kernel),
+                             &power, cfg);
     sim.run();
 
     GoldenRun out;
@@ -112,14 +129,19 @@ runPinnedScenario()
     return out;
 }
 
-TEST(GoldenMetrics, PinnedScenarioMatchesGoldenFiles)
+class GoldenMetrics : public ::testing::TestWithParam<Scenario>
+{
+};
+
+TEST_P(GoldenMetrics, PinnedScenarioMatchesGoldenFiles)
 {
 #if !INC_OBS_ENABLED
     GTEST_SKIP() << "hot-path counters compiled out "
                     "(INCIDENTAL_OBS=OFF); the golden files assume "
                     "the default build";
 #endif
-    const GoldenRun now = runPinnedScenario();
+    const Scenario &scenario = GetParam();
+    const GoldenRun now = runPinnedScenario(scenario);
 
     // The produced artifacts must be self-consistent regardless of the
     // golden state: valid JSON and clean identities.
@@ -139,19 +161,19 @@ TEST(GoldenMetrics, PinnedScenarioMatchesGoldenFiles)
     }
 
     if (updateRequested()) {
-        std::ofstream(kMetricsGolden) << now.metrics_json;
-        std::ofstream(kTraceGolden) << now.trace_json;
+        std::ofstream(scenario.metrics_golden) << now.metrics_json;
+        std::ofstream(scenario.trace_golden) << now.trace_json;
         GTEST_SKIP() << "golden files updated in " << INC_GOLDEN_DIR
                      << "; review and commit them";
     }
 
-    const std::string golden_metrics = readFile(kMetricsGolden);
-    const std::string golden_trace = readFile(kTraceGolden);
+    const std::string golden_metrics = readFile(scenario.metrics_golden);
+    const std::string golden_trace = readFile(scenario.trace_golden);
     ASSERT_FALSE(golden_metrics.empty())
-        << kMetricsGolden
+        << scenario.metrics_golden
         << " missing; run with INC_UPDATE_GOLDEN=1 to create it";
     ASSERT_FALSE(golden_trace.empty())
-        << kTraceGolden
+        << scenario.trace_golden
         << " missing; run with INC_UPDATE_GOLDEN=1 to create it";
 
     // Metrics: tolerance-aware, per-metric diff lines.
@@ -186,5 +208,11 @@ TEST(GoldenMetrics, PinnedScenarioMatchesGoldenFiles)
                   "./build/tests/test_golden_metrics";
     }
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    PinnedScenarios, GoldenMetrics, ::testing::ValuesIn(kScenarios),
+    [](const ::testing::TestParamInfo<Scenario> &info) {
+        return std::string(info.param.name);
+    });
 
 } // namespace

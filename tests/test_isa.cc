@@ -4,6 +4,7 @@
 
 #include "isa/builder.h"
 #include "isa/encoding.h"
+#include "isa/predecode.h"
 #include "isa/program.h"
 
 using namespace inc::isa;
@@ -162,4 +163,118 @@ TEST(Program, CountOp)
     EXPECT_EQ(p.countOp(Op::nop), 2u);
     EXPECT_EQ(p.countOp(Op::halt), 1u);
     EXPECT_EQ(p.countOp(Op::add), 0u);
+}
+
+// ---- predecoder / decoder equivalence (DESIGN.md §11) ----------------------
+//
+// The fast-path predecoder must accept a binary exactly when the
+// reference decoder does, and agree on every field it precomputes.
+// Malformed opcodes and truncated images must never be rejected by one
+// and silently accepted by the other.
+
+namespace
+{
+
+/** Operand-bit patterns exercising every field of each format. */
+const std::uint32_t kOperandPatterns[] = {
+    0x00000000u, 0x00FFFFFFu, 0x00A5C3F0u, 0x00123456u,
+    0x00F0F0F0u, 0x000F0F0Fu, 0x00800001u, 0x007FFFFEu,
+};
+
+/** Little-endian byte image of @p words (the binary container form). */
+std::vector<std::uint8_t>
+toImage(const std::vector<std::uint32_t> &words)
+{
+    std::vector<std::uint8_t> bytes;
+    bytes.reserve(words.size() * 4);
+    for (std::uint32_t w : words) {
+        bytes.push_back(static_cast<std::uint8_t>(w));
+        bytes.push_back(static_cast<std::uint8_t>(w >> 8));
+        bytes.push_back(static_cast<std::uint8_t>(w >> 16));
+        bytes.push_back(static_cast<std::uint8_t>(w >> 24));
+    }
+    return bytes;
+}
+
+} // namespace
+
+TEST(Predecode, AcceptanceMatchesDecodeAcrossOpcodeSpace)
+{
+    // All 256 opcode bytes (valid ops, Op::num_ops, and far beyond it)
+    // crossed with operand patterns: the predecoder accepts exactly the
+    // words decode() accepts, and agrees on every decoded field.
+    for (unsigned opcode = 0; opcode < 256; ++opcode) {
+        for (std::uint32_t operands : kOperandPatterns) {
+            const std::uint32_t word = (opcode << 24) | operands;
+            const auto ref = decode(word);
+            const auto fast = predecodeWord(word);
+            ASSERT_EQ(ref.has_value(), fast.has_value())
+                << "acceptance diverged on word 0x" << std::hex << word;
+            if (!ref)
+                continue;
+            EXPECT_EQ(fast->op, ref->op);
+            EXPECT_EQ(fast->rd, ref->rd);
+            EXPECT_EQ(fast->rs1, ref->rs1);
+            EXPECT_EQ(fast->rs2, ref->rs2);
+            EXPECT_EQ(fast->imm, ref->imm);
+            // The precomputed metadata must match the ISA tables.
+            EXPECT_EQ(fast->cls, opClass(ref->op));
+            EXPECT_EQ(fast->cycles, opCycles(ref->op));
+            EXPECT_EQ(fast->b_is_imm, !readsRs2(ref->op));
+            EXPECT_EQ(fast->noise_candidate, isDataOp(ref->op));
+        }
+    }
+}
+
+TEST(Predecode, MatchesPredecodedInstructionsOnValidImages)
+{
+    const auto code = sampleInstructions();
+    const auto words = encodeAll(code);
+    const auto image = toImage(words);
+
+    const auto ref = decodeImage(image);
+    const auto fast = PredecodedProgram::fromImage(image);
+    ASSERT_TRUE(ref.has_value());
+    ASSERT_TRUE(fast.has_value());
+    ASSERT_EQ(fast->size(), code.size());
+    for (std::size_t i = 0; i < code.size(); ++i)
+        EXPECT_EQ(fast->code()[i], predecode(code[i]))
+            << opName(code[i].op);
+}
+
+TEST(Predecode, TruncatedImagesRejectedIdentically)
+{
+    const auto image = toImage(encodeAll(sampleInstructions()));
+    for (std::size_t drop = 1; drop <= 3; ++drop) {
+        std::vector<std::uint8_t> cut(image.begin(),
+                                      image.end() - drop);
+        EXPECT_FALSE(decodeImage(cut).has_value()) << drop;
+        EXPECT_FALSE(PredecodedProgram::fromImage(cut).has_value())
+            << drop;
+    }
+    // The empty image is a valid (empty) program for both.
+    EXPECT_TRUE(decodeImage({}).has_value());
+    EXPECT_TRUE(PredecodedProgram::fromImage({}).has_value());
+}
+
+TEST(Predecode, MalformedWordPoisonsWholeImageForBoth)
+{
+    auto words = encodeAll(sampleInstructions());
+    words.push_back(0xFF000000u); // opcode far past num_ops
+    EXPECT_FALSE(decodeAll(words).has_value());
+    EXPECT_FALSE(PredecodedProgram::fromWords(words).has_value());
+    const auto image = toImage(words);
+    EXPECT_FALSE(decodeImage(image).has_value());
+    EXPECT_FALSE(PredecodedProgram::fromImage(image).has_value());
+}
+
+TEST(Predecode, OutOfRangeFetchesHaltLikeProgram)
+{
+    ProgramBuilder b;
+    b.nop();
+    const Program p = b.finish();
+    const PredecodedProgram d(p);
+    EXPECT_EQ(d.at(0).op, Op::nop);
+    EXPECT_EQ(d.at(100).op, Op::halt);
+    EXPECT_EQ(p.at(100).op, Op::halt);
 }

@@ -82,6 +82,100 @@ TEST(ThreadPool, DefaultThreadsIsPositive)
     EXPECT_GE(runner::ThreadPool::defaultThreads(), 1u);
 }
 
+TEST(ThreadPool, ZeroWorkerSpecFallsBackToDefault)
+{
+    // A literal zero-thread pool would deadlock every wait(); the
+    // constructor must reject the spec and fall back to
+    // defaultThreads() instead of honoring it.
+    std::atomic<int> counter{0};
+    runner::ThreadPool pool(0);
+    EXPECT_EQ(pool.threadCount(), runner::ThreadPool::defaultThreads());
+    EXPECT_GE(pool.threadCount(), 1u);
+    for (int i = 0; i < 10; ++i)
+        pool.submit([&counter] { ++counter; });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 10);
+}
+
+/**
+ * Enqueue-during-drain stress: producer threads hammer submit() while
+ * the main thread repeatedly drains with wait(). Under the
+ * INCIDENTAL_TSAN CI job this is the lock-discipline proof for the
+ * pool's queue, idle accounting and drain condition; in the normal
+ * tier it still pins the liveness contract (no lost tasks, no hang).
+ */
+TEST(ThreadPool, EnqueueDuringDrainStress)
+{
+    constexpr int kProducers = 4;
+    constexpr int kTasksPerProducer = 500;
+
+    std::atomic<int> executed{0};
+    std::atomic<bool> go{false};
+    runner::ThreadPool pool(4);
+
+    std::vector<std::thread> producers;
+    producers.reserve(kProducers);
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&pool, &executed, &go] {
+            while (!go.load(std::memory_order_acquire))
+                std::this_thread::yield();
+            for (int i = 0; i < kTasksPerProducer; ++i)
+                pool.submit([&executed] {
+                    executed.fetch_add(1, std::memory_order_relaxed);
+                });
+        });
+    }
+
+    go.store(true, std::memory_order_release);
+    // Drain repeatedly while the producers are still enqueueing: every
+    // wait() races new submissions against the empty-queue condition.
+    for (int i = 0; i < 20; ++i)
+        pool.wait();
+    for (std::thread &t : producers)
+        t.join();
+    pool.wait();
+    EXPECT_EQ(executed.load(), kProducers * kTasksPerProducer);
+}
+
+/**
+ * Shutdown racing live producers: tasks submitted concurrently with
+ * shutdown() are either accepted (and must then run before shutdown
+ * returns) or dropped — never torn, never executed after the join.
+ */
+TEST(ThreadPool, ShutdownRacesProducersSafely)
+{
+    constexpr int kProducers = 3;
+    constexpr int kTasksPerProducer = 400;
+
+    std::atomic<int> executed{0};
+    std::atomic<bool> go{false};
+    runner::ThreadPool pool(2);
+
+    std::vector<std::thread> producers;
+    producers.reserve(kProducers);
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&pool, &executed, &go] {
+            while (!go.load(std::memory_order_acquire))
+                std::this_thread::yield();
+            for (int i = 0; i < kTasksPerProducer; ++i)
+                pool.submit([&executed] {
+                    executed.fetch_add(1, std::memory_order_relaxed);
+                });
+        });
+    }
+
+    go.store(true, std::memory_order_release);
+    pool.shutdown();
+    const int at_join = executed.load();
+    for (std::thread &t : producers)
+        t.join();
+    // No task sneaks past the join barrier, and nothing accepted was
+    // lost: the count is frozen at shutdown and bounded by the total.
+    EXPECT_EQ(executed.load(), at_join);
+    EXPECT_LE(executed.load(), kProducers * kTasksPerProducer);
+    pool.shutdown(); // idempotent after the race
+}
+
 // ---------------------------------------------------------------------
 // Sweep expansion
 

@@ -11,7 +11,7 @@
  *   nvpsim run [--kernel NAME] [--profile N | --trace F.csv]
  *              [--mode precise|fixed|dynamic] [--bits B] [--minbits B]
  *              [--policy full|linear|log|parabola] [--baseline]
- *              [--seconds S] [--seed K]
+ *              [--engine reference|predecoded] [--seconds S] [--seed K]
  *              [--metrics F.json] [--trace-out F.trace.json]
  *       Co-simulate a kernel on a power trace and print the result
  *       record (forward progress, backups, quality, lane statistics).
@@ -26,8 +26,8 @@
  *   nvpsim sweep [--kernels A,B,...|all] [--profiles 1,2,...|all]
  *                [--mode precise|fixed|dynamic] [--bits B] [--minbits B]
  *                [--policy full|linear|log|parabola] [--baseline]
- *                [--seconds S] [--seed K] [--jobs N] [--out F.csv]
- *                [--metrics F.json]
+ *                [--engine reference|predecoded] [--seconds S]
+ *                [--seed K] [--jobs N] [--out F.csv] [--metrics F.json]
  *       Run the kernel x profile grid in parallel on N worker threads
  *       (default: hardware concurrency) via runner::SweepRunner.
  *       Results are aggregated in deterministic job order — the output
@@ -41,7 +41,7 @@
  *
  *   nvpsim fuzz [--trials N] [--seed K] [--jobs N] [--samples S]
  *               [--repro-dir DIR] [--minimize] [--replay DIR]
- *               [--inject-bug leaky-backup]
+ *               [--inject-bug leaky-backup] [--engine-diff]
  *       Differential crash-consistency fuzzing (src/check): N seeded
  *       trials of randomized kernels on mutated power traces through
  *       the co-simulator, cross-validated against the functional
@@ -50,7 +50,11 @@
  *       write self-contained repro bundles (--minimize also shrinks
  *       them). --replay re-runs one bundle deterministically.
  *       --inject-bug is a testing aid that plants a known recovery
- *       bug so the harness itself can be validated.
+ *       bug so the harness itself can be validated. --engine-diff
+ *       additionally re-runs every co-simulator trial under the
+ *       reference interpreter and requires the serialized SimResult
+ *       and metrics JSON to match the predecoded run byte-for-byte
+ *       (the engine-equivalence invariant; see DESIGN.md §11).
  *
  *   nvpsim asm FILE.s [--run] [--steps N]
  *       Assemble a program; print the disassembly, optionally execute.
@@ -228,6 +232,14 @@ configFromArgs(const Args &args)
     cfg.income_scale = args.num("income-scale", cfg.income_scale);
     cfg.frame_period_factor =
         args.num("frame-factor", cfg.frame_period_factor);
+    if (args.has("engine")) {
+        const std::string engine = args.get("engine");
+        const auto parsed = nvp::execEngineFromName(engine);
+        if (!parsed)
+            util::fatal("unknown --engine '%s' (reference|predecoded)",
+                        engine.c_str());
+        cfg.exec_engine = *parsed;
+    }
     return cfg;
 }
 
@@ -572,6 +584,7 @@ cmdFuzz(const Args &args)
         cfg.inject = check::BugKind::leaky_backup;
     else if (bug != "none")
         util::fatal("unknown --inject-bug '%s'", bug.c_str());
+    cfg.engine_diff = args.has("engine-diff");
 
     const check::CheckReport report = check::runCheck(cfg);
     std::printf("fuzz: %s\n", report.summary().c_str());
