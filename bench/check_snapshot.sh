@@ -1,0 +1,59 @@
+#!/usr/bin/env sh
+# CI gate: the perf trajectory must not regress by more than 10 %.
+#
+# Regenerates the pinned-suite snapshot with bench/snapshot, compares
+# it against the newest committed BENCH_<N>.json at the repo root
+# (highest N wins), and fails on a > threshold throughput drop. When no
+# prior snapshot exists the comparison is skipped — the bootstrap run
+# that creates the first BENCH_*.json must pass.
+#
+# Always runs the gate's negative test: a doctored -15 % copy of the
+# fresh snapshot must be rejected, proving the gate actually bites.
+#
+# Usage: bench/check_snapshot.sh BUILD_DIR
+# Env:   INC_SNAPSHOT_MAX_REGRESSION_PCT  gate threshold (default 10)
+#        INC_SNAPSHOT_SAMPLES / INC_SNAPSHOT_ROUNDS / INC_BENCH_SEED
+#        are forwarded to the binary.
+set -eu
+
+build_dir="${1:?usage: check_snapshot.sh BUILD_DIR}"
+max_pct="${INC_SNAPSHOT_MAX_REGRESSION_PCT:-10}"
+repo_dir=$(CDPATH='' cd -- "$(dirname -- "$0")/.." && pwd)
+
+bin="$build_dir/bench/snapshot"
+[ -x "$bin" ] || { echo "missing $bin (build the bench targets)"; exit 2; }
+
+fresh="$build_dir/bench/BENCH_current.json"
+"$bin" --out "$fresh"
+
+# Newest committed snapshot = highest PR number. The glob sorts
+# lexically (BENCH_10 before BENCH_5), so compare the numbers.
+prior=""
+prior_n=-1
+for f in "$repo_dir"/BENCH_*.json; do
+    [ -e "$f" ] || continue
+    n=$(basename "$f" | sed -n 's/^BENCH_\([0-9][0-9]*\)\.json$/\1/p')
+    [ -n "$n" ] || continue
+    if [ "$n" -gt "$prior_n" ]; then
+        prior_n=$n
+        prior="$f"
+    fi
+done
+
+if [ -z "$prior" ]; then
+    echo "no committed BENCH_*.json found - bootstrap run, gate skipped"
+else
+    echo "comparing against $prior"
+    "$bin" --check "$prior" "$fresh" --max-regression-pct "$max_pct"
+fi
+
+# Negative test: the gate must reject a -15 % doctored snapshot.
+doctored="$build_dir/bench/BENCH_doctored.json"
+"$bin" --doctor "$fresh" "$doctored" --scale 0.85
+if "$bin" --check "$fresh" "$doctored" \
+       --max-regression-pct "$max_pct" >/dev/null 2>&1; then
+    echo "FAIL: gate accepted a doctored -15 % snapshot" >&2
+    exit 1
+fi
+echo "gate self-test: doctored -15 % snapshot correctly rejected"
+echo "OK"

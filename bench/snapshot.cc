@@ -1,0 +1,543 @@
+/**
+ * @file
+ * Perf-trajectory snapshot harness (bench/snapshot).
+ *
+ * Runs a pinned kernel x profile suite and emits BENCH_5.json: per-entry
+ * wall time, instructions/sec, energy-per-frame, quality, and the run
+ * report digest (obs::reportDigest over the canonical report JSON), plus
+ * an aggregate throughput figure. Committed snapshots (BENCH_*.json at
+ * the repo root, numbered by PR) form the performance trajectory of the
+ * codebase; bench/check_snapshot.sh regenerates a fresh snapshot and
+ * fails when throughput regressed by more than the gate (default 10 %)
+ * against the newest committed one.
+ *
+ * Timing fields are machine-dependent by nature; everything else in the
+ * snapshot (instructions, frames, energy, psnr, report digests) is a
+ * deterministic function of the pinned samples/seed, so digest drift
+ * flags behavioral change independent of the throughput gate.
+ *
+ * Modes:
+ *   snapshot [--out F]                      run the suite, write F
+ *                                           (default BENCH_5.json)
+ *   snapshot --check PRIOR CURRENT          gate CURRENT against PRIOR;
+ *            [--max-regression-pct P]       exit 1 on > P % regression
+ *                                           (default 10)
+ *   snapshot --doctor IN OUT --scale S      scale IN's throughput
+ *                                           fields by S into OUT (the
+ *                                           gate's negative test)
+ *   snapshot --selftest                     synthetic end-to-end check
+ *                                           of the gate logic
+ *
+ * Env knobs:
+ *   INC_SNAPSHOT_SAMPLES  trace length per entry (default 60000)
+ *   INC_SNAPSHOT_ROUNDS   timing rounds, best-of (default 5)
+ *   INC_BENCH_SEED        master seed (default 2017)
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "kernels/kernel.h"
+#include "obs/json.h"
+#include "obs/observer.h"
+#include "obs/report/flight_recorder.h"
+#include "obs/report/report.h"
+#include "sim/system_sim.h"
+#include "trace/trace_generator.h"
+#include "util/fs.h"
+#include "util/logging.h"
+#include "util/table.h"
+
+namespace
+{
+
+using namespace inc;
+
+constexpr char kSchema[] = "inc-bench-snapshot-v1";
+constexpr int kPr = 5;
+constexpr double kDefaultGatePct = 10.0;
+
+/** The pinned suite: two power regimes for the flagship kernel plus
+ *  two structurally different kernels. Changing this list invalidates
+ *  per-entry comparisons against older snapshots (check only warns for
+ *  unmatched names), so grow it deliberately. */
+struct SuiteEntry
+{
+    const char *name;
+    const char *kernel;
+    int profile;
+};
+
+constexpr SuiteEntry kSuite[] = {
+    {"sobel_p1", "sobel", 1},
+    {"sobel_p2", "sobel", 2},
+    {"median_p1", "median", 1},
+    {"integral_p3", "integral", 3},
+};
+
+struct Measurement
+{
+    std::string name;
+    std::string kernel;
+    int profile = 0;
+    double wall_seconds = 0.0;
+    double instr_per_sec = 0.0;
+    double energy_per_frame_nj = 0.0;
+    double mean_psnr = 0.0;
+    std::uint64_t instructions = 0;
+    std::uint64_t frames_completed = 0;
+    std::string report_digest;
+};
+
+std::size_t
+snapshotSamples()
+{
+    return static_cast<std::size_t>(
+        bench::envPositive("INC_SNAPSHOT_SAMPLES", 60000));
+}
+
+int
+snapshotRounds()
+{
+    return static_cast<int>(
+        bench::envPositive("INC_SNAPSHOT_ROUNDS", 5, 1000));
+}
+
+/** Best-of-N timing of one suite entry. The simulation itself is
+ *  deterministic, so rounds only tighten the wall-clock estimate; a
+ *  cross-round instruction-count mismatch means nondeterminism crept
+ *  into the sim and is fatal. */
+Measurement
+runEntry(const SuiteEntry &entry, std::size_t samples,
+         std::uint64_t seed, int rounds)
+{
+    using clock = std::chrono::steady_clock;
+
+    const trace::PowerTrace trace =
+        trace::TraceGenerator(trace::paperProfile(entry.profile), seed)
+            .generate(samples);
+    const kernels::Kernel kernel = kernels::makeKernel(entry.kernel);
+    sim::SimConfig config = bench::incidentalConfig(2, 8);
+    config.seed = seed;
+
+    Measurement m;
+    m.name = entry.name;
+    m.kernel = entry.kernel;
+    m.profile = entry.profile;
+    m.wall_seconds = 0.0;
+    for (int round = 0; round < rounds; ++round) {
+        obs::Observer observer;
+        obs::FlightRecorder flight;
+        observer.flight = &flight;
+        sim::SimConfig cfg = config;
+        cfg.obs = &observer;
+        sim::SystemSimulator simulator(kernel, &trace, cfg);
+
+        const auto start = clock::now();
+        const sim::SimResult result = simulator.run();
+        const double wall =
+            std::chrono::duration<double>(clock::now() - start).count();
+
+        if (round == 0) {
+            m.instructions = result.main_instructions;
+            m.frames_completed = result.controller.frames_completed;
+            m.energy_per_frame_nj =
+                result.consumed_energy_nj /
+                static_cast<double>(
+                    std::max<std::uint64_t>(1, m.frames_completed));
+            m.mean_psnr = result.mean_psnr;
+            const obs::RunReport report =
+                obs::buildRunReport(observer.registry, &flight);
+            m.report_digest = obs::reportDigest(report.toJson());
+            m.wall_seconds = wall;
+        } else {
+            if (result.main_instructions != m.instructions)
+                util::fatal("nondeterministic run: %s executed %llu "
+                            "then %llu instructions",
+                            entry.name,
+                            static_cast<unsigned long long>(
+                                m.instructions),
+                            static_cast<unsigned long long>(
+                                result.main_instructions));
+            m.wall_seconds = std::min(m.wall_seconds, wall);
+        }
+    }
+    m.instr_per_sec = m.wall_seconds > 0.0
+                          ? static_cast<double>(m.instructions) /
+                                m.wall_seconds
+                          : 0.0;
+    return m;
+}
+
+obs::JsonValue
+snapshotToJson(const std::vector<Measurement> &suite,
+               std::size_t samples, std::uint64_t seed, int rounds)
+{
+    obs::JsonValue doc = obs::JsonValue::object();
+    doc.set("schema", obs::JsonValue::of(std::string(kSchema)));
+    doc.set("pr",
+            obs::JsonValue::of(static_cast<std::uint64_t>(kPr)));
+    doc.set("samples",
+            obs::JsonValue::of(static_cast<std::uint64_t>(samples)));
+    doc.set("seed", obs::JsonValue::of(seed));
+    doc.set("rounds",
+            obs::JsonValue::of(static_cast<std::uint64_t>(rounds)));
+
+    obs::JsonValue entries = obs::JsonValue::array();
+    std::uint64_t total_instr = 0;
+    double total_wall = 0.0;
+    for (const Measurement &m : suite) {
+        obs::JsonValue e = obs::JsonValue::object();
+        e.set("name", obs::JsonValue::of(m.name));
+        e.set("kernel", obs::JsonValue::of(m.kernel));
+        e.set("profile",
+              obs::JsonValue::of(static_cast<std::uint64_t>(
+                  m.profile)));
+        e.set("wall_seconds", obs::JsonValue::of(m.wall_seconds));
+        e.set("instr_per_sec", obs::JsonValue::of(m.instr_per_sec));
+        e.set("energy_per_frame_nj",
+              obs::JsonValue::of(m.energy_per_frame_nj));
+        e.set("mean_psnr", obs::JsonValue::of(m.mean_psnr));
+        e.set("instructions", obs::JsonValue::of(m.instructions));
+        e.set("frames_completed",
+              obs::JsonValue::of(m.frames_completed));
+        e.set("report_digest", obs::JsonValue::of(m.report_digest));
+        entries.push(std::move(e));
+        total_instr += m.instructions;
+        total_wall += m.wall_seconds;
+    }
+    doc.set("suite", std::move(entries));
+    doc.set("throughput_instr_per_sec",
+            obs::JsonValue::of(
+                total_wall > 0.0
+                    ? static_cast<double>(total_instr) / total_wall
+                    : 0.0));
+    return doc;
+}
+
+std::string
+readTextFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        util::fatal("cannot open '%s'", path.c_str());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+void
+writeTextFile(const std::string &path, const std::string &content)
+{
+    if (!util::ensureParentDir(path))
+        util::fatal("cannot create parent directory of '%s'",
+                    path.c_str());
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        util::fatal("cannot open '%s' for writing", path.c_str());
+    out << content;
+    if (!out)
+        util::fatal("short write to '%s'", path.c_str());
+}
+
+obs::JsonValue
+loadSnapshot(const std::string &path)
+{
+    obs::JsonValue doc;
+    std::string error;
+    if (!obs::parseJson(readTextFile(path), &doc, &error))
+        util::fatal("%s: %s", path.c_str(), error.c_str());
+    if (!doc.isObject())
+        util::fatal("%s: snapshot root is not an object", path.c_str());
+    const obs::JsonValue *schema = doc.find("schema");
+    if (!schema || !schema->isString() || schema->string() != kSchema)
+        util::fatal("%s: not a %s document", path.c_str(), kSchema);
+    return doc;
+}
+
+double
+memberNumber(const obs::JsonValue &obj, const char *key,
+             const char *context)
+{
+    const obs::JsonValue *v = obj.find(key);
+    if (!v || !v->isNumber())
+        util::fatal("%s: missing numeric field '%s'", context, key);
+    return v->number();
+}
+
+std::string
+memberString(const obs::JsonValue &obj, const char *key,
+             const char *context)
+{
+    const obs::JsonValue *v = obj.find(key);
+    if (!v || !v->isString())
+        util::fatal("%s: missing string field '%s'", context, key);
+    return v->string();
+}
+
+const std::vector<obs::JsonValue> &
+suiteItems(const obs::JsonValue &doc, const char *context)
+{
+    const obs::JsonValue *suite = doc.find("suite");
+    if (!suite || !suite->isArray())
+        util::fatal("%s: missing 'suite' array", context);
+    return suite->items();
+}
+
+/**
+ * Gate @p current against @p prior. The pass/fail decision rides on the
+ * aggregate instructions/sec only: individual entries run for tens of
+ * milliseconds and wobble several percent run-to-run, while the suite
+ * total averages that noise down to ~3 %, which a 10 % gate clears
+ * comfortably. Per-entry deltas (matched by name) are still printed —
+ * and flagged "slow" past the gate — so a localized regression hidden
+ * by an aggregate win is visible in the log. Entries present on only
+ * one side are reported but never fail the gate — the suite is allowed
+ * to grow across PRs. Returns true when the gate passes.
+ */
+bool
+checkSnapshots(const obs::JsonValue &prior,
+               const obs::JsonValue &current, double max_pct)
+{
+    std::printf("snapshot check (gate: -%g %% aggregate instr/s)\n",
+                max_pct);
+    bool ok = true;
+    auto judge = [&](const std::string &label, double before,
+                     double after, bool gated) {
+        const double pct =
+            before > 0.0 ? 100.0 * (after - before) / before : 0.0;
+        const bool slow = pct < -max_pct;
+        std::printf("  %-14s %12.4g -> %12.4g instr/s  (%+.2f %%)  %s\n",
+                    label.c_str(), before, after, pct,
+                    slow ? (gated ? "FAIL" : "slow") : "ok");
+        if (gated)
+            ok = ok && !slow;
+    };
+
+    for (const obs::JsonValue &p : suiteItems(prior, "prior")) {
+        const std::string name = memberString(p, "name", "prior entry");
+        const obs::JsonValue *match = nullptr;
+        for (const obs::JsonValue &c : suiteItems(current, "current")) {
+            if (memberString(c, "name", "current entry") == name) {
+                match = &c;
+                break;
+            }
+        }
+        if (!match) {
+            std::printf("  %-14s dropped from suite (not gated)\n",
+                        name.c_str());
+            continue;
+        }
+        judge(name,
+              memberNumber(p, "instr_per_sec", "prior entry"),
+              memberNumber(*match, "instr_per_sec", "current entry"),
+              false);
+    }
+    judge("aggregate",
+          memberNumber(prior, "throughput_instr_per_sec", "prior"),
+          memberNumber(current, "throughput_instr_per_sec", "current"),
+          true);
+
+    if (!ok)
+        std::fprintf(stderr,
+                     "FAIL: throughput regressed beyond %g %%\n",
+                     max_pct);
+    else
+        std::printf("OK\n");
+    return ok;
+}
+
+/** Scale every throughput field by @p scale (wall times by 1/scale):
+ *  the negative test that proves the gate actually bites. */
+obs::JsonValue
+doctorSnapshot(const obs::JsonValue &doc, double scale)
+{
+    obs::JsonValue out = doc;
+    out.set("throughput_instr_per_sec",
+            obs::JsonValue::of(
+                memberNumber(doc, "throughput_instr_per_sec",
+                             "snapshot") *
+                scale));
+    obs::JsonValue entries = obs::JsonValue::array();
+    for (const obs::JsonValue &e : suiteItems(doc, "snapshot")) {
+        obs::JsonValue copy = e;
+        copy.set("instr_per_sec",
+                 obs::JsonValue::of(
+                     memberNumber(e, "instr_per_sec", "entry") *
+                     scale));
+        if (scale > 0.0) {
+            copy.set("wall_seconds",
+                     obs::JsonValue::of(
+                         memberNumber(e, "wall_seconds", "entry") /
+                         scale));
+        }
+        entries.push(std::move(copy));
+    }
+    out.set("suite", std::move(entries));
+    return out;
+}
+
+/** A fabricated snapshot document for the self-test. */
+obs::JsonValue
+syntheticSnapshot()
+{
+    std::vector<Measurement> suite;
+    for (const SuiteEntry &entry : kSuite) {
+        Measurement m;
+        m.name = entry.name;
+        m.kernel = entry.kernel;
+        m.profile = entry.profile;
+        m.wall_seconds = 0.5;
+        m.instructions = 1000000;
+        m.instr_per_sec = 2.0e6;
+        m.frames_completed = 10;
+        m.energy_per_frame_nj = 120.0;
+        m.mean_psnr = 30.0;
+        m.report_digest = "fnv1a:0000000000000000";
+        suite.push_back(std::move(m));
+    }
+    return snapshotToJson(suite, 20000, 2017, 3);
+}
+
+int
+selftest()
+{
+    const obs::JsonValue base = syntheticSnapshot();
+
+    std::string error;
+    obs::JsonValue reparsed;
+    if (!obs::parseJson(base.dump(), &reparsed, &error))
+        util::fatal("selftest: snapshot JSON does not re-parse: %s",
+                    error.c_str());
+
+    std::printf("-- selftest: identical snapshots must pass --\n");
+    if (!checkSnapshots(base, base, kDefaultGatePct))
+        util::fatal("selftest: identical snapshots failed the gate");
+
+    std::printf("-- selftest: -5 %% must pass a 10 %% gate --\n");
+    if (!checkSnapshots(base, doctorSnapshot(base, 0.95),
+                        kDefaultGatePct))
+        util::fatal("selftest: -5 %% tripped the 10 %% gate");
+
+    std::printf("-- selftest: -15 %% must fail a 10 %% gate --\n");
+    if (checkSnapshots(base, doctorSnapshot(base, 0.85),
+                       kDefaultGatePct))
+        util::fatal("selftest: the gate accepted a doctored -15 %% "
+                    "snapshot");
+
+    std::printf("selftest: gate logic OK\n");
+    return 0;
+}
+
+int
+runSuite(const std::string &out_path)
+{
+    const std::size_t samples = snapshotSamples();
+    const std::uint64_t seed = bench::benchSeed();
+    const int rounds = snapshotRounds();
+
+    std::vector<Measurement> suite;
+    for (const SuiteEntry &entry : kSuite)
+        suite.push_back(runEntry(entry, samples, seed, rounds));
+
+    util::Table table("perf snapshot (pinned suite, best of " +
+                      std::to_string(rounds) + ")");
+    table.setHeader({"entry", "wall s", "instr/s", "nJ/frame", "PSNR",
+                     "digest"});
+    for (const Measurement &m : suite) {
+        table.addRow({m.name, util::Table::num(m.wall_seconds, 4),
+                      util::Table::num(m.instr_per_sec, 0),
+                      util::Table::num(m.energy_per_frame_nj, 1),
+                      util::Table::num(m.mean_psnr, 2),
+                      m.report_digest});
+    }
+    table.print();
+
+    const obs::JsonValue doc =
+        snapshotToJson(suite, samples, seed, rounds);
+    writeTextFile(out_path, doc.dump() + "\n");
+    std::printf("snapshot written to %s\n", out_path.c_str());
+    return 0;
+}
+
+double
+parseDoubleArg(const char *text, const char *what)
+{
+    char *end = nullptr;
+    const double value = std::strtod(text, &end);
+    if (end == text || *end != '\0')
+        util::fatal("%s: '%s' is not a number", what, text);
+    return value;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_5.json";
+    std::string check_prior, check_current;
+    std::string doctor_in, doctor_out;
+    double max_pct = kDefaultGatePct;
+    double scale = 0.0;
+    bool do_check = false, do_doctor = false;
+
+    auto next = [&](int &i, const char *flag) -> const char * {
+        if (i + 1 >= argc)
+            util::fatal("%s requires an argument", flag);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--selftest") == 0) {
+            return selftest();
+        } else if (std::strcmp(arg, "--out") == 0) {
+            out_path = next(i, arg);
+        } else if (std::strcmp(arg, "--check") == 0) {
+            do_check = true;
+            check_prior = next(i, arg);
+            check_current = next(i, arg);
+        } else if (std::strcmp(arg, "--max-regression-pct") == 0) {
+            max_pct = parseDoubleArg(next(i, arg), arg);
+        } else if (std::strcmp(arg, "--doctor") == 0) {
+            do_doctor = true;
+            doctor_in = next(i, arg);
+            doctor_out = next(i, arg);
+        } else if (std::strcmp(arg, "--scale") == 0) {
+            scale = parseDoubleArg(next(i, arg), arg);
+        } else {
+            util::fatal("unknown argument '%s' (modes: [--out F] | "
+                        "--check PRIOR CURRENT [--max-regression-pct "
+                        "P] | --doctor IN OUT --scale S | --selftest)",
+                        arg);
+        }
+    }
+
+    if (do_check && do_doctor)
+        util::fatal("--check and --doctor are mutually exclusive");
+    if (do_check) {
+        return checkSnapshots(loadSnapshot(check_prior),
+                              loadSnapshot(check_current), max_pct)
+                   ? 0
+                   : 1;
+    }
+    if (do_doctor) {
+        if (scale <= 0.0)
+            util::fatal("--doctor requires --scale S with S > 0");
+        const obs::JsonValue doc =
+            doctorSnapshot(loadSnapshot(doctor_in), scale);
+        writeTextFile(doctor_out, doc.dump() + "\n");
+        std::printf("doctored snapshot (x%g) written to %s\n", scale,
+                    doctor_out.c_str());
+        return 0;
+    }
+    return runSuite(out_path);
+}

@@ -12,6 +12,7 @@
 #include "isa/disassembler.h"
 #include "nvp/memory.h"
 #include "obs/observer.h"
+#include "obs/report/report.h"
 #include "obs/schema.h"
 #include "runner/thread_pool.h"
 #include "sim/functional.h"
@@ -49,23 +50,54 @@ byteMismatch(const std::string &invariant, std::uint32_t frame,
  * with an attached observer whose registry must satisfy the
  * cross-metric identities of obs/schema.h. Returns the first identity
  * violation as a Divergence (none when the registry is consistent).
+ *
+ * The same registry is then pushed through the report builder: the
+ * energy-attribution rows of a RunReport must re-sum to
+ * energy.consumed_nj within 1e-9 relative. That exercises the analysis
+ * layer (obs/report) against every fuzzed workload, not just the
+ * curated ones the unit tests cover. The split gauges only accumulate
+ * when the obs counter sites are compiled in, so the check is gated
+ * like the ledger identities in obs/schema.cc.
  */
 Divergence
 metricsDivergence(const obs::Observer &observer)
 {
     const std::vector<std::string> problems =
         obs::verifySimMetricIdentities(observer.registry);
-    if (problems.empty())
-        return {};
-    Divergence d;
-    d.violated = true;
-    d.invariant = "metrics";
-    std::ostringstream detail;
-    detail << problems.size() << " metric identit"
-           << (problems.size() == 1 ? "y" : "ies")
-           << " violated; first: " << problems.front();
-    d.detail = detail.str();
-    return d;
+    if (!problems.empty()) {
+        Divergence d;
+        d.violated = true;
+        d.invariant = "metrics";
+        std::ostringstream detail;
+        detail << problems.size() << " metric identit"
+               << (problems.size() == 1 ? "y" : "ies")
+               << " violated; first: " << problems.front();
+        d.detail = detail.str();
+        return d;
+    }
+#if INC_OBS_ENABLED
+    const obs::RunReport report =
+        obs::buildRunReport(observer.registry);
+    double attributed = 0.0;
+    for (const obs::AttributionRow &row : report.attribution)
+        attributed += row.nj;
+    const double tolerance =
+        1e-9 * std::max(1.0, std::fabs(report.consumed_nj));
+    if (std::fabs(attributed - report.consumed_nj) > tolerance ||
+        !report.split_exact) {
+        Divergence d;
+        d.violated = true;
+        d.invariant = "report";
+        std::ostringstream detail;
+        detail << "energy attribution rows sum to " << attributed
+               << " nJ but energy.consumed_nj is " << report.consumed_nj
+               << " nJ (split_exact="
+               << (report.split_exact ? "true" : "false") << ")";
+        d.detail = detail.str();
+        return d;
+    }
+#endif
+    return {};
 }
 
 /**

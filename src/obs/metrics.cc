@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 
@@ -26,6 +27,39 @@ Histogram::record(double sample)
     ++counts[bucket];
     ++total;
     sum += sample;
+}
+
+double
+Histogram::percentile(double q) const
+{
+    if (total == 0)
+        return 0.0;
+    q = std::min(1.0, std::max(0.0, q));
+    const double rank = q * static_cast<double>(total);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (counts[i] == 0)
+            continue;
+        const std::uint64_t next = seen + counts[i];
+        if (static_cast<double>(next) >= rank) {
+            if (i == bounds.size()) {
+                // Overflow bucket: no upper edge to interpolate
+                // toward. With no bounds at all, the mean is the only
+                // estimate available.
+                return bounds.empty()
+                           ? sum / static_cast<double>(total)
+                           : bounds.back();
+            }
+            const double lo = i == 0 ? 0.0 : bounds[i - 1];
+            const double hi = bounds[i];
+            const double into = rank - static_cast<double>(seen);
+            return lo +
+                   (hi - lo) * into / static_cast<double>(counts[i]);
+        }
+        seen = next;
+    }
+    return bounds.empty() ? sum / static_cast<double>(total)
+                          : bounds.back();
 }
 
 Counter &
@@ -136,6 +170,12 @@ MetricsRegistry::toJson() const
         hist.set("counts", std::move(counts));
         hist.set("total", JsonValue::of(h.total));
         hist.set("sum", JsonValue::of(h.sum));
+        // Derived summary fields, recomputed from the buckets on
+        // every dump (never stored): fromJson() ignores them, so a
+        // parse -> dump round trip stays byte-identical.
+        hist.set("p50", JsonValue::of(h.percentile(0.50)));
+        hist.set("p95", JsonValue::of(h.percentile(0.95)));
+        hist.set("p99", JsonValue::of(h.percentile(0.99)));
         histograms.set(name, std::move(hist));
     }
     doc.set("histograms", std::move(histograms));

@@ -59,6 +59,17 @@ struct Histogram
 
     explicit Histogram(std::vector<double> upper_bounds = {});
     void record(double sample);
+
+    /**
+     * Percentile estimate from the bucket layout, @p q in [0, 1]
+     * (clamped). Linear interpolation inside the containing bucket:
+     * the first bucket interpolates up from 0, the overflow bucket is
+     * clamped to the highest bound (its upper edge is unknown). 0 when
+     * the histogram is empty. Depends only on bounds/counts, so the
+     * estimate survives a merge or a JSON round-trip unchanged —
+     * tests/test_report.cc pins the interpolation.
+     */
+    double percentile(double q) const;
 };
 
 /** Name -> metric store. */

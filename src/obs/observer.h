@@ -23,6 +23,8 @@
 namespace inc::obs
 {
 
+class FlightRecorder;
+
 struct Observer
 {
     MetricsRegistry registry;
@@ -31,6 +33,12 @@ struct Observer
      *  runs (the fuzzer, sweeps) leave this null and skip all span
      *  bookkeeping. */
     EventTracer *tracer = nullptr;
+
+    /** Optional: attach to also capture per-outage / per-frame flight
+     *  records (obs/report/flight_recorder.h). All recorder hooks sit
+     *  on cold paths (backup, restore, frame score) behind this null
+     *  check. */
+    FlightRecorder *flight = nullptr;
 
     CoreCounters core;
     MemCounters mem;

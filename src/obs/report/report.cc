@@ -1,0 +1,410 @@
+#include "obs/report/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "obs/json.h"
+#include "obs/schema.h"
+#include "util/table.h"
+
+namespace inc::obs
+{
+
+namespace
+{
+
+double
+pct(double part, double whole)
+{
+    return whole > 0.0 ? 100.0 * part / whole : 0.0;
+}
+
+DurationSummary
+summarizeHistogram(const MetricsRegistry &m, const char *name)
+{
+    DurationSummary s;
+    const auto it = m.histograms().find(name);
+    if (it == m.histograms().end() || it->second.total == 0)
+        return s;
+    const Histogram &h = it->second;
+    s.count = h.total;
+    s.mean = h.sum / static_cast<double>(h.total);
+    s.p50 = h.percentile(0.50);
+    s.p95 = h.percentile(0.95);
+    s.p99 = h.percentile(0.99);
+    return s;
+}
+
+JsonValue
+rowsToJson(const std::vector<AttributionRow> &rows)
+{
+    JsonValue arr = JsonValue::array();
+    for (const AttributionRow &row : rows) {
+        JsonValue r = JsonValue::object();
+        r.set("category", JsonValue::of(row.category));
+        r.set("nj", JsonValue::of(row.nj));
+        r.set("percent", JsonValue::of(row.percent));
+        arr.push(std::move(r));
+    }
+    return arr;
+}
+
+JsonValue
+durationToJson(const DurationSummary &s)
+{
+    JsonValue d = JsonValue::object();
+    d.set("count", JsonValue::of(s.count));
+    d.set("mean", JsonValue::of(s.mean));
+    d.set("p50", JsonValue::of(s.p50));
+    d.set("p95", JsonValue::of(s.p95));
+    d.set("p99", JsonValue::of(s.p99));
+    return d;
+}
+
+} // namespace
+
+RunReport
+buildRunReport(const MetricsRegistry &m, const FlightRecorder *flight,
+               std::vector<KernelEfficiency> kernels)
+{
+    RunReport r;
+
+    r.samples = m.counterValue(kSimSamples);
+    r.on_samples = m.counterValue(kSimOnSamples);
+    r.cold_boots = m.counterValue(kSimColdBoots);
+    r.backups = m.counterValue(kSimBackupAttempts);
+    r.restores = m.counterValue(kSimRestores);
+    r.instructions = m.counterValue(kSimInstructions);
+    r.forward_progress = m.counterValue(kSimForwardProgress);
+
+    // Attribution over the compute-side ledger split. These four
+    // accumulators sum to energy.consumed_nj by construction (the
+    // identity verifySimMetricIdentities enforces); split_exact records
+    // whether that held here, so consumers can tell a real report from
+    // one built on an OBS=OFF registry whose split gauges are all zero.
+    r.consumed_nj = m.gaugeValue(kEnergyConsumed);
+    const struct
+    {
+        const char *label;
+        const char *name;
+    } split[] = {
+        {"fetch", kEnergyFetch},
+        {"datapath", kEnergyDatapath},
+        {"idle", kEnergyIdle},
+        {"assemble", kEnergyAssemble},
+    };
+    for (const auto &entry : split) {
+        AttributionRow row;
+        row.category = entry.label;
+        row.nj = m.gaugeValue(entry.name);
+        row.percent = pct(row.nj, r.consumed_nj);
+        r.attribution_sum_nj += row.nj;
+        r.attribution.push_back(std::move(row));
+    }
+    r.split_exact =
+        std::fabs(r.attribution_sum_nj - r.consumed_nj) <=
+        1e-9 * std::max(1.0, std::fabs(r.consumed_nj));
+
+    // Conservation ledger: income + initial == drains + leak + stored
+    // - unfunded. The unfunded credit is listed as a negative row so
+    // the column still sums to ledger_in_nj.
+    r.ledger_in_nj =
+        m.gaugeValue(kEnergyInitial) + m.gaugeValue(kEnergyIncome);
+    const struct
+    {
+        const char *label;
+        const char *name;
+        double sign;
+    } ledger[] = {
+        {"compute", kEnergyConsumed, 1.0},
+        {"backup", kEnergyBackup, 1.0},
+        {"restore", kEnergyRestore, 1.0},
+        {"leak", kEnergyLeak, 1.0},
+        {"stored (end)", kEnergyStoredFinal, 1.0},
+        {"unfunded credit", kEnergyUnfunded, -1.0},
+    };
+    for (const auto &entry : ledger) {
+        AttributionRow row;
+        row.category = entry.label;
+        row.nj = entry.sign * m.gaugeValue(entry.name);
+        row.percent = pct(row.nj, r.ledger_in_nj);
+        r.ledger.push_back(std::move(row));
+    }
+
+    r.identity_violations = verifySimMetricIdentities(m);
+
+    r.outage = summarizeHistogram(m, kHistOutageSamples);
+    r.on_period = summarizeHistogram(m, kHistOnPeriodSamples);
+
+    for (KernelEfficiency &k : kernels) {
+        k.progress_per_uj =
+            k.consumed_nj > 0.0
+                ? static_cast<double>(k.forward_progress) /
+                      (k.consumed_nj * 1e-3)
+                : 0.0;
+    }
+    r.kernels = std::move(kernels);
+
+    if (flight) {
+        r.has_flight = true;
+        r.outage_log = flight->outages();
+        r.outage_log_dropped = flight->droppedOutages();
+        r.frame_log = flight->frames();
+        r.frame_log_dropped = flight->droppedFrames();
+    }
+    return r;
+}
+
+std::string
+RunReport::toJson() const
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("schema", JsonValue::of(std::string("inc-run-report-v1")));
+
+    JsonValue counters = JsonValue::object();
+    counters.set("samples", JsonValue::of(samples));
+    counters.set("on_samples", JsonValue::of(on_samples));
+    counters.set("cold_boots", JsonValue::of(cold_boots));
+    counters.set("backups", JsonValue::of(backups));
+    counters.set("restores", JsonValue::of(restores));
+    counters.set("instructions", JsonValue::of(instructions));
+    counters.set("forward_progress", JsonValue::of(forward_progress));
+    doc.set("counters", std::move(counters));
+
+    JsonValue attr = JsonValue::object();
+    attr.set("rows", rowsToJson(attribution));
+    attr.set("sum_nj", JsonValue::of(attribution_sum_nj));
+    attr.set("consumed_nj", JsonValue::of(consumed_nj));
+    attr.set("split_exact", JsonValue::of(split_exact));
+    doc.set("attribution", std::move(attr));
+
+    JsonValue led = JsonValue::object();
+    led.set("rows", rowsToJson(ledger));
+    led.set("in_nj", JsonValue::of(ledger_in_nj));
+    doc.set("ledger", std::move(led));
+
+    JsonValue violations = JsonValue::array();
+    for (const std::string &v : identity_violations)
+        violations.push(JsonValue::of(v));
+    doc.set("identity_violations", std::move(violations));
+
+    JsonValue durations = JsonValue::object();
+    durations.set("outage", durationToJson(outage));
+    durations.set("on_period", durationToJson(on_period));
+    doc.set("durations", std::move(durations));
+
+    JsonValue kern = JsonValue::array();
+    for (const KernelEfficiency &k : kernels) {
+        JsonValue row = JsonValue::object();
+        row.set("kernel", JsonValue::of(k.kernel));
+        row.set("forward_progress", JsonValue::of(k.forward_progress));
+        row.set("instructions", JsonValue::of(k.instructions));
+        row.set("frames_completed", JsonValue::of(k.frames_completed));
+        row.set("consumed_nj", JsonValue::of(k.consumed_nj));
+        row.set("progress_per_uj", JsonValue::of(k.progress_per_uj));
+        kern.push(std::move(row));
+    }
+    doc.set("kernels", std::move(kern));
+
+    if (has_flight) {
+        JsonValue flight = JsonValue::object();
+        JsonValue outages = JsonValue::array();
+        for (const OutageRecord &o : outage_log)
+            outages.push(outageToJson(o));
+        flight.set("outages", std::move(outages));
+        flight.set("outages_dropped", JsonValue::of(outage_log_dropped));
+        JsonValue frames = JsonValue::array();
+        for (const FrameRecord &f : frame_log)
+            frames.push(frameToJson(f));
+        flight.set("frames", std::move(frames));
+        flight.set("frames_dropped", JsonValue::of(frame_log_dropped));
+        doc.set("flight", std::move(flight));
+    }
+
+    return doc.dump() + "\n";
+}
+
+std::string
+RunReport::renderText() const
+{
+    std::string out;
+
+    {
+        util::Table t("run report");
+        t.setHeader({"metric", "value"});
+        t.addRow({"samples",
+                  util::Table::integer(static_cast<long long>(samples))});
+        t.addRow({"on samples",
+                  util::Table::integer(
+                      static_cast<long long>(on_samples)) +
+                      " (" +
+                      util::Table::num(pct(static_cast<double>(on_samples),
+                                           static_cast<double>(samples)),
+                                       1) +
+                      " %)"});
+        t.addRow({"cold boots", util::Table::integer(
+                                    static_cast<long long>(cold_boots))});
+        t.addRow({"backups", util::Table::integer(
+                                 static_cast<long long>(backups))});
+        t.addRow({"restores", util::Table::integer(
+                                  static_cast<long long>(restores))});
+        t.addRow({"instructions",
+                  util::Table::integer(
+                      static_cast<long long>(instructions))});
+        t.addRow({"forward progress",
+                  util::Table::integer(
+                      static_cast<long long>(forward_progress))});
+        out += t.render();
+    }
+
+    {
+        util::Table t("energy attribution (of energy.consumed_nj)");
+        t.setHeader({"category", "nJ", "%"});
+        for (const AttributionRow &row : attribution) {
+            t.addRow({row.category, util::Table::num(row.nj, 3),
+                      util::Table::num(row.percent, 2)});
+        }
+        t.addRow({"total", util::Table::num(attribution_sum_nj, 3),
+                  util::Table::num(pct(attribution_sum_nj, consumed_nj),
+                                   2)});
+        out += "\n" + t.render();
+        out += split_exact
+                   ? "split: exact (rows re-sum to energy.consumed_nj "
+                     "within 1e-9 relative)\n"
+                   : "split: unavailable (ledger accumulators compiled "
+                     "out or inconsistent)\n";
+    }
+
+    {
+        util::Table t("conservation ledger (of initial + income)");
+        t.setHeader({"category", "nJ", "%"});
+        for (const AttributionRow &row : ledger) {
+            t.addRow({row.category, util::Table::num(row.nj, 3),
+                      util::Table::num(row.percent, 2)});
+        }
+        t.addRow({"income + initial", util::Table::num(ledger_in_nj, 3),
+                  util::Table::num(100.0, 2)});
+        out += "\n" + t.render();
+    }
+
+    if (identity_violations.empty()) {
+        out += "identities: ok\n";
+    } else {
+        out += "identities: " +
+               std::to_string(identity_violations.size()) +
+               " violation(s)\n";
+        for (const std::string &v : identity_violations)
+            out += "  ! " + v + "\n";
+    }
+
+    {
+        util::Table t("durations (0.1 ms samples)");
+        t.setHeader({"window", "count", "mean", "p50", "p95", "p99"});
+        const auto add = [&t](const char *label,
+                              const DurationSummary &s) {
+            t.addRow({label,
+                      util::Table::integer(
+                          static_cast<long long>(s.count)),
+                      util::Table::num(s.mean, 1),
+                      util::Table::num(s.p50, 1),
+                      util::Table::num(s.p95, 1),
+                      util::Table::num(s.p99, 1)});
+        };
+        add("outage", outage);
+        add("on period", on_period);
+        out += "\n" + t.render();
+    }
+
+    if (!kernels.empty()) {
+        util::Table t("per-kernel forward-progress efficiency");
+        t.setHeader({"kernel", "progress", "instructions", "frames",
+                     "consumed uJ", "progress/uJ"});
+        for (const KernelEfficiency &k : kernels) {
+            t.addRow({k.kernel,
+                      util::Table::integer(
+                          static_cast<long long>(k.forward_progress)),
+                      util::Table::integer(
+                          static_cast<long long>(k.instructions)),
+                      util::Table::integer(
+                          static_cast<long long>(k.frames_completed)),
+                      util::Table::num(k.consumed_nj * 1e-3, 3),
+                      util::Table::num(k.progress_per_uj, 1)});
+        }
+        out += "\n" + t.render();
+    }
+
+    if (has_flight) {
+        // Keep terminals usable on outage-heavy runs; the JSON form
+        // carries every record.
+        constexpr std::size_t kMaxTextOutages = 64;
+        util::Table t("outages (flight recorder)");
+        t.setHeader({"#", "fail@", "dark", "stored nJ", "pc", "frame",
+                     "lanes", "bits", "resume", "rbits", "decays"});
+        std::size_t shown = 0;
+        for (std::size_t i = 0;
+             i < outage_log.size() && shown < kMaxTextOutages; ++i) {
+            const OutageRecord &o = outage_log[i];
+            t.addRow({std::to_string(i),
+                      std::to_string(o.fail_sample),
+                      o.resumed ? std::to_string(o.outage_samples) : "-",
+                      util::Table::num(o.stored_nj, 2),
+                      std::to_string(o.pc), std::to_string(o.frame),
+                      std::to_string(o.lanes),
+                      std::string(o.torn ? "torn/" : "") +
+                          std::to_string(o.bits_written),
+                      o.resumed ? resumeKindName(o.resume) : "open",
+                      o.resumed ? std::to_string(o.resume_bits) : "-",
+                      o.resumed ? std::to_string(o.retention_decays)
+                                : "-"});
+            ++shown;
+        }
+        out += "\n" + t.render();
+        if (outage_log.size() > kMaxTextOutages) {
+            out += "(" +
+                   std::to_string(outage_log.size() - kMaxTextOutages) +
+                   " more outage record(s) in the JSON report)\n";
+        }
+        if (outage_log_dropped > 0) {
+            out += "(" + std::to_string(outage_log_dropped) +
+                   " outage record(s) dropped at recorder capacity)\n";
+        }
+
+        double age_sum = 0.0;
+        double psnr_sum = 0.0;
+        for (const FrameRecord &f : frame_log) {
+            age_sum += f.age_samples;
+            psnr_sum += f.psnr;
+        }
+        const double n = static_cast<double>(frame_log.size());
+        out += "frames: " + std::to_string(frame_log.size()) +
+               " first completions";
+        if (frame_log_dropped > 0)
+            out += " (+" + std::to_string(frame_log_dropped) +
+                   " dropped)";
+        if (!frame_log.empty()) {
+            out += ", mean age " + util::Table::num(age_sum / n, 1) +
+                   " samples, mean psnr " +
+                   util::Table::num(psnr_sum / n, 2) + " dB";
+        }
+        out += "\n";
+    }
+
+    return out;
+}
+
+std::string
+reportDigest(const std::string &text)
+{
+    std::uint64_t hash = 14695981039346656037ull; // FNV offset basis
+    for (const char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 1099511628211ull; // FNV prime
+    }
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "fnv1a:%016llx",
+                  static_cast<unsigned long long>(hash));
+    return buf;
+}
+
+} // namespace inc::obs

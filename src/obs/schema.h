@@ -67,6 +67,10 @@ inline constexpr char kEnergyUnfunded[] = "energy.unfunded_nj";
 // ---- histograms ---------------------------------------------------------
 inline constexpr char kHistOutageSamples[] = "hist.outage_samples";
 inline constexpr char kHistBackupLanes[] = "hist.backup_lanes";
+/** Duration of each completed ON period (recorded at backup), 0.1 ms
+ *  units — the complement of hist.outage_samples; the run report
+ *  derives its p50/p95/p99 duration summaries from these two. */
+inline constexpr char kHistOnPeriodSamples[] = "hist.on_period_samples";
 
 // ---- hot-path counter groups (obs/obs.h structs, folded at publish) ----
 inline constexpr char kCoreSteps[] = "core.steps";

@@ -129,6 +129,34 @@ SweepReport::mergedMetrics() const
     return merged;
 }
 
+std::vector<obs::KernelEfficiency>
+SweepReport::kernelEfficiency() const
+{
+    std::vector<obs::KernelEfficiency> rows;
+    for (const JobResult &r : results) {
+        if (!r.ok)
+            continue;
+        obs::KernelEfficiency *row = nullptr;
+        for (obs::KernelEfficiency &existing : rows) {
+            if (existing.kernel == r.spec.kernel) {
+                row = &existing;
+                break;
+            }
+        }
+        if (!row) {
+            rows.emplace_back();
+            row = &rows.back();
+            row->kernel = r.spec.kernel;
+        }
+        row->forward_progress += r.result.forward_progress;
+        row->instructions += r.result.main_instructions;
+        row->frames_completed += r.result.controller.frames_completed;
+        row->consumed_nj += r.result.consumed_energy_nj;
+    }
+    // progress_per_uj is derived by buildRunReport(); leave it zero.
+    return rows;
+}
+
 std::string
 SweepReport::failureReport() const
 {

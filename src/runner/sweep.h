@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/report/report.h"
 #include "sim/system_sim.h"
 #include "trace/power_trace.h"
 #include "util/rng.h"
@@ -151,6 +152,15 @@ struct SweepReport
      * sweep ran with SweepSpec::collect_metrics.
      */
     obs::MetricsRegistry mergedMetrics() const;
+
+    /**
+     * Per-kernel forward-progress efficiency rows for the run report,
+     * aggregated over successful jobs. Rows appear in first-appearance
+     * (i.e. expansion, kernel-major) order and fold every trace/variant
+     * of a kernel together — deterministic at any parallelism, like
+     * mergedMetrics().
+     */
+    std::vector<obs::KernelEfficiency> kernelEfficiency() const;
 };
 
 /**

@@ -3,6 +3,7 @@
 #include "energy/capacitor.h"
 #include "nvm/nvm_array.h"
 #include "obs/observer.h"
+#include "obs/report/flight_recorder.h"
 #include "obs/schema.h"
 #include "util/logging.h"
 
@@ -53,10 +54,34 @@ runActiveCheckpoint(const trace::PowerTrace &trace,
         config.restart_overhead_instr * instr_energy +
         checkpoint_energy * 1.5;
 
+    obs::FlightRecorder *flight =
+        config.obs ? config.obs->flight : nullptr;
+    std::size_t cur_sample = 0;
+
+    // Flight-recorder view of a brown-out: what the software checkpoint
+    // had persisted when the lights went out. Must run before the
+    // caller resets copy_progress.
+    const auto recordOutage = [&](bool torn_copy) {
+        if (!flight)
+            return;
+        if (obs::OutageRecord *rec = flight->appendOutage()) {
+            rec->fail_sample = cur_sample;
+            rec->stored_nj = cap.energyNj();
+            rec->lanes = 1;
+            rec->torn = torn_copy;
+            rec->bits_written =
+                torn_copy ? static_cast<std::uint32_t>(copy_progress) * 8
+                : has_image
+                    ? static_cast<std::uint32_t>(config.state_bytes) * 8
+                    : 0;
+        }
+    };
+
     // A torn copy loses the in-flight image; the double-buffered commit
     // keeps the previous checkpoint intact, so only the work since it is
     // re-executed.
     const auto tear = [&] {
+        recordOutage(/*torn_copy=*/true);
         ++result.torn_checkpoints;
         copy_progress = -1;
         result.instructions_lost +=
@@ -66,6 +91,7 @@ runActiveCheckpoint(const trace::PowerTrace &trace,
     };
 
     for (std::size_t i = 0; i < trace.size(); ++i) {
+        cur_sample = i;
         cap.step(trace.at(i), 0.1);
 
         if (!on) {
@@ -74,12 +100,25 @@ runActiveCheckpoint(const trace::PowerTrace &trace,
                 // Reboot + restore-from-checkpoint software path. Low
                 // bits of the image may have expired while dark
                 // (checkpoint_policy-shaped FeRAM retention).
+                std::uint64_t expiries = 0;
                 if (has_image) {
                     ++result.restores;
-                    result.restore_bit_expirations +=
-                        static_cast<std::uint64_t>(
-                            nvm::NvmArray::expiredCutoff(
-                                config.checkpoint_policy, off_tenth_ms));
+                    expiries = static_cast<std::uint64_t>(
+                        nvm::NvmArray::expiredCutoff(
+                            config.checkpoint_policy, off_tenth_ms));
+                    result.restore_bit_expirations += expiries;
+                }
+                if (flight) {
+                    if (obs::OutageRecord *rec = flight->openOutage()) {
+                        rec->resumed = true;
+                        rec->outage_samples =
+                            static_cast<std::uint64_t>(off_tenth_ms);
+                        rec->resume = has_image
+                                          ? obs::ResumeKind::plain_resume
+                                          : obs::ResumeKind::cold_boot;
+                        rec->resume_bits = 8;
+                        rec->retention_decays = expiries;
+                    }
                 }
                 off_tenth_ms = 0.0;
                 cap.drain(config.restart_overhead_instr * instr_energy);
@@ -101,6 +140,7 @@ runActiveCheckpoint(const trace::PowerTrace &trace,
                 if (copy_progress >= 0) {
                     tear();
                 } else {
+                    recordOutage(/*torn_copy=*/false);
                     result.instructions_lost +=
                         static_cast<std::uint64_t>(since_checkpoint);
                     since_checkpoint = 0.0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/observer.h"
+#include "obs/report/flight_recorder.h"
 #include "obs/schema.h"
 #include "sim/functional.h"
 #include "util/logging.h"
@@ -229,6 +230,17 @@ SystemSimulator::scoreFrame(const core::FrameCompletion &completion)
         if (it != capture_time_.end()) {
             score.first_completion_age =
                 static_cast<double>(current_sample_ - it->second);
+            if (obs_ && obs_->flight) {
+                if (obs::FrameRecord *rec = obs_->flight->appendFrame()) {
+                    rec->frame = f;
+                    rec->capture_sample = it->second;
+                    rec->age_samples = score.first_completion_age;
+                    rec->mse = score.mse;
+                    rec->psnr = score.psnr;
+                    rec->coverage = score.coverage;
+                    rec->bits = completion.bits;
+                }
+            }
             if (obs_ && obs_->tracer) {
                 // Frame lifetime: capture to first completion.
                 obs_->tracer->span(
@@ -255,6 +267,9 @@ SystemSimulator::scoreFrame(const core::FrameCompletion &completion)
 void
 SystemSimulator::performBackup(std::size_t sample)
 {
+    // Failure-time snapshot for the flight recorder, taken before the
+    // backup drains the capacitor or the controller reshapes lanes.
+    const double stored_at_failure_nj = capacitor_.energyNj();
     controller_->onBackup();
     const int lanes = core_->activeLaneCount();
     const double cost = energy_model_.backupEnergyNj(
@@ -267,6 +282,26 @@ SystemSimulator::performBackup(std::size_t sample)
         obs_->registry
             .histogram(obs::kHistBackupLanes, {1.0, 2.0, 3.0})
             .record(static_cast<double>(lanes));
+        obs_->registry
+            .histogram(obs::kHistOnPeriodSamples,
+                       {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0,
+                        500.0, 1000.0})
+            .record(static_cast<double>(sample - obs_phase_start_));
+        if (obs_->flight) {
+            if (obs::OutageRecord *rec = obs_->flight->appendOutage()) {
+                rec->fail_sample = sample;
+                rec->pc = core_->pc();
+                rec->frame = core_->lane(0).frame;
+                rec->stored_nj = stored_at_failure_nj;
+                rec->lanes = static_cast<std::uint32_t>(lanes);
+                // The passive in-situ backup writes every live lane's
+                // register/memory state at its current precision.
+                rec->bits_written = static_cast<std::uint32_t>(
+                    core_->acEnabled()
+                        ? core_->mainBits() + core_->incidentalBitsSum()
+                        : 8 * lanes);
+            }
+        }
         if (obs_->tracer) {
             obs_->tracer->instant(obs::Track::checkpoint, "backup",
                                   100.0 * static_cast<double>(sample));
@@ -318,10 +353,28 @@ SystemSimulator::performRestore(std::size_t sample)
         }
     }
     tracePowerPhase(sample, /*next_on=*/true);
+    obs::OutageRecord *rec =
+        obs_ && obs_->flight ? obs_->flight->openOutage() : nullptr;
+    const core::ControllerStats stats_before =
+        rec ? controller_->stats() : core::ControllerStats{};
     controller_->onRestore(
         outage, static_cast<std::uint32_t>(std::max<std::int64_t>(
                     0, newest_frame_)));
     on_ = true;
+    if (rec) {
+        // The restore decision and the retention outcome are visible
+        // as controller-stat deltas across onRestore().
+        const core::ControllerStats &after = controller_->stats();
+        rec->resumed = true;
+        rec->outage_samples = sample - off_since_;
+        rec->resume = after.roll_forwards > stats_before.roll_forwards
+                          ? obs::ResumeKind::roll_forward
+                          : obs::ResumeKind::plain_resume;
+        rec->resume_bits = static_cast<std::uint32_t>(
+            core_->acEnabled() ? core_->mainBits() : 8);
+        rec->retention_decays =
+            after.reg_decay_events - stats_before.reg_decay_events;
+    }
 }
 
 SimResult
@@ -355,6 +408,24 @@ SystemSimulator::run()
                     tracePowerPhase(i, /*next_on=*/true);
                     on_ = true;
                     ++result_.restores;
+                    if (obs_ && obs_->flight) {
+                        // No checkpoint image exists yet; log the boot
+                        // as a completed outage covering the dark lead-in
+                        // so the report's power-cycle count closes
+                        // against sim.cold_boots.
+                        if (obs::OutageRecord *rec =
+                                obs_->flight->appendOutage()) {
+                            rec->fail_sample = i;
+                            rec->pc = core_->pc();
+                            rec->stored_nj = capacitor_.energyNj();
+                            rec->resumed = true;
+                            rec->outage_samples = i;
+                            rec->resume = obs::ResumeKind::cold_boot;
+                            rec->resume_bits = static_cast<std::uint32_t>(
+                                core_->acEnabled() ? core_->mainBits()
+                                                   : 8);
+                        }
+                    }
                 } else {
                     performRestore(i);
                 }

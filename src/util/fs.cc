@@ -26,4 +26,14 @@ ensureDir(const std::string &path)
     return true;
 }
 
+bool
+ensureParentDir(const std::string &path)
+{
+    namespace fs = std::filesystem;
+    const fs::path parent = fs::path(path).parent_path();
+    if (parent.empty())
+        return true;
+    return ensureDir(parent.string());
+}
+
 } // namespace inc::util

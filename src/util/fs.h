@@ -18,6 +18,15 @@ namespace inc::util
  */
 bool ensureDir(const std::string &path);
 
+/**
+ * Create the parent directory of file @p path (and any missing
+ * grandparents). A bare filename has no parent and trivially
+ * succeeds. Returns false only when the parent cannot be created —
+ * callers writing "outdir/file.json" get the same treatment as
+ * INC_BENCH_OUTDIR instead of a bare open error.
+ */
+bool ensureParentDir(const std::string &path);
+
 } // namespace inc::util
 
 #endif // INC_UTIL_FS_H

@@ -296,6 +296,114 @@ TEST(ObsSim, ActiveCheckpointIdentitiesHold)
 }
 
 // ---------------------------------------------------------------------
+// Identity-checker failure paths: a deliberately corrupted registry
+// must produce a violation naming the broken identity, not a silent
+// pass (the checkers gate CI and the fuzzer — a checker that cannot
+// fail verifies nothing).
+
+obs::MetricsRegistry
+consistentSimRegistry()
+{
+    const trace::PowerTrace t = smallTrace();
+    obs::Observer observer;
+    sim::SimConfig cfg = smallConfig();
+    cfg.obs = &observer;
+    sim::SystemSimulator sim(kernels::makeKernel("sobel"), &t, cfg);
+    sim.run();
+    return std::move(observer.registry);
+}
+
+bool
+anyProblemMentions(const std::vector<std::string> &problems,
+                   const std::string &needle)
+{
+    for (const std::string &p : problems) {
+        if (p.find(needle) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+TEST(SchemaCheckers, NonSimRegistryIsRejectedByName)
+{
+    obs::MetricsRegistry empty;
+    const std::vector<std::string> problems =
+        obs::verifySimMetricIdentities(empty);
+    ASSERT_EQ(problems.size(), 1u);
+    EXPECT_NE(problems.front().find("sim.samples"), std::string::npos);
+}
+
+TEST(SchemaCheckers, CorruptBackupCounterYieldsNamedViolation)
+{
+    obs::MetricsRegistry m = consistentSimRegistry();
+    ASSERT_TRUE(obs::verifySimMetricIdentities(m).empty());
+
+    // One phantom backup attempt breaks attempts == committed + torn.
+    m.counter(obs::kSimBackupAttempts).value += 1;
+    const std::vector<std::string> problems =
+        obs::verifySimMetricIdentities(m);
+    ASSERT_FALSE(problems.empty());
+    EXPECT_TRUE(anyProblemMentions(problems, "sim.backup.attempts"))
+        << "first violation: " << problems.front();
+}
+
+TEST(SchemaCheckers, CorruptBitTicksYieldsNamedViolation)
+{
+    obs::MetricsRegistry m = consistentSimRegistry();
+    m.counter(std::string(obs::kBitTicksPrefix) + "4").value += 5;
+    const std::vector<std::string> problems =
+        obs::verifySimMetricIdentities(m);
+    ASSERT_FALSE(problems.empty());
+    EXPECT_TRUE(anyProblemMentions(problems, "bits.ticks"))
+        << "first violation: " << problems.front();
+}
+
+#if INC_OBS_ENABLED
+TEST(SchemaCheckers, CorruptEnergySplitYieldsNamedViolation)
+{
+    obs::MetricsRegistry m = consistentSimRegistry();
+    // Inflate one split category well past the checker's relative
+    // tolerance so fetch+datapath+idle+assemble no longer re-sums to
+    // energy.consumed_nj.
+    m.gauge(obs::kEnergyFetch).value +=
+        m.gaugeValue(obs::kEnergyConsumed) + 1000.0;
+    const std::vector<std::string> problems =
+        obs::verifySimMetricIdentities(m);
+    ASSERT_FALSE(problems.empty());
+    EXPECT_TRUE(anyProblemMentions(problems, "consumed"))
+        << "first violation: " << problems.front();
+}
+#endif
+
+TEST(SchemaCheckers, CheckpointCheckerRejectsAndNamesViolations)
+{
+    // A system-sim registry is not an active-checkpoint registry.
+    obs::MetricsRegistry sim_registry = consistentSimRegistry();
+    const std::vector<std::string> wrong_kind =
+        obs::verifyCheckpointMetricIdentities(sim_registry);
+    ASSERT_EQ(wrong_kind.size(), 1u);
+    EXPECT_NE(wrong_kind.front().find("ac.checkpoint.attempts"),
+              std::string::npos);
+
+    // A genuine ac registry with a phantom attempt names the broken
+    // partition identity.
+    const trace::PowerTrace t = smallTrace(3, 99, 4000);
+    obs::Observer observer;
+    sim::ActiveCheckpointConfig cfg;
+    cfg.obs = &observer;
+    sim::runActiveCheckpoint(t, cfg);
+    ASSERT_TRUE(
+        obs::verifyCheckpointMetricIdentities(observer.registry)
+            .empty());
+    observer.registry.counter(obs::kAcAttempts).value += 1;
+    const std::vector<std::string> problems =
+        obs::verifyCheckpointMetricIdentities(observer.registry);
+    ASSERT_FALSE(problems.empty());
+    EXPECT_TRUE(anyProblemMentions(problems, "ac attempts"))
+        << "first violation: " << problems.front();
+}
+
+// ---------------------------------------------------------------------
 // Sweep aggregation determinism
 
 runner::SweepSpec

@@ -28,6 +28,7 @@
  *                [--policy full|linear|log|parabola] [--baseline]
  *                [--engine reference|predecoded] [--seconds S]
  *                [--seed K] [--jobs N] [--out F.csv] [--metrics F.json]
+ *                [--report] [--report-out F.json]
  *       Run the kernel x profile grid in parallel on N worker threads
  *       (default: hardware concurrency) via runner::SweepRunner.
  *       Results are aggregated in deterministic job order — the output
@@ -37,7 +38,12 @@
  *       excluded). Failing jobs are retried once, then reported; the
  *       exit status is nonzero only if failures remain after retry.
  *       --inject-failure J makes job J throw (a testing aid for the
- *       failure-capture path).
+ *       failure-capture path). --report derives a run report from the
+ *       merged registry (plus per-kernel efficiency rows) and prints
+ *       it; --report-out saves its JSON. Report output carries no
+ *       scheduling artifacts — with --report the sweep header also
+ *       omits worker/wall-clock info — so the full stdout and the
+ *       saved report are byte-identical at any --jobs value.
  *
  *   nvpsim fuzz [--trials N] [--seed K] [--jobs N] [--samples S]
  *               [--repro-dir DIR] [--minimize] [--replay DIR]
@@ -55,6 +61,19 @@
  *       reference interpreter and requires the serialized SimResult
  *       and metrics JSON to match the predecoded run byte-for-byte
  *       (the engine-equivalence invariant; see DESIGN.md §11).
+ *
+ *   nvpsim report [--kernel NAME] [--profile N | --trace F.csv]
+ *                 [run flags] [--flight-capacity N] [--out F.json]
+ *                 [--from-metrics F.json]
+ *       Run a co-simulation with an observer + flight recorder attached
+ *       and print the derived run report (src/obs/report): energy
+ *       attribution over the energy.* ledger split, conservation
+ *       ledger, outage/on-period p50/p95/p99, per-kernel
+ *       forward-progress efficiency, and the per-outage flight log.
+ *       --out also saves the canonical JSON form. --from-metrics
+ *       re-derives the report offline from a previously written
+ *       metrics JSON (no simulation, no flight log). Exits nonzero
+ *       when the registry violates the obs/schema.h identities.
  *
  *   nvpsim asm FILE.s [--run] [--steps N]
  *       Assemble a program; print the disassembly, optionally execute.
@@ -78,6 +97,8 @@
 #include "kernels/kernel.h"
 #include "obs/event_tracer.h"
 #include "obs/observer.h"
+#include "obs/report/flight_recorder.h"
+#include "obs/report/report.h"
 #include "obs/schema.h"
 #include "runner/sweep.h"
 #include "runner/thread_pool.h"
@@ -85,6 +106,7 @@
 #include "trace/outage_stats.h"
 #include "trace/trace_generator.h"
 #include "util/csv.h"
+#include "util/fs.h"
 #include "util/logging.h"
 #include "util/table.h"
 
@@ -147,6 +169,19 @@ class Args
     std::map<std::string, std::string> values_;
     std::vector<std::string> positional_;
 };
+
+/** Write @p content to @p path, creating the parent directory first
+ *  (nested output paths get the same treatment as INC_BENCH_OUTDIR). */
+bool
+writeTextFile(const std::string &path, const std::string &content)
+{
+    util::ensureParentDir(path);
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+    out << content;
+    return static_cast<bool>(out);
+}
 
 trace::PowerTrace
 loadOrGenerateTrace(const Args &args)
@@ -311,6 +346,7 @@ cmdRun(const Args &args)
 
     if (want_trace) {
         const std::string path = args.get("trace-out");
+        util::ensureParentDir(path);
         if (!tracer.writeChromeTraceJson(path))
             util::fatal("could not write '%s'", path.c_str());
         std::printf("chrome trace written to %s (%zu events",
@@ -323,6 +359,7 @@ cmdRun(const Args &args)
     }
     if (want_metrics) {
         const std::string path = args.get("metrics");
+        util::ensureParentDir(path);
         if (!observer.registry.writeJson(path))
             util::fatal("could not write '%s'", path.c_str());
         std::printf("metrics written to %s\n", path.c_str());
@@ -334,6 +371,75 @@ cmdRun(const Args &args)
                              p.c_str());
             return 1;
         }
+    }
+    return 0;
+}
+
+int
+cmdReport(const Args &args)
+{
+    const std::string out = args.get("out");
+
+    // Offline mode: re-derive the report from a saved metrics JSON
+    // (e.g. one written by `run --metrics` or `sweep --metrics`).
+    if (args.has("from-metrics")) {
+        const std::string path = args.get("from-metrics");
+        std::ifstream f(path, std::ios::binary);
+        if (!f)
+            util::fatal("cannot open '%s'", path.c_str());
+        std::ostringstream ss;
+        ss << f.rdbuf();
+        obs::MetricsRegistry registry;
+        std::string error;
+        if (!obs::MetricsRegistry::fromJson(ss.str(), &registry,
+                                            &error))
+            util::fatal("could not parse '%s': %s", path.c_str(),
+                        error.c_str());
+        const obs::RunReport report = obs::buildRunReport(registry);
+        std::fputs(report.renderText().c_str(), stdout);
+        if (!out.empty()) {
+            if (!writeTextFile(out, report.toJson()))
+                util::fatal("could not write '%s'", out.c_str());
+            std::printf("report written to %s\n", out.c_str());
+        }
+        return report.identity_violations.empty() ? 0 : 1;
+    }
+
+    const std::string name = args.get("kernel", "sobel");
+    const trace::PowerTrace t = loadOrGenerateTrace(args);
+    const kernels::Kernel kernel = kernels::makeKernel(name);
+    sim::SimConfig cfg = configFromArgs(args);
+
+    const auto capacity = static_cast<std::size_t>(
+        args.num("flight-capacity", 1024));
+    obs::Observer observer;
+    obs::FlightRecorder flight(capacity, capacity);
+    observer.flight = &flight;
+    cfg.obs = &observer;
+
+    sim::SystemSimulator s(kernel, &t, cfg);
+    const sim::SimResult r = s.run();
+
+    std::vector<obs::KernelEfficiency> efficiency(1);
+    efficiency[0].kernel = name;
+    efficiency[0].forward_progress = r.forward_progress;
+    efficiency[0].instructions = r.main_instructions;
+    efficiency[0].frames_completed = r.controller.frames_completed;
+    efficiency[0].consumed_nj = r.consumed_energy_nj;
+
+    const obs::RunReport report = obs::buildRunReport(
+        observer.registry, &flight, std::move(efficiency));
+    std::fputs(report.renderText().c_str(), stdout);
+    if (!out.empty()) {
+        if (!writeTextFile(out, report.toJson()))
+            util::fatal("could not write '%s'", out.c_str());
+        std::printf("report written to %s\n", out.c_str());
+    }
+    if (!report.identity_violations.empty()) {
+        for (const auto &v : report.identity_violations)
+            std::fprintf(stderr, "metric identity violated: %s\n",
+                         v.c_str());
+        return 1;
     }
     return 0;
 }
@@ -392,7 +498,9 @@ cmdSweep(const Args &args)
         "jobs", runner::ThreadPool::defaultThreads()));
     if (spec.jobs < 1)
         util::fatal("--jobs must be >= 1");
-    spec.collect_metrics = args.has("metrics");
+    const bool want_report =
+        args.has("report") || args.has("report-out");
+    spec.collect_metrics = args.has("metrics") || want_report;
 
     runner::SweepRunner::JobFn body = &runner::SweepRunner::simJob;
     if (args.has("inject-failure")) {
@@ -410,9 +518,14 @@ cmdSweep(const Args &args)
     runner::SweepRunner sweep(spec, body);
     const runner::SweepReport report = sweep.run();
 
-    util::Table table(util::format(
-        "sweep: %zu jobs on %u workers, %.1f s wall",
-        report.results.size(), report.jobs_used, report.wall_seconds));
+    // With --report every byte of stdout must be independent of the
+    // parallelism, so the header drops the worker/wall-clock info.
+    util::Table table(
+        want_report
+            ? util::format("sweep: %zu jobs", report.results.size())
+            : util::format("sweep: %zu jobs on %u workers, %.1f s wall",
+                           report.results.size(), report.jobs_used,
+                           report.wall_seconds));
     table.setHeader({"kernel", "trace", "variant", "FP (all lanes)",
                      "on-time", "backups", "mean PSNR", "status"});
     util::CsvWriter csv;
@@ -446,16 +559,29 @@ cmdSweep(const Args &args)
     }
     table.print();
     if (args.has("out")) {
+        util::ensureParentDir(args.get("out"));
         if (!csv.write(args.get("out")))
             util::fatal("could not write '%s'", args.get("out").c_str());
         std::printf("results written to %s\n", args.get("out").c_str());
     }
-    if (spec.collect_metrics) {
+    if (args.has("metrics")) {
         const std::string path = args.get("metrics");
+        util::ensureParentDir(path);
         const obs::MetricsRegistry merged = report.mergedMetrics();
         if (!merged.writeJson(path))
             util::fatal("could not write '%s'", path.c_str());
         std::printf("merged metrics written to %s\n", path.c_str());
+    }
+    if (want_report) {
+        const obs::RunReport run_report = obs::buildRunReport(
+            report.mergedMetrics(), nullptr, report.kernelEfficiency());
+        std::fputs(run_report.renderText().c_str(), stdout);
+        if (args.has("report-out")) {
+            const std::string path = args.get("report-out");
+            if (!writeTextFile(path, run_report.toJson()))
+                util::fatal("could not write '%s'", path.c_str());
+            std::printf("report written to %s\n", path.c_str());
+        }
     }
     if (!report.allOk()) {
         std::fputs(report.failureReport().c_str(), stderr);
@@ -604,7 +730,7 @@ main(int argc, char **argv)
     if (argc < 2) {
         std::fprintf(
             stderr,
-            "usage: nvpsim <trace|run|sweep|fuzz|asm|kernels> "
+            "usage: nvpsim <trace|run|sweep|report|fuzz|asm|kernels> "
             "[options]\n"
             "see the file header of tools/nvpsim.cc\n");
         return 1;
@@ -617,6 +743,8 @@ main(int argc, char **argv)
         return cmdRun(args);
     if (cmd == "sweep")
         return cmdSweep(args);
+    if (cmd == "report")
+        return cmdReport(args);
     if (cmd == "fuzz")
         return cmdFuzz(args);
     if (cmd == "asm")
