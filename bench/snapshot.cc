@@ -62,7 +62,7 @@ namespace
 using namespace inc;
 
 constexpr char kSchema[] = "inc-bench-snapshot-v1";
-constexpr int kPr = 5;
+constexpr int kPr = 6;
 constexpr double kDefaultGatePct = 10.0;
 
 /** The pinned suite: two power regimes for the flagship kernel plus

@@ -1,0 +1,48 @@
+#include "arena/backend.h"
+
+namespace inc::arena
+{
+
+std::uint8_t *
+HeapBackend::acquire(const std::string &name, std::size_t bytes,
+                     bool *existed)
+{
+    auto it = buffers_.find(name);
+    const bool found = it != buffers_.end() && it->second.size() == bytes;
+    if (existed != nullptr)
+        *existed = found;
+    if (!found) {
+        buffers_[name].assign(bytes, 0);
+        it = buffers_.find(name);
+    }
+    return it->second.data();
+}
+
+void
+HeapBackend::release(const std::string &name)
+{
+    buffers_.erase(name);
+}
+
+std::uint8_t *
+ArenaBackend::acquire(const std::string &name, std::size_t bytes,
+                      bool *existed)
+{
+    const bool was_new =
+        !arena_->hasBlock(name) || arena_->blockSize(name) != bytes;
+    std::uint8_t *data = arena_->alloc(name, bytes, existed);
+    if (was_new)
+        arena_->commit();
+    return data;
+}
+
+void
+ArenaBackend::release(const std::string &name)
+{
+    if (arena_->hasBlock(name)) {
+        arena_->freeBlock(name);
+        arena_->commit();
+    }
+}
+
+} // namespace inc::arena

@@ -9,6 +9,7 @@
 
 #include "check/oracle.h"
 #include "check/program_fuzzer.h"
+#include "check/recovery_trial.h"
 #include "isa/disassembler.h"
 #include "nvp/memory.h"
 #include "obs/observer.h"
@@ -612,6 +613,7 @@ modeName(TrialMode mode)
       case TrialMode::bounded_error: return "bounded_error";
       case TrialMode::monotone_bits: return "monotone_bits";
       case TrialMode::rac_merge: return "rac_merge";
+      case TrialMode::arena_recovery: return "arena_recovery";
     }
     return "unknown";
 }
@@ -626,13 +628,65 @@ bugName(BugKind bug)
     return "unknown";
 }
 
+namespace
+{
+
+/** Parse CheckConfig::mode_filter into a per-mode allow mask; fatal on
+ *  an unknown mode name. Empty filter allows everything. */
+std::array<bool, kNumTrialModes>
+parseModeFilter(const std::string &filter)
+{
+    std::array<bool, kNumTrialModes> allowed{};
+    if (filter.empty()) {
+        allowed.fill(true);
+        return allowed;
+    }
+    std::size_t pos = 0;
+    while (pos <= filter.size()) {
+        std::size_t comma = filter.find(',', pos);
+        if (comma == std::string::npos)
+            comma = filter.size();
+        const std::string name = filter.substr(pos, comma - pos);
+        bool matched = false;
+        for (int m = 0; m < kNumTrialModes; ++m) {
+            if (name == modeName(static_cast<TrialMode>(m))) {
+                allowed[static_cast<std::size_t>(m)] = true;
+                matched = true;
+                break;
+            }
+        }
+        if (!matched)
+            util::fatal("unknown trial mode '%s' in --modes (valid: "
+                        "exact_recovery, bounded_error, monotone_bits, "
+                        "rac_merge, arena_recovery)",
+                        name.c_str());
+        pos = comma + 1;
+    }
+    return allowed;
+}
+
+} // namespace
+
 std::vector<TrialSpec>
 expandTrials(const CheckConfig &config)
 {
+    const std::array<bool, kNumTrialModes> allowed =
+        parseModeFilter(config.mode_filter);
+
     util::Rng master(config.master_seed);
     std::vector<TrialSpec> specs;
     specs.reserve(static_cast<std::size_t>(std::max(0, config.trials)));
-    for (int i = 0; i < config.trials; ++i) {
+    // Candidates come off the unfiltered stream; a mode filter keeps
+    // the first `trials` allowed ones, so a filtered run executes
+    // byte-identical specs to the matching subset of an unfiltered run
+    // with the same seed. Every mode has >= 12% mass, so the candidate
+    // cap is unreachable with a non-empty allow mask.
+    const long long max_candidates =
+        static_cast<long long>(std::max(0, config.trials)) * 200 + 200;
+    for (long long i = 0;
+         static_cast<int>(specs.size()) < config.trials &&
+         i < max_candidates;
+         ++i) {
         TrialSpec s;
         s.index = static_cast<std::size_t>(i);
         s.seed = master.next();
@@ -642,12 +696,14 @@ expandTrials(const CheckConfig &config)
         const std::uint64_t u = t.nextBounded(100);
         if (u < 40)
             s.mode = TrialMode::exact_recovery;
-        else if (u < 65)
+        else if (u < 60)
             s.mode = TrialMode::bounded_error;
-        else if (u < 80)
+        else if (u < 72)
             s.mode = TrialMode::monotone_bits;
-        else
+        else if (u < 85)
             s.mode = TrialMode::rac_merge;
+        else
+            s.mode = TrialMode::arena_recovery;
         s.program_seed = t.next();
         s.profile = 1 + static_cast<int>(t.nextBounded(5));
         s.samples = config.trace_samples;
@@ -663,6 +719,8 @@ expandTrials(const CheckConfig &config)
         if (s.mode == TrialMode::exact_recovery)
             s.bug = config.inject;
         s.engine_diff = config.engine_diff;
+        if (!allowed[static_cast<std::size_t>(s.mode)])
+            continue;
         specs.push_back(std::move(s));
     }
     return specs;
@@ -685,6 +743,7 @@ runTrial(const TrialSpec &spec)
       case TrialMode::bounded_error: return runBoundedTrial(spec);
       case TrialMode::monotone_bits: return runMonotoneTrial(spec);
       case TrialMode::rac_merge: return runRacTrial(spec);
+      case TrialMode::arena_recovery: return runArenaTrial(spec);
     }
     Divergence d;
     d.violated = true;
@@ -921,6 +980,7 @@ CheckReport::summary() const
     out << trials << " trials (exact=" << mode_counts[0]
         << " bounded=" << mode_counts[1]
         << " monotone=" << mode_counts[2] << " rac=" << mode_counts[3]
+        << " arena=" << mode_counts[4]
         << "), " << failures.size() << " violation"
         << (failures.size() == 1 ? "" : "s");
     for (const TrialFailure &f : failures) {

@@ -42,6 +42,20 @@
  *     Observation is non-perturbing by contract, so this rides along
  *     without changing the trial distribution or any result.
  *
+ *   arena_recovery — the persistence arena's crash-consistency
+ *     contract (src/arena, DESIGN.md §12): a deterministic op script is
+ *     first dry-run to measure its log; a fault point is then sampled
+ *     at byte granularity and the same script re-run with the arena's
+ *     log dying at that byte. Reopening the faulted arena must recover
+ *     exactly the state of the crash-free oracle at the last successful
+ *     commit — epoch, key/value index, block index, and block contents
+ *     under NVM semantics (data writes to a surviving extent persist
+ *     even when uncommitted index changes roll back). Every third trial
+ *     additionally runs a mini 2-job sweep through a SweepJournal and
+ *     requires the partially-journaled, recovered, resumed campaign to
+ *     reproduce the uninterrupted campaign's per-job results and merged
+ *     metrics byte-for-byte.
+ *
  *   engine_diff (cross-cutting, opt-in via `fuzz --engine-diff`) — a
  *     co-simulator trial whose primary invariant passed re-runs under
  *     the reference interpreter (SimConfig::exec_engine) and the
@@ -75,9 +89,10 @@ enum class TrialMode : int
     bounded_error,
     monotone_bits,
     rac_merge,
+    arena_recovery,
 };
 
-constexpr int kNumTrialModes = 4;
+constexpr int kNumTrialModes = 5;
 
 /** Test-only fault injection; proves the harness catches real bugs. */
 enum class BugKind : int
@@ -147,6 +162,16 @@ struct CheckConfig
     bool minimize = false;
     BugKind inject = BugKind::none;
     bool engine_diff = false;   ///< enable TrialSpec::engine_diff on all trials
+
+    /**
+     * Comma-separated mode names (e.g. "arena_recovery" or
+     * "exact_recovery,rac_merge"); empty = all modes. Expansion draws
+     * candidate specs from the unfiltered stream and keeps the first
+     * `trials` whose mode is allowed, so a filtered run executes
+     * byte-identical specs to the ones an unfiltered run of the same
+     * seed would produce (`fuzz --modes` on a repro seed is exact).
+     */
+    std::string mode_filter;
 };
 
 /** Aggregate outcome of a fuzzing run. */

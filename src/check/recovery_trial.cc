@@ -1,0 +1,444 @@
+#include "check/recovery_trial.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arena/arena.h"
+#include "runner/journal.h"
+#include "runner/sweep.h"
+#include "sim/result_io.h"
+#include "trace/trace_generator.h"
+#include "util/rng.h"
+
+namespace inc::check
+{
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+constexpr int kNumBlocks = 5;
+constexpr int kNumKeys = 7;
+constexpr int kScriptOps = 90;
+
+std::string
+blockName(int i)
+{
+    char buf[8];
+    std::snprintf(buf, sizeof buf, "b%d", i);
+    return buf;
+}
+
+std::string
+keyName(int i)
+{
+    char buf[8];
+    std::snprintf(buf, sizeof buf, "k%d", i);
+    return buf;
+}
+
+/**
+ * Crash-free oracle of the arena, mirrored op-by-op alongside the real
+ * one. Block contents are tracked per *generation* (a fresh extent from
+ * an alloc or grow starts a new generation): the recovered content of a
+ * committed block must equal its committed generation's mirror as it
+ * stands at the crash instant — later data writes only ever target the
+ * newest generation, so a superseded extent is frozen, while writes
+ * into the still-current extent persist (NVM semantics) even though the
+ * index mutations around them roll back.
+ */
+struct Shadow
+{
+    struct State
+    {
+        std::map<std::string, std::string> kv;
+        std::map<std::string, int> block_gen;
+        std::map<std::string, std::size_t> block_size;
+    };
+
+    State live;
+    State committed;
+    /** name -> generation -> content mirror */
+    std::map<std::string, std::map<int, std::vector<std::uint8_t>>>
+        content;
+    std::uint64_t commits_ok = 0;
+    int next_gen = 1;
+};
+
+/**
+ * Run the deterministic op script. The rng draw sequence is identical
+ * in the dry and faulted runs (no draw depends on arena outcomes); the
+ * faulted run simply stops at the crash instant — the first op after
+ * which the injected fault has tripped — exactly as a killed process
+ * would.
+ */
+void
+runScript(arena::Arena *a, util::Rng rng, Shadow *sh)
+{
+    for (int i = 0; i < kScriptOps; ++i) {
+        const std::uint64_t op = rng.nextBounded(100);
+        const int bi = static_cast<int>(rng.nextBounded(kNumBlocks));
+        const int ki = static_cast<int>(rng.nextBounded(kNumKeys));
+        const std::uint64_t aux = rng.next();
+        const std::string bname = blockName(bi);
+        const std::string kname = keyName(ki);
+
+        if (op < 25) { // put
+            std::string value;
+            const std::size_t len = 1 + aux % 24;
+            for (std::size_t j = 0; j < len; ++j)
+                value.push_back(static_cast<char>(
+                    'a' + (aux >> (j % 48)) % 26));
+            a->put(kname, value);
+            sh->live.kv[kname] = value;
+        } else if (op < 35) { // erase
+            a->erase(kname);
+            sh->live.kv.erase(kname);
+        } else if (op < 55) { // alloc (get-or-create / size change)
+            const std::size_t size = 64 * (1 + aux % 6);
+            a->alloc(bname, size);
+            const auto it = sh->live.block_gen.find(bname);
+            if (it == sh->live.block_gen.end() ||
+                sh->live.block_size[bname] != size) {
+                const int gen = sh->next_gen++;
+                sh->live.block_gen[bname] = gen;
+                sh->live.block_size[bname] = size;
+                sh->content[bname][gen].assign(size, 0);
+            }
+        } else if (op < 63) { // grow
+            if (sh->live.block_gen.count(bname)) {
+                const std::size_t old_size =
+                    sh->live.block_size[bname];
+                const std::size_t size = old_size + 64 * (1 + aux % 4);
+                a->grow(bname, size);
+                const int old_gen = sh->live.block_gen[bname];
+                const int gen = sh->next_gen++;
+                std::vector<std::uint8_t> copy =
+                    sh->content[bname][old_gen];
+                copy.resize(size, 0);
+                sh->live.block_gen[bname] = gen;
+                sh->live.block_size[bname] = size;
+                sh->content[bname][gen] = std::move(copy);
+            }
+        } else if (op < 70) { // free
+            if (sh->live.block_gen.count(bname)) {
+                a->freeBlock(bname);
+                sh->live.block_gen.erase(bname);
+                sh->live.block_size.erase(bname);
+            }
+        } else if (op < 88) { // data write into the live extent
+            if (sh->live.block_gen.count(bname)) {
+                const std::size_t size = sh->live.block_size[bname];
+                std::uint8_t *p = a->blockData(bname);
+                std::vector<std::uint8_t> &mirror =
+                    sh->content[bname][sh->live.block_gen[bname]];
+                const std::size_t off = aux % size;
+                const std::size_t len =
+                    std::min(size - off,
+                             static_cast<std::size_t>(
+                                 1 + (aux >> 8) % 32));
+                const auto pat = static_cast<std::uint8_t>(aux >> 16);
+                for (std::size_t j = 0; j < len; ++j) {
+                    p[off + j] = static_cast<std::uint8_t>(pat + j);
+                    mirror[off + j] =
+                        static_cast<std::uint8_t>(pat + j);
+                }
+            }
+        } else { // commit
+            if (a->commit()) {
+                sh->committed = sh->live;
+                ++sh->commits_ok;
+            }
+        }
+
+        if (a->failed())
+            return; // the simulated crash instant: the process is dead
+    }
+}
+
+Divergence
+arenaDivergence(const std::string &invariant, const std::string &detail)
+{
+    Divergence d;
+    d.violated = true;
+    d.invariant = invariant;
+    d.detail = detail;
+    return d;
+}
+
+/** Verify a reopened arena against the shadow's committed state. */
+Divergence
+verifyRecovered(arena::Arena &a, const Shadow &sh,
+                std::uint64_t fault_at)
+{
+    std::ostringstream ctx;
+    ctx << " (fault_at=" << fault_at
+        << " commits_ok=" << sh.commits_ok << ")";
+
+    if (a.epoch() != sh.commits_ok)
+        return arenaDivergence(
+            "arena_epoch",
+            "recovered epoch " + std::to_string(a.epoch()) +
+                " != successful commits " +
+                std::to_string(sh.commits_ok) + ctx.str());
+    if (a.stats().replayed_commits != sh.commits_ok)
+        return arenaDivergence(
+            "arena_replay",
+            "replayed_commits " +
+                std::to_string(a.stats().replayed_commits) +
+                " != successful commits " +
+                std::to_string(sh.commits_ok) + ctx.str());
+
+    for (int i = 0; i < kNumKeys; ++i) {
+        const std::string k = keyName(i);
+        const auto want = sh.committed.kv.find(k);
+        std::string got;
+        const bool have = a.get(k, &got);
+        if (want == sh.committed.kv.end()) {
+            if (have)
+                return arenaDivergence(
+                    "arena_kv", "key '" + k +
+                                    "' should have rolled back" +
+                                    ctx.str());
+        } else if (!have || got != want->second) {
+            return arenaDivergence(
+                "arena_kv",
+                "key '" + k + "' recovered to '" +
+                    (have ? got : std::string("<absent>")) +
+                    "' expected '" + want->second + "'" + ctx.str());
+        }
+    }
+
+    for (int i = 0; i < kNumBlocks; ++i) {
+        const std::string b = blockName(i);
+        const auto want = sh.committed.block_gen.find(b);
+        if (want == sh.committed.block_gen.end()) {
+            if (a.hasBlock(b))
+                return arenaDivergence(
+                    "arena_block",
+                    "block '" + b + "' should have rolled back" +
+                        ctx.str());
+            continue;
+        }
+        const std::size_t want_size = sh.committed.block_size.at(b);
+        if (!a.hasBlock(b) || a.blockSize(b) != want_size)
+            return arenaDivergence(
+                "arena_block",
+                "block '" + b + "' recovered size " +
+                    std::to_string(a.blockSize(b)) + " expected " +
+                    std::to_string(want_size) + ctx.str());
+        const std::vector<std::uint8_t> &mirror =
+            sh.content.at(b).at(want->second);
+        if (std::memcmp(a.blockData(b), mirror.data(), want_size) != 0) {
+            std::size_t byte = 0;
+            while (byte < want_size &&
+                   a.blockData(b)[byte] == mirror[byte])
+                ++byte;
+            Divergence d = arenaDivergence(
+                "arena_content",
+                "block '" + b + "' content differs at byte " +
+                    std::to_string(byte) + ctx.str());
+            d.byte = byte;
+            d.expected = mirror[byte];
+            d.actual = a.blockData(b)[byte];
+            return d;
+        }
+    }
+    return {};
+}
+
+/** Scratch directory unique to this (process, trial). */
+std::string
+trialDir(const TrialSpec &spec, const char *which)
+{
+    std::ostringstream name;
+    name << "inc-arena-fuzz-" << ::getpid() << "-" << spec.seed << "-"
+         << spec.index << "-" << which;
+    return (fs::temp_directory_path() / name.str()).string();
+}
+
+/**
+ * Warm-restart byte-identity: an uninterrupted mini-sweep (golden) vs
+ * the same campaign journaled one job deep, recovered from disk, and
+ * resumed. Per-job serialized results and the merged metrics JSON must
+ * match byte-for-byte.
+ */
+Divergence
+runSweepResumeCheck(const TrialSpec &spec, const std::string &dir)
+{
+    runner::SweepSpec sw;
+    sw.kernels = {"sobel"};
+    trace::TraceGenerator gen(
+        trace::paperProfile(spec.profile), spec.seed);
+    sw.traces = {gen.generate(1200)};
+    const std::uint64_t seed = spec.program_seed | 1;
+    sw.variants = {
+        runner::ConfigVariant{"base",
+                              [seed](const std::string &) {
+                                  sim::SimConfig cfg;
+                                  cfg.seed = seed;
+                                  return cfg;
+                              }},
+        runner::ConfigVariant{"alt",
+                              [seed](const std::string &) {
+                                  sim::SimConfig cfg;
+                                  cfg.seed = seed + 1;
+                                  cfg.bits.mode =
+                                      approx::ApproxMode::dynamic;
+                                  cfg.bits.min_bits = 4;
+                                  return cfg;
+                              }},
+    };
+    sw.master_seed = spec.seed;
+    sw.jobs = 1;
+    sw.collect_metrics = true;
+
+    runner::SweepReport golden = runner::SweepRunner(sw).run();
+    if (!golden.allOk())
+        return arenaDivergence("arena_sweep",
+                               "golden mini-sweep failed: " +
+                                   golden.failureReport());
+    const std::string golden_merged =
+        golden.mergedMetrics().toJson();
+
+    const std::vector<runner::JobSpec> jobs = runner::expandSweep(sw);
+    const std::string fp =
+        runner::SweepJournal::fingerprint(sw, jobs, "fuzz");
+
+    // Partial campaign: one job journaled, then the process "dies"
+    // (the arena is closed with no shutdown path and reopened through
+    // recovery).
+    {
+        std::unique_ptr<arena::Arena> a = arena::Arena::open(dir);
+        runner::SweepJournal journal(a.get());
+        journal.bind(fp, jobs.size());
+        if (!journal.record(golden.results[0]))
+            return arenaDivergence("arena_sweep",
+                                   "journal record failed");
+    }
+
+    std::unique_ptr<arena::Arena> a = arena::Arena::open(dir);
+    runner::SweepJournal journal(a.get());
+    if (!journal.bound() || journal.boundFingerprint() != fp)
+        return arenaDivergence("arena_sweep",
+                               "journal lost its campaign binding "
+                               "across recovery");
+    if (!journal.completed(0) || journal.completed(1))
+        return arenaDivergence("arena_sweep",
+                               "journal completion bitmap wrong after "
+                               "recovery");
+
+    runner::SweepRunner resumed_runner(sw);
+    resumed_runner.setJournal(&journal);
+    runner::SweepReport resumed = resumed_runner.run();
+    if (!resumed.allOk())
+        return arenaDivergence("arena_sweep",
+                               "resumed mini-sweep failed: " +
+                                   resumed.failureReport());
+
+    for (std::size_t i = 0; i < golden.results.size(); ++i) {
+        const std::string want =
+            sim::serializeResult(golden.results[i].result);
+        const std::string got =
+            sim::serializeResult(resumed.results[i].result);
+        if (want != got) {
+            std::size_t byte = 0;
+            while (byte < std::min(want.size(), got.size()) &&
+                   want[byte] == got[byte])
+                ++byte;
+            Divergence d = arenaDivergence(
+                "arena_sweep_result",
+                "resumed job " + std::to_string(i) +
+                    " result differs from golden at byte " +
+                    std::to_string(byte));
+            d.byte = byte;
+            return d;
+        }
+    }
+    const std::string resumed_merged =
+        resumed.mergedMetrics().toJson();
+    if (resumed_merged != golden_merged) {
+        std::size_t byte = 0;
+        while (byte <
+                   std::min(resumed_merged.size(), golden_merged.size()) &&
+               resumed_merged[byte] == golden_merged[byte])
+            ++byte;
+        Divergence d = arenaDivergence(
+            "arena_sweep_metrics",
+            "resumed merged metrics differ from golden at byte " +
+                std::to_string(byte));
+        d.byte = byte;
+        return d;
+    }
+    return {};
+}
+
+} // namespace
+
+Divergence
+runArenaTrial(const TrialSpec &spec)
+{
+    const std::string dry_dir = trialDir(spec, "dry");
+    const std::string crash_dir = trialDir(spec, "crash");
+    const std::string sweep_dir = trialDir(spec, "sweep");
+    std::error_code ec;
+    fs::remove_all(dry_dir, ec);
+    fs::remove_all(crash_dir, ec);
+    fs::remove_all(sweep_dir, ec);
+
+    Divergence result;
+    try {
+        // Dry run: measure the script's full log so the fault point can
+        // be sampled anywhere in it (including past the end — a crash
+        // after the final record).
+        std::uint64_t total_log = 0;
+        {
+            Shadow dry;
+            std::unique_ptr<arena::Arena> a =
+                arena::Arena::open(dry_dir);
+            runScript(a.get(), util::Rng(spec.program_seed), &dry);
+            total_log = a->stats().log_bytes;
+        }
+
+        util::Rng fault_rng(spec.seed ^ 0xa12ea5eedULL);
+        const std::uint64_t fault_at =
+            1 + fault_rng.nextBounded(total_log + 20);
+
+        Shadow sh;
+        {
+            arena::Arena::Options options;
+            options.fail_after_log_bytes = fault_at;
+            std::unique_ptr<arena::Arena> a =
+                arena::Arena::open(crash_dir, options);
+            runScript(a.get(), util::Rng(spec.program_seed), &sh);
+        } // no shutdown path: the destructor persists nothing extra
+
+        {
+            std::unique_ptr<arena::Arena> recovered =
+                arena::Arena::open(crash_dir);
+            result = verifyRecovered(*recovered, sh, fault_at);
+        }
+
+        // Every third trial also proves the end-to-end warm-restart
+        // byte-identity through the sweep journal.
+        if (!result.violated && spec.index % 3 == 0)
+            result = runSweepResumeCheck(spec, sweep_dir);
+    } catch (const std::exception &e) {
+        result = arenaDivergence("arena_exception", e.what());
+    }
+
+    fs::remove_all(dry_dir, ec);
+    fs::remove_all(crash_dir, ec);
+    fs::remove_all(sweep_dir, ec);
+    return result;
+}
+
+} // namespace inc::check

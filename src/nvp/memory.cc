@@ -1,29 +1,43 @@
 #include "nvp/memory.h"
 
 #include <algorithm>
+#include <cstdio>
 
+#include "arena/backend.h"
 #include "util/bit_ops.h"
 #include "util/logging.h"
 
 namespace inc::nvp
 {
 
-DataMemory::DataMemory(util::Rng rng, std::size_t size)
-    : main_(size, 0), main_prec_(size, 0), rng_(rng)
+DataMemory::DataMemory(util::Rng rng, std::size_t size,
+                       arena::PersistenceBackend *backend,
+                       std::string name_prefix)
+    : size_(size), backend_(backend),
+      name_prefix_(std::move(name_prefix)), rng_(rng)
 {
+    if (backend_) {
+        main_ = backend_->acquire(name_prefix_ + ".main", size_);
+        main_prec_ = backend_->acquire(name_prefix_ + ".prec", size_);
+    } else {
+        own_main_.assign(size_, 0);
+        own_prec_.assign(size_, 0);
+        main_ = own_main_.data();
+        main_prec_ = own_prec_.data();
+    }
 }
 
 void
 DataMemory::checkAddr(std::uint32_t addr) const
 {
-    if (addr >= main_.size())
+    if (addr >= size_)
         util::panic("data memory address out of range: %u", addr);
 }
 
 void
 DataMemory::addAcRegion(const AcRegion &region)
 {
-    if (region.start + region.length > main_.size())
+    if (region.start + region.length > size_)
         util::fatal("AC region [%u, %u) out of memory bounds",
                     region.start, region.start + region.length);
     ac_regions_.push_back(region);
@@ -33,20 +47,36 @@ void
 DataMemory::addVersionedRegion(std::uint32_t start, std::uint32_t length,
                                bool write_through)
 {
-    if (start + length > main_.size())
+    if (start + length > size_)
         util::fatal("versioned region [%u, %u) out of memory bounds",
                     start, start + length);
     VersionedRegion region;
     region.start = start;
     region.length = length;
     region.write_through = write_through;
-    region.cells.resize(length);
+    if (backend_) {
+        char name[64];
+        std::snprintf(name, sizeof name, "%s.ver%zu",
+                      name_prefix_.c_str(), versioned_.size());
+        region.block_name = name;
+        region.cells = reinterpret_cast<VersionedRegion::Cell *>(
+            backend_->acquire(region.block_name,
+                              length *
+                                  sizeof(VersionedRegion::Cell)));
+    } else {
+        region.own_cells.resize(length);
+        region.cells = region.own_cells.data();
+    }
     versioned_.push_back(std::move(region));
 }
 
 void
 DataMemory::clearRegions()
 {
+    if (backend_) {
+        for (const VersionedRegion &r : versioned_)
+            backend_->release(r.block_name);
+    }
     ac_regions_.clear();
     versioned_.clear();
 }
@@ -178,8 +208,8 @@ DataMemory::clearLaneVersions(int lane)
     INC_OBS_COUNT(obs_, lane_clears);
     const auto mask = static_cast<std::uint8_t>(~(1u << lane));
     for (VersionedRegion &r : versioned_) {
-        for (auto &cell : r.cells)
-            cell.written &= mask;
+        for (std::uint32_t i = 0; i < r.length; ++i)
+            r.cells[i].written &= mask;
     }
 }
 
@@ -304,26 +334,23 @@ void
 DataMemory::hostWriteBlock(std::uint32_t addr,
                            const std::vector<std::uint8_t> &data)
 {
-    if (addr + data.size() > main_.size())
+    if (addr + data.size() > size_)
         util::panic("hostWriteBlock out of range");
-    std::copy(data.begin(), data.end(),
-              main_.begin() + static_cast<long>(addr));
+    std::copy(data.begin(), data.end(), main_ + addr);
 }
 
 std::vector<std::uint8_t>
 DataMemory::snapshot(std::uint32_t start, std::uint32_t len) const
 {
-    if (start + len > main_.size())
+    if (start + len > size_)
         util::panic("snapshot out of range");
-    return std::vector<std::uint8_t>(
-        main_.begin() + static_cast<long>(start),
-        main_.begin() + static_cast<long>(start + len));
+    return std::vector<std::uint8_t>(main_ + start, main_ + start + len);
 }
 
 std::vector<std::uint8_t>
 DataMemory::precisionMask(std::uint32_t start, std::uint32_t len) const
 {
-    if (start + len > main_.size())
+    if (start + len > size_)
         util::panic("precisionMask range out of bounds");
     std::vector<std::uint8_t> mask(len, 0);
     for (std::uint32_t i = 0; i < len; ++i)
@@ -336,7 +363,7 @@ DataMemory::coverage(std::uint32_t start, std::uint32_t len) const
 {
     if (len == 0)
         return 1.0;
-    if (start + len > main_.size())
+    if (start + len > size_)
         util::panic("coverage range out of bounds");
     std::uint32_t written = 0;
     for (std::uint32_t addr = start; addr < start + len; ++addr) {

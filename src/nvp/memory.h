@@ -28,6 +28,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "isa/isa.h"
@@ -35,6 +36,11 @@
 #include "nvm/retention_policy.h"
 #include "obs/obs.h"
 #include "util/rng.h"
+
+namespace inc::arena
+{
+class PersistenceBackend;
+}
 
 namespace inc::nvp
 {
@@ -59,10 +65,28 @@ class DataMemory
     /** Number of SIMD versions per word (paper: 8 -> 32 bits). */
     static constexpr int kMaxVersions = 4;
 
+    /**
+     * @param backend  where the byte arrays live. nullptr (the default)
+     *     keeps them on the heap, bit-compatible with the pre-arena
+     *     behaviour; an arena::PersistenceBackend places them in named
+     *     blocks ("<prefix>.main", "<prefix>.prec", "<prefix>.verN")
+     *     whose contents survive process death. Not owned; must outlive
+     *     this object.
+     */
     explicit DataMemory(util::Rng rng,
-                        std::size_t size = isa::kDataMemBytes);
+                        std::size_t size = isa::kDataMemBytes,
+                        arena::PersistenceBackend *backend = nullptr,
+                        std::string name_prefix = "mem");
 
-    std::size_t size() const { return main_.size(); }
+    // Storage is pointer-based (heap vectors or backend blocks), so
+    // copying would alias or dangle; moving keeps the underlying
+    // buffers and stays valid.
+    DataMemory(const DataMemory &) = delete;
+    DataMemory &operator=(const DataMemory &) = delete;
+    DataMemory(DataMemory &&) = default;
+    DataMemory &operator=(DataMemory &&) = default;
+
+    std::size_t size() const { return size_; }
 
     // ---- configuration -------------------------------------------------
 
@@ -172,9 +196,9 @@ class DataMemory
   private:
     struct VersionedRegion
     {
-        std::uint32_t start;
-        std::uint32_t length;
-        bool write_through;
+        std::uint32_t start = 0;
+        std::uint32_t length = 0;
+        bool write_through = true;
         // Lane-private values and precision tags for lanes 1..3 plus the
         // main version's precision tag. written bit i => lane i has a
         // private copy.
@@ -190,15 +214,25 @@ class DataMemory
             std::array<std::uint8_t, kMaxVersions> merged_value{};
             std::uint8_t merged = 0;
         };
-        std::vector<Cell> cells;
+        // Cell is all-bytes, zero-initialized == default-constructed, so
+        // a zero-filled backend block *is* a fresh cell array and a
+        // persisted one resumes exactly where the killed process left it.
+        Cell *cells = nullptr;
+        std::vector<Cell> own_cells; ///< heap-mode storage
+        std::string block_name;      ///< backend-mode block
     };
 
     VersionedRegion *findVersioned(std::uint32_t addr);
     const VersionedRegion *findVersioned(std::uint32_t addr) const;
     void checkAddr(std::uint32_t addr) const;
 
-    std::vector<std::uint8_t> main_;
-    std::vector<std::uint8_t> main_prec_;
+    std::size_t size_ = 0;
+    std::uint8_t *main_ = nullptr;      ///< size_ bytes
+    std::uint8_t *main_prec_ = nullptr; ///< size_ precision tags
+    std::vector<std::uint8_t> own_main_; ///< heap-mode storage
+    std::vector<std::uint8_t> own_prec_;
+    arena::PersistenceBackend *backend_ = nullptr;
+    std::string name_prefix_;
     std::vector<AcRegion> ac_regions_;
     std::vector<VersionedRegion> versioned_;
     util::Rng rng_;

@@ -1,7 +1,19 @@
 #include "obs/report/flight_recorder.h"
 
+#include "obs/metrics.h"
+#include "obs/schema.h"
+
 namespace inc::obs
 {
+
+void
+publishFlightDrops(const FlightRecorder &flight,
+                   MetricsRegistry &registry)
+{
+    registry.counter(kFlightDroppedOutages)
+        .inc(flight.droppedOutages());
+    registry.counter(kFlightDroppedFrames).inc(flight.droppedFrames());
+}
 
 const char *
 resumeKindName(ResumeKind kind)

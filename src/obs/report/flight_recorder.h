@@ -34,6 +34,8 @@
 namespace inc::obs
 {
 
+class MetricsRegistry;
+
 /** How execution came back after the power failure. */
 enum class ResumeKind : std::uint8_t
 {
@@ -125,6 +127,18 @@ class FlightRecorder
     std::uint64_t dropped_outages_ = 0;
     std::uint64_t dropped_frames_ = 0;
 };
+
+/**
+ * Publish the recorder's drop counters into @p registry
+ * (obs/schema.h: flight.dropped_outages / flight.dropped_frames), so
+ * capacity overflow stays visible in metrics JSON and in reports
+ * re-derived offline from it — the flight log itself never travels
+ * through the registry. Counters are published even at zero: an
+ * explicit zero distinguishes "nothing dropped" from "no recorder
+ * attached".
+ */
+void publishFlightDrops(const FlightRecorder &flight,
+                        MetricsRegistry &registry);
 
 } // namespace inc::obs
 

@@ -152,6 +152,12 @@ buildRunReport(const MetricsRegistry &m, const FlightRecorder *flight,
         r.outage_log_dropped = flight->droppedOutages();
         r.frame_log = flight->frames();
         r.frame_log_dropped = flight->droppedFrames();
+    } else {
+        // Offline / sweep path: the flight log itself is gone, but the
+        // published drop counters (publishFlightDrops) still reveal
+        // whether any recorder overflowed.
+        r.outage_log_dropped = m.counterValue(kFlightDroppedOutages);
+        r.frame_log_dropped = m.counterValue(kFlightDroppedFrames);
     }
     return r;
 }
@@ -218,6 +224,13 @@ RunReport::toJson() const
         for (const FrameRecord &f : frame_log)
             frames.push(frameToJson(f));
         flight.set("frames", std::move(frames));
+        flight.set("frames_dropped", JsonValue::of(frame_log_dropped));
+        doc.set("flight", std::move(flight));
+    } else if (outage_log_dropped > 0 || frame_log_dropped > 0) {
+        // No log travelled with the registry, but the drop counters
+        // did: surface them so overflow is never silent.
+        JsonValue flight = JsonValue::object();
+        flight.set("outages_dropped", JsonValue::of(outage_log_dropped));
         flight.set("frames_dropped", JsonValue::of(frame_log_dropped));
         doc.set("flight", std::move(flight));
     }
@@ -388,6 +401,12 @@ RunReport::renderText() const
                    util::Table::num(psnr_sum / n, 2) + " dB";
         }
         out += "\n";
+    } else if (outage_log_dropped > 0 || frame_log_dropped > 0) {
+        out += "flight recorder overflow: " +
+               std::to_string(outage_log_dropped) +
+               " outage record(s), " +
+               std::to_string(frame_log_dropped) +
+               " frame record(s) dropped at capacity\n";
     }
 
     return out;

@@ -121,6 +121,20 @@ inline constexpr char kAcCheckpointEnergy[] = "ac.energy.checkpoint_nj";
 inline constexpr char kRunnerJobsTotal[] = "runner.jobs_total";
 inline constexpr char kRunnerJobsFailed[] = "runner.jobs_failed";
 
+// ---- persistence arena (src/arena; published via publishArenaStats) -----
+inline constexpr char kArenaLogBytes[] = "arena.log_bytes";
+inline constexpr char kArenaLogRecords[] = "arena.log_records";
+inline constexpr char kArenaCommits[] = "arena.commits";
+inline constexpr char kArenaReplayedRecords[] = "arena.replayed_records";
+inline constexpr char kArenaDiscardedTailBytes[] =
+    "arena.discarded_tail_bytes";
+inline constexpr char kArenaRecoveries[] = "arena.recoveries";
+inline constexpr char kArenaRecoveryMs[] = "arena.recovery_ms";
+
+// ---- flight recorder (bounded-log overflow accounting) ------------------
+inline constexpr char kFlightDroppedOutages[] = "flight.dropped_outages";
+inline constexpr char kFlightDroppedFrames[] = "flight.dropped_frames";
+
 /**
  * Check every cross-metric identity a system-simulator registry must
  * satisfy (counter identities exactly; energy ledgers within

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Sweep-campaign journal: persistent warm-restart state for SweepRunner,
+ * stored in a persistence arena (src/arena).
+ *
+ * A journal binds one campaign to one arena directory via a fingerprint
+ * of the fully expanded sweep (kernels, trace contents, variants, seed
+ * tree, plus a caller-supplied extra string covering CLI flags). Each
+ * successfully completed job is recorded as its bit-exact serialized
+ * SimResult plus its metrics JSON, and a completed-job bitmap tracks
+ * progress; every record is sealed with an arena commit, so a SIGKILL
+ * at any instant loses at most the jobs that had not yet committed.
+ *
+ * On resume, SweepRunner delivers journaled results for completed jobs
+ * without re-running them. Because serializeResult() round-trips
+ * doubles bit-exactly and merged metrics are folded in job-index order,
+ * a killed-and-resumed campaign produces merged metrics and reports
+ * byte-identical to an uninterrupted run (the check/ fuzzer's seventh
+ * invariant pins this).
+ *
+ * Thread safe: record() takes an internal mutex (workers call it
+ * concurrently); the read-side API is only used before workers start.
+ */
+
+#ifndef INC_RUNNER_JOURNAL_H
+#define INC_RUNNER_JOURNAL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "arena/arena.h"
+#include "runner/sweep.h"
+
+namespace inc::runner
+{
+
+class SweepJournal
+{
+  public:
+    /** Attach to @p arena (not owned) and load any committed campaign
+     *  state already present. */
+    explicit SweepJournal(arena::Arena *arena);
+
+    /**
+     * Identity of a fully expanded campaign: CRC chained over kernel
+     * names, trace names/sizes/sample bytes, variant names, the seed
+     * tree, and @p extra (callers fold in anything else that changes
+     * results — e.g. nvpsim's CLI flags). Two sweeps with equal
+     * fingerprints produce bit-identical per-job results.
+     */
+    static std::string fingerprint(const SweepSpec &spec,
+                                   const std::vector<JobSpec> &jobs,
+                                   const std::string &extra);
+
+    /** True once a campaign has been bound (fresh arenas are unbound). */
+    bool bound() const { return jobs_total_ > 0; }
+    const std::string &boundFingerprint() const { return fingerprint_; }
+    std::size_t jobsTotal() const { return jobs_total_; }
+    std::size_t completedCount() const;
+
+    /** Bind a fresh arena to a campaign (fingerprint + empty bitmap),
+     *  sealing with a commit. */
+    void bind(const std::string &fingerprint, std::size_t num_jobs);
+
+    bool completed(std::size_t index) const;
+
+    /**
+     * Reconstruct the journaled result of completed job @p index
+     * (result bytes parsed bit-exactly; metrics JSON re-parsed; ok =
+     * true; wall_ms = 0 — wall time is a scheduling artifact and never
+     * reaches deterministic outputs). False if absent or malformed.
+     */
+    bool load(std::size_t index, JobResult *out,
+              std::string *error = nullptr) const;
+
+    /**
+     * Persist one successful job and mark it complete, sealing with a
+     * commit. Failed jobs are not recorded — they re-run on resume.
+     * Returns false when the arena's injected fault has tripped.
+     */
+    bool record(const JobResult &result);
+
+  private:
+    arena::Arena *arena_;
+    mutable std::mutex mutex_;
+    std::string fingerprint_;
+    std::size_t jobs_total_ = 0;
+    std::string done_; ///< bitmap, (jobs_total_+7)/8 bytes
+};
+
+} // namespace inc::runner
+
+#endif // INC_RUNNER_JOURNAL_H

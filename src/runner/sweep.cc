@@ -8,6 +8,7 @@
 #include "kernels/kernel.h"
 #include "obs/observer.h"
 #include "obs/schema.h"
+#include "runner/journal.h"
 #include "runner/thread_pool.h"
 #include "util/logging.h"
 
@@ -237,6 +238,22 @@ SweepRunner::run()
         report.jobs_used = pool.threadCount();
         const bool collect = spec_.collect_metrics;
         for (const JobSpec &job : jobs) {
+            // Warm restart: deliver journaled jobs without re-running.
+            // The journaled result text round-trips bit-exactly, so the
+            // resumed campaign's aggregates are byte-identical to an
+            // uninterrupted run's.
+            if (journal_ && journal_->completed(job.index)) {
+                JobResult jr;
+                std::string err;
+                if (journal_->load(job.index, &jr, &err)) {
+                    jr.spec = job;
+                    sink.deliver(std::move(jr));
+                    continue;
+                }
+                util::warn("sweep journal: job %zu marked complete but "
+                           "unreadable (%s); re-running",
+                           job.index, err.c_str());
+            }
             pool.submit([this, &sink, &job, retries, collect] {
                 JobResult jr;
                 jr.spec = job;
@@ -282,6 +299,11 @@ SweepRunner::run()
                     std::chrono::duration<double, std::milli>(
                         clock::now() - start)
                         .count();
+                if (journal_) {
+                    journal_->record(jr);
+                    if (record_hook_)
+                        record_hook_(jr.spec.index);
+                }
                 sink.deliver(std::move(jr));
             });
         }

@@ -38,6 +38,8 @@
 namespace inc::runner
 {
 
+class SweepJournal;
+
 /**
  * One configuration axis point. @p make receives the kernel name so a
  * variant can be kernel-dependent (e.g. the Table 2 tuned policies).
@@ -200,6 +202,26 @@ class SweepRunner
     explicit SweepRunner(SweepSpec spec);
     SweepRunner(SweepSpec spec, JobFn body);
 
+    /**
+     * Attach a warm-restart journal (not owned; must outlive run()).
+     * Jobs the journal marks completed are delivered from their
+     * journaled, bit-exact results instead of re-running; jobs that
+     * finish successfully are recorded (and committed) before delivery.
+     * The caller is responsible for fingerprint checking/binding —
+     * run() assumes the journal belongs to this campaign.
+     */
+    void setJournal(SweepJournal *journal) { journal_ = journal; }
+
+    /**
+     * Called after each job is journaled (with its index), from the
+     * worker thread that ran it. Test hook: `nvpsim sweep
+     * --kill-after N` uses it to SIGKILL itself mid-campaign.
+     */
+    void setRecordHook(std::function<void(std::size_t)> hook)
+    {
+        record_hook_ = std::move(hook);
+    }
+
     /** Expand, execute across the pool, aggregate. */
     SweepReport run();
 
@@ -211,6 +233,8 @@ class SweepRunner
   private:
     SweepSpec spec_;
     JobFn body_;
+    SweepJournal *journal_ = nullptr;
+    std::function<void(std::size_t)> record_hook_;
 };
 
 } // namespace inc::runner

@@ -25,6 +25,11 @@ namespace inc::obs
 struct Observer;
 }
 
+namespace inc::arena
+{
+class PersistenceBackend;
+}
+
 namespace inc::sim
 {
 
@@ -62,6 +67,19 @@ struct ActiveCheckpointConfig
     /** Optional observability sink (publishes the `ac.*` schema of
      *  obs/schema.h). Not owned; may be null. */
     obs::Observer *obs = nullptr;
+
+    /**
+     * Where the FeRAM checkpoint image lives. nullptr keeps the image
+     * abstract (pre-arena behaviour, no bytes materialised). With a
+     * backend, the double-buffered image ("ac.image", two state_bytes
+     * slots) and its commit metadata ("ac.meta": valid flag, active
+     * slot, attempt counter) are real persisted bytes: a process killed
+     * mid-copy leaves the previous slot intact, and a re-run on the
+     * same arena warm-restarts with the committed image (its first
+     * power-up runs the restore path instead of a cold boot). Not
+     * owned; must outlive the run.
+     */
+    arena::PersistenceBackend *persistence = nullptr;
 };
 
 /** Run metrics. */

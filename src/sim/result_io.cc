@@ -1,6 +1,9 @@
 #include "sim/result_io.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
+#include <map>
 
 namespace inc::sim
 {
@@ -126,6 +129,212 @@ serializeResult(const SimResult &r)
     appendU64(out, "frames_captured", r.frames_captured);
     appendU64(out, "frames_dropped_by_dma", r.frames_dropped_by_dma);
     return out;
+}
+
+namespace
+{
+
+/** key=value lines -> map; rejects lines without '='. */
+bool
+splitLines(const std::string &text,
+           std::map<std::string, std::string> *fields, std::string *error)
+{
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t nl = text.find('\n', pos);
+        if (nl == std::string::npos)
+            nl = text.size();
+        if (nl > pos) { // skip blank lines
+            std::size_t eq = text.find('=', pos);
+            if (eq == std::string::npos || eq >= nl) {
+                if (error)
+                    *error = "malformed line: " +
+                             text.substr(pos, nl - pos);
+                return false;
+            }
+            (*fields)[text.substr(pos, eq - pos)] =
+                text.substr(eq + 1, nl - eq - 1);
+        }
+        pos = nl + 1;
+    }
+    return true;
+}
+
+struct FieldReader
+{
+    const std::map<std::string, std::string> &fields;
+    std::string *error;
+    bool ok = true;
+
+    const std::string *find(const char *key)
+    {
+        auto it = fields.find(key);
+        if (it == fields.end()) {
+            if (ok && error)
+                *error = std::string("missing field: ") + key;
+            ok = false;
+            return nullptr;
+        }
+        return &it->second;
+    }
+
+    void fail(const char *key)
+    {
+        if (ok && error)
+            *error = std::string("bad value for field: ") + key;
+        ok = false;
+    }
+
+    std::uint64_t u64(const char *key)
+    {
+        const std::string *v = find(key);
+        if (!v)
+            return 0;
+        errno = 0;
+        char *end = nullptr;
+        unsigned long long parsed = std::strtoull(v->c_str(), &end, 10);
+        if (errno != 0 || end == v->c_str() || *end != '\0') {
+            fail(key);
+            return 0;
+        }
+        return parsed;
+    }
+
+    long long i64(const char *key)
+    {
+        const std::string *v = find(key);
+        if (!v)
+            return 0;
+        errno = 0;
+        char *end = nullptr;
+        long long parsed = std::strtoll(v->c_str(), &end, 10);
+        if (errno != 0 || end == v->c_str() || *end != '\0') {
+            fail(key);
+            return 0;
+        }
+        return parsed;
+    }
+
+    /** strtod understands the %a hexfloats serializeResult writes, so
+     *  the parsed double is bit-identical to the serialized one. */
+    double f64(const char *key)
+    {
+        const std::string *v = find(key);
+        if (!v)
+            return 0.0;
+        char *end = nullptr;
+        double parsed = std::strtod(v->c_str(), &end);
+        if (end == v->c_str() || *end != '\0') {
+            fail(key);
+            return 0.0;
+        }
+        return parsed;
+    }
+};
+
+} // namespace
+
+bool
+parseResult(const std::string &text, SimResult *out, std::string *error)
+{
+    std::map<std::string, std::string> fields;
+    if (!splitLines(text, &fields, error))
+        return false;
+    FieldReader rd{fields, error};
+    SimResult r;
+
+    r.forward_progress = rd.u64("forward_progress");
+    r.main_instructions = rd.u64("main_instructions");
+    r.cycles_executed = rd.u64("cycles_executed");
+    r.backups = rd.u64("backups");
+    r.restores = rd.u64("restores");
+    r.on_time_fraction = rd.f64("on_time_fraction");
+
+    r.income_energy_nj = rd.f64("income_energy_nj");
+    r.consumed_energy_nj = rd.f64("consumed_energy_nj");
+    r.backup_energy_nj = rd.f64("backup_energy_nj");
+    r.restore_energy_nj = rd.f64("restore_energy_nj");
+
+    r.controller.backups = rd.u64("ctrl.backups");
+    r.controller.restores = rd.u64("ctrl.restores");
+    r.controller.roll_forwards = rd.u64("ctrl.roll_forwards");
+    r.controller.plain_resumes = rd.u64("ctrl.plain_resumes");
+    r.controller.adoptions = rd.u64("ctrl.adoptions");
+    r.controller.history_spawns = rd.u64("ctrl.history_spawns");
+    r.controller.recompute_spawns = rd.u64("ctrl.recompute_spawns");
+    r.controller.retirements = rd.u64("ctrl.retirements");
+    r.controller.dropped_stale = rd.u64("ctrl.dropped_stale");
+    r.controller.frames_started = rd.u64("ctrl.frames_started");
+    r.controller.frames_completed = rd.u64("ctrl.frames_completed");
+    r.controller.frames_abandoned = rd.u64("ctrl.frames_abandoned");
+    r.controller.reg_decay_events = rd.u64("ctrl.reg_decay_events");
+
+    for (std::size_t b = 0; b < r.retention_failures.violations.size();
+         ++b) {
+        char key[64];
+        std::snprintf(key, sizeof key, "retention.violations.%zu", b);
+        r.retention_failures.violations[b] = rd.u64(key);
+        std::snprintf(key, sizeof key, "retention.flips.%zu", b);
+        r.retention_failures.flips[b] = rd.u64(key);
+    }
+
+    r.start_threshold_nj = rd.f64("start_threshold_nj");
+    r.backup_threshold_nj = rd.f64("backup_threshold_nj");
+
+    for (std::size_t b = 0; b < r.bit_ticks.size(); ++b) {
+        char key[64];
+        std::snprintf(key, sizeof key, "bit_ticks.%zu", b);
+        r.bit_ticks[b] = rd.u64(key);
+    }
+
+    r.frames_scored = static_cast<int>(rd.i64("frames_scored"));
+    r.mean_mse = rd.f64("mean_mse");
+    r.mean_psnr = rd.f64("mean_psnr");
+    r.mean_coverage = rd.f64("mean_coverage");
+    r.mean_completion_age = rd.f64("mean_completion_age");
+
+    std::uint64_t n_scores = rd.u64("frame_scores.size");
+    if (!rd.ok)
+        return false; // bail before sizing a vector from a bad count
+    if (n_scores > fields.size()) {
+        if (error)
+            *error = "implausible frame_scores.size";
+        return false;
+    }
+    r.frame_scores.resize(n_scores);
+    for (std::size_t i = 0; i < r.frame_scores.size(); ++i) {
+        FrameScore &s = r.frame_scores[i];
+        char key[96];
+        std::snprintf(key, sizeof key, "frame_scores.%zu.frame", i);
+        s.frame = static_cast<std::uint32_t>(rd.u64(key));
+        std::snprintf(key, sizeof key, "frame_scores.%zu.mse", i);
+        s.mse = rd.f64(key);
+        std::snprintf(key, sizeof key, "frame_scores.%zu.psnr", i);
+        s.psnr = rd.f64(key);
+        std::snprintf(key, sizeof key, "frame_scores.%zu.coverage", i);
+        s.coverage = rd.f64(key);
+        std::snprintf(key, sizeof key, "frame_scores.%zu.completions",
+                      i);
+        s.completions = static_cast<int>(rd.i64(key));
+        std::snprintf(key, sizeof key, "frame_scores.%zu.out_byte_sum",
+                      i);
+        s.out_byte_sum = rd.f64(key);
+        std::snprintf(key, sizeof key,
+                      "frame_scores.%zu.golden_byte_sum", i);
+        s.golden_byte_sum = rd.f64(key);
+        std::snprintf(key, sizeof key,
+                      "frame_scores.%zu.first_completion_age", i);
+        s.first_completion_age = rd.f64(key);
+    }
+
+    r.frame_period_tenth_ms = rd.f64("frame_period_tenth_ms");
+    r.frames_captured = rd.u64("frames_captured");
+    r.frames_dropped_by_dma = rd.u64("frames_dropped_by_dma");
+
+    if (!rd.ok)
+        return false;
+    *out = r;
+    return true;
 }
 
 } // namespace inc::sim

@@ -25,6 +25,16 @@ namespace inc::sim
  *  block (doubles as hexfloats; byte equality == bit equality). */
 std::string serializeResult(const SimResult &result);
 
+/**
+ * Parse a serializeResult() block back into @p out. Bit-exact inverse:
+ * serializeResult(parse(serializeResult(r))) == serializeResult(r), so
+ * results persisted by the sweep journal (runner/journal) reproduce
+ * byte-identical campaign output after a crash-and-resume. Returns
+ * false (with *error set when non-null) on malformed input.
+ */
+bool parseResult(const std::string &text, SimResult *out,
+                 std::string *error = nullptr);
+
 } // namespace inc::sim
 
 #endif // INC_SIM_RESULT_IO_H

@@ -36,7 +36,8 @@ SystemSimulator::SystemSimulator(kernels::Kernel kernel,
 
     config_.core.engine = config_.exec_engine;
 
-    mem_ = std::make_unique<nvp::DataMemory>(rng_.split());
+    mem_ = std::make_unique<nvp::DataMemory>(
+        rng_.split(), isa::kDataMemBytes, config_.persistence);
     for (const auto &[addr, data] : kernel_.init_blocks)
         mem_->hostWriteBlock(addr, data);
     mem_->addAcRegion({kernel_.layout.in_base,
@@ -623,6 +624,10 @@ SystemSimulator::run()
         // observer's registry.
         tracePowerPhase(static_cast<std::size_t>(obs_samples_), on_);
         publishMetrics(on_samples);
+        // Flight-recorder overflow must survive into the registry so
+        // offline reports can still flag a truncated log.
+        if (obs_->flight)
+            obs::publishFlightDrops(*obs_->flight, obs_->registry);
     }
     return result_;
 }

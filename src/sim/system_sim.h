@@ -43,6 +43,11 @@ namespace inc::obs
 struct Observer;
 }
 
+namespace inc::arena
+{
+class PersistenceBackend;
+}
+
 namespace inc::sim
 {
 
@@ -100,6 +105,16 @@ struct SimConfig
      * results. Not owned; must outlive the simulator.
      */
     obs::Observer *obs = nullptr;
+
+    /**
+     * Persistence backend for the simulated NVM state (data memory,
+     * RAC version store; sim/active_checkpoint reads it too). nullptr
+     * = transient heap buffers, bit-compatible with the pre-arena
+     * behaviour. When an arena::ArenaBackend is supplied, the NVM
+     * images live in its mmap'd file and survive process death. Not
+     * owned; must outlive the simulator.
+     */
+    arena::PersistenceBackend *persistence = nullptr;
 };
 
 /** Per-frame quality record. */

@@ -72,6 +72,37 @@ TEST(HistogramPercentile, EdgeCases)
     EXPECT_DOUBLE_EQ(h.percentile(2.0), h.percentile(1.0));
 }
 
+TEST(HistogramPercentile, SingleSampleAndAllEqualSamples)
+{
+    // One sample: the rank interpolates across its bucket, pinned at
+    // the bucket edges.
+    obs::Histogram one({10.0, 20.0});
+    one.record(5.0);
+    EXPECT_DOUBLE_EQ(one.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(one.percentile(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(one.percentile(1.0), 10.0);
+
+    // All samples equal, landing in an interior bucket: the median is
+    // the bucket midpoint (the sample's own value here) and the
+    // extreme ranks are the bucket edges.
+    obs::Histogram same({10.0, 20.0});
+    for (int i = 0; i < 5; ++i)
+        same.record(15.0);
+    EXPECT_DOUBLE_EQ(same.percentile(0.2), 12.0); // rank 1 of 5
+    EXPECT_DOUBLE_EQ(same.percentile(0.5), 15.0);
+    EXPECT_DOUBLE_EQ(same.percentile(1.0), 20.0);
+
+    // A boundless histogram has a single overflow bucket and no edge
+    // to interpolate toward: empty answers 0, otherwise the mean —
+    // exact when every sample is equal.
+    obs::Histogram boundless(std::vector<double>{});
+    EXPECT_DOUBLE_EQ(boundless.percentile(0.5), 0.0);
+    boundless.record(42.0);
+    boundless.record(42.0);
+    EXPECT_DOUBLE_EQ(boundless.percentile(0.5), 42.0);
+    EXPECT_DOUBLE_EQ(boundless.percentile(0.99), 42.0);
+}
+
 TEST(HistogramPercentile, JsonExportsSummariesWithoutBreakingRoundTrip)
 {
     obs::MetricsRegistry m;
@@ -221,6 +252,44 @@ TEST(RunReport, FlightLogClosesAgainstRegistryCounters)
     EXPECT_TRUE(report.has_flight);
     EXPECT_EQ(report.outage_log.size(), run.flight.outages().size());
     EXPECT_EQ(report.cold_boots, cold);
+}
+
+TEST(RunReport, PublishedDropCountersSurviveWithoutTheFlightLog)
+{
+    // Overflow a tiny recorder: capacity 1 each, then 3 outages and 2
+    // frames.
+    obs::FlightRecorder flight(1, 1);
+    for (int i = 0; i < 3; ++i)
+        flight.appendOutage();
+    for (int i = 0; i < 2; ++i)
+        flight.appendFrame();
+    EXPECT_EQ(flight.droppedOutages(), 2u);
+    EXPECT_EQ(flight.droppedFrames(), 1u);
+
+    obs::MetricsRegistry m;
+    obs::publishFlightDrops(flight, m);
+    EXPECT_EQ(m.counterValue(obs::kFlightDroppedOutages), 2u);
+    EXPECT_EQ(m.counterValue(obs::kFlightDroppedFrames), 1u);
+
+    // An offline report (registry only, no recorder attached) must
+    // still surface the overflow, in the struct, the JSON, and the
+    // rendered text.
+    const obs::RunReport r = obs::buildRunReport(m);
+    EXPECT_FALSE(r.has_flight);
+    EXPECT_EQ(r.outage_log_dropped, 2u);
+    EXPECT_EQ(r.frame_log_dropped, 1u);
+    EXPECT_NE(r.toJson().find("outages_dropped"), std::string::npos);
+    EXPECT_NE(r.renderText().find("flight recorder overflow"),
+              std::string::npos);
+
+    // Zero drops published: counters present, no overflow note.
+    obs::MetricsRegistry clean;
+    obs::publishFlightDrops(obs::FlightRecorder(4, 4), clean);
+    EXPECT_TRUE(clean.has(obs::kFlightDroppedOutages));
+    const obs::RunReport rc = obs::buildRunReport(clean);
+    EXPECT_EQ(rc.outage_log_dropped, 0u);
+    EXPECT_EQ(rc.renderText().find("flight recorder overflow"),
+              std::string::npos);
 }
 
 TEST(RunReport, OfflineRebuildFromMetricsJsonMatchesOnline)

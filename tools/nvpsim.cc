@@ -13,6 +13,7 @@
  *              [--policy full|linear|log|parabola] [--baseline]
  *              [--engine reference|predecoded] [--seconds S] [--seed K]
  *              [--metrics F.json] [--trace-out F.trace.json]
+ *              [--arena DIR]
  *       Co-simulate a kernel on a power trace and print the result
  *       record (forward progress, backups, quality, lane statistics).
  *       --metrics attaches an observer (src/obs) and writes its metric
@@ -21,7 +22,10 @@
  *       Chrome-trace / Perfetto JSON timeline (power phases, backups,
  *       restores, frame lifetimes, capacitor level); it is named
  *       --trace-out rather than --trace because --trace already means
- *       "input power-trace CSV".
+ *       "input power-trace CSV". --arena DIR backs the simulated NVM
+ *       (data memory + RAC version store) with a persistence arena
+ *       (src/arena) at DIR instead of heap buffers; with --metrics the
+ *       arena.* session statistics are folded into the registry.
  *
  *   nvpsim sweep [--kernels A,B,...|all] [--profiles 1,2,...|all]
  *                [--mode precise|fixed|dynamic] [--bits B] [--minbits B]
@@ -29,6 +33,7 @@
  *                [--engine reference|predecoded] [--seconds S]
  *                [--seed K] [--jobs N] [--out F.csv] [--metrics F.json]
  *                [--report] [--report-out F.json]
+ *                [--arena DIR] [--resume] [--kill-after N]
  *       Run the kernel x profile grid in parallel on N worker threads
  *       (default: hardware concurrency) via runner::SweepRunner.
  *       Results are aggregated in deterministic job order — the output
@@ -44,10 +49,22 @@
  *       scheduling artifacts — with --report the sweep header also
  *       omits worker/wall-clock info — so the full stdout and the
  *       saved report are byte-identical at any --jobs value.
+ *       --arena DIR journals campaign progress into a persistence
+ *       arena: each completed job's bit-exact result is committed to
+ *       DIR, and a killed campaign restarted with the same flags plus
+ *       --resume re-runs only the unfinished jobs — the merged
+ *       metrics/report/CSV output is byte-identical to an
+ *       uninterrupted run. Resuming requires --resume (a bound arena
+ *       without it is a fatal error, as is a flag/fingerprint
+ *       mismatch). Arena session statistics go to stderr so stdout
+ *       stays parallelism- and history-independent. --kill-after N is
+ *       a testing aid that SIGKILLs the process after N jobs have been
+ *       journaled.
  *
  *   nvpsim fuzz [--trials N] [--seed K] [--jobs N] [--samples S]
  *               [--repro-dir DIR] [--minimize] [--replay DIR]
  *               [--inject-bug leaky-backup] [--engine-diff]
+ *               [--modes A,B,...]
  *       Differential crash-consistency fuzzing (src/check): N seeded
  *       trials of randomized kernels on mutated power traces through
  *       the co-simulator, cross-validated against the functional
@@ -61,6 +78,11 @@
  *       reference interpreter and requires the serialized SimResult
  *       and metrics JSON to match the predecoded run byte-for-byte
  *       (the engine-equivalence invariant; see DESIGN.md §11).
+ *       --modes restricts trials to a comma-separated list of trial
+ *       modes (exact_recovery, bounded_error, monotone_bits,
+ *       rac_merge, arena_recovery); filtered trials keep the specs an
+ *       unfiltered run of the same seed would draw, so repro seeds
+ *       stay exact.
  *
  *   nvpsim report [--kernel NAME] [--profile N | --trace F.csv]
  *                 [run flags] [--flight-capacity N] [--out F.json]
@@ -82,14 +104,19 @@
  *       List the registered testbench kernels with program sizes.
  */
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 
+#include "arena/arena.h"
+#include "arena/backend.h"
 #include "check/diff_harness.h"
 #include "core/pragma_parser.h"
 #include "isa/assembler.h"
@@ -100,6 +127,7 @@
 #include "obs/report/flight_recorder.h"
 #include "obs/report/report.h"
 #include "obs/schema.h"
+#include "runner/journal.h"
 #include "runner/sweep.h"
 #include "runner/thread_pool.h"
 #include "sim/system_sim.h"
@@ -175,12 +203,27 @@ class Args
 bool
 writeTextFile(const std::string &path, const std::string &content)
 {
-    util::ensureParentDir(path);
+    if (!util::ensureParentDir(path))
+        return false;
     std::ofstream out(path, std::ios::binary);
     if (!out)
         return false;
     out << content;
     return static_cast<bool>(out);
+}
+
+/** Open (or create/recover) a persistence arena; fatal on corruption
+ *  the recovery path cannot skip. */
+std::unique_ptr<arena::Arena>
+openArenaOrDie(const std::string &dir)
+{
+    try {
+        return arena::Arena::open(dir);
+    } catch (const std::exception &e) {
+        util::fatal("cannot open arena '%s': %s", dir.c_str(),
+                    e.what());
+    }
+    return nullptr; // unreachable
 }
 
 trace::PowerTrace
@@ -296,6 +339,16 @@ cmdRun(const Args &args)
         cfg.obs = &observer;
     }
 
+    // --arena: back the simulated NVM with a file-resident persistence
+    // arena so the data-memory image survives the process.
+    std::unique_ptr<arena::Arena> store;
+    std::unique_ptr<arena::ArenaBackend> backend;
+    if (args.has("arena")) {
+        store = openArenaOrDie(args.get("arena"));
+        backend = std::make_unique<arena::ArenaBackend>(store.get());
+        cfg.persistence = backend.get();
+    }
+
     sim::SystemSimulator s(kernel, &t, cfg);
     const sim::SimResult r = s.run();
 
@@ -346,7 +399,9 @@ cmdRun(const Args &args)
 
     if (want_trace) {
         const std::string path = args.get("trace-out");
-        util::ensureParentDir(path);
+        if (!util::ensureParentDir(path))
+            util::fatal("cannot create parent directory for '%s'",
+                        path.c_str());
         if (!tracer.writeChromeTraceJson(path))
             util::fatal("could not write '%s'", path.c_str());
         std::printf("chrome trace written to %s (%zu events",
@@ -359,7 +414,12 @@ cmdRun(const Args &args)
     }
     if (want_metrics) {
         const std::string path = args.get("metrics");
-        util::ensureParentDir(path);
+        if (!util::ensureParentDir(path))
+            util::fatal("cannot create parent directory for '%s'",
+                        path.c_str());
+        if (store)
+            arena::publishArenaStats(store->stats(),
+                                     observer.registry);
         if (!observer.registry.writeJson(path))
             util::fatal("could not write '%s'", path.c_str());
         std::printf("metrics written to %s\n", path.c_str());
@@ -516,6 +576,73 @@ cmdSweep(const Args &args)
     }
 
     runner::SweepRunner sweep(spec, body);
+
+    // --arena: journal campaign progress so a killed sweep can warm-
+    // restart. The fingerprint covers the expanded jobs (kernels,
+    // trace bytes, seed tree) plus every flag that shapes a job's
+    // SimConfig, so a resume with different flags is refused instead
+    // of silently mixing results.
+    std::unique_ptr<arena::Arena> store;
+    std::unique_ptr<runner::SweepJournal> journal;
+    if (args.has("arena")) {
+        const std::string dir = args.get("arena");
+        const std::string fingerprint_extra = util::format(
+            "mode=%s bits=%d minbits=%d policy=%s baseline=%d "
+            "engine=%s income-scale=%.17g frame-factor=%.17g "
+            "metrics=%d",
+            args.get("mode", "dynamic").c_str(),
+            static_cast<int>(args.num("bits", 4)),
+            static_cast<int>(args.num("minbits", 2)),
+            args.get("policy", "linear").c_str(),
+            args.has("baseline") ? 1 : 0,
+            args.get("engine", "default").c_str(), cfg.income_scale,
+            cfg.frame_period_factor, spec.collect_metrics ? 1 : 0);
+        const std::vector<runner::JobSpec> jobs =
+            runner::expandSweep(spec);
+        const std::string fp = runner::SweepJournal::fingerprint(
+            spec, jobs, fingerprint_extra);
+        store = openArenaOrDie(dir);
+        journal = std::make_unique<runner::SweepJournal>(store.get());
+        if (journal->bound()) {
+            if (!args.has("resume"))
+                util::fatal(
+                    "arena '%s' already holds a campaign (%zu of %zu "
+                    "jobs done); pass --resume to continue it or use "
+                    "a fresh directory",
+                    dir.c_str(), journal->completedCount(),
+                    journal->jobsTotal());
+            if (journal->boundFingerprint() != fp)
+                util::fatal(
+                    "arena '%s' holds a different campaign "
+                    "(fingerprint %s, this sweep is %s); re-run with "
+                    "the original flags or use a fresh directory",
+                    dir.c_str(), journal->boundFingerprint().c_str(),
+                    fp.c_str());
+            std::fprintf(stderr,
+                         "arena: resuming %zu of %zu jobs done\n",
+                         journal->completedCount(),
+                         journal->jobsTotal());
+        } else {
+            journal->bind(fp, jobs.size());
+        }
+        sweep.setJournal(journal.get());
+    }
+
+    // --kill-after N: SIGKILL ourselves after N jobs have been
+    // journaled — the harness for the kill-and-resume recipe
+    // (EXPERIMENTS.md) and tests/test_arena_sweep.cc.
+    if (args.has("kill-after")) {
+        if (!journal)
+            util::fatal("--kill-after requires --arena");
+        const auto kill_after =
+            static_cast<std::size_t>(args.num("kill-after", 1));
+        auto recorded = std::make_shared<std::atomic<std::size_t>>(0);
+        sweep.setRecordHook([recorded, kill_after](std::size_t) {
+            if (recorded->fetch_add(1) + 1 >= kill_after)
+                std::raise(SIGKILL);
+        });
+    }
+
     const runner::SweepReport report = sweep.run();
 
     // With --report every byte of stdout must be independent of the
@@ -559,14 +686,18 @@ cmdSweep(const Args &args)
     }
     table.print();
     if (args.has("out")) {
-        util::ensureParentDir(args.get("out"));
+        if (!util::ensureParentDir(args.get("out")))
+            util::fatal("cannot create parent directory for '%s'",
+                        args.get("out").c_str());
         if (!csv.write(args.get("out")))
             util::fatal("could not write '%s'", args.get("out").c_str());
         std::printf("results written to %s\n", args.get("out").c_str());
     }
     if (args.has("metrics")) {
         const std::string path = args.get("metrics");
-        util::ensureParentDir(path);
+        if (!util::ensureParentDir(path))
+            util::fatal("cannot create parent directory for '%s'",
+                        path.c_str());
         const obs::MetricsRegistry merged = report.mergedMetrics();
         if (!merged.writeJson(path))
             util::fatal("could not write '%s'", path.c_str());
@@ -582,6 +713,24 @@ cmdSweep(const Args &args)
                 util::fatal("could not write '%s'", path.c_str());
             std::printf("report written to %s\n", path.c_str());
         }
+    }
+    // Arena session stats go to stderr: stdout must stay byte-
+    // identical between a fresh run and a resumed one.
+    if (store) {
+        const arena::ArenaStats &st = store->stats();
+        std::fprintf(
+            stderr,
+            "arena: epoch %llu, %llu records (%llu commits, %llu "
+            "bytes) appended; replayed %llu records (%llu commits), "
+            "discarded %llu torn bytes, recovery %.2f ms\n",
+            static_cast<unsigned long long>(store->epoch()),
+            static_cast<unsigned long long>(st.log_records),
+            static_cast<unsigned long long>(st.commits),
+            static_cast<unsigned long long>(st.log_bytes),
+            static_cast<unsigned long long>(st.replayed_records),
+            static_cast<unsigned long long>(st.replayed_commits),
+            static_cast<unsigned long long>(st.discarded_tail_bytes),
+            st.recovery_ms);
     }
     if (!report.allOk()) {
         std::fputs(report.failureReport().c_str(), stderr);
@@ -711,6 +860,7 @@ cmdFuzz(const Args &args)
     else if (bug != "none")
         util::fatal("unknown --inject-bug '%s'", bug.c_str());
     cfg.engine_diff = args.has("engine-diff");
+    cfg.mode_filter = args.get("modes");
 
     const check::CheckReport report = check::runCheck(cfg);
     std::printf("fuzz: %s\n", report.summary().c_str());
