@@ -152,7 +152,18 @@ Arena::mapData(std::size_t capacity)
     if (fd < 0)
         throw std::runtime_error("arena: cannot open '" + path +
                                  "': " + std::strerror(errno));
-    if (::ftruncate(fd, static_cast<off_t>(capacity)) != 0) {
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+        const int err = errno;
+        ::close(fd);
+        throw std::runtime_error("arena: cannot stat '" + path +
+                                 "': " + std::strerror(err));
+    }
+    // Only ever extend: truncating an existing file downward would
+    // destroy committed block contents when a reopen passes a smaller
+    // data_capacity than a prior session used.
+    if (static_cast<std::uint64_t>(st.st_size) < capacity &&
+        ::ftruncate(fd, static_cast<off_t>(capacity)) != 0) {
         const int err = errno;
         ::close(fd);
         throw std::runtime_error("arena: cannot size '" + path +
@@ -227,6 +238,14 @@ Arena::recover(const Options &options)
     mapData(static_cast<std::size_t>(
         std::max<std::uint64_t>(data_header.capacity,
                                 options.data_capacity)));
+    if (data_capacity_ > data_header.capacity) {
+        // Keep the stored capacity in step with the file, so a later
+        // reopen with a smaller Options::data_capacity still maps (and
+        // never shrinks past) everything this session may bump into.
+        data_header.capacity = data_capacity_;
+        data_header.crc = headerCrc(data_header);
+        std::memcpy(data_, &data_header, sizeof data_header);
+    }
 
     // ---- log: read fully, then replay to the last consistent epoch ---
     const std::string log_path = dir_ + "/arena.log";
@@ -275,8 +294,9 @@ Arena::recover(const Options &options)
     std::uint64_t offset = sizeof log_header;
     std::uint64_t committed_end = offset;
     std::uint64_t replayed_at_commit = 0;
+    bool replay_ok = true;
 
-    while (offset + sizeof(RecordHeader) <= log.size()) {
+    while (replay_ok && offset + sizeof(RecordHeader) <= log.size()) {
         RecordHeader rec;
         std::memcpy(&rec, log.data() + offset, sizeof rec);
         if (rec.magic != kRecordMagic ||
@@ -309,6 +329,17 @@ Arena::recover(const Options &options)
             Block block;
             std::memcpy(&block.offset, payload.data(), 8);
             std::memcpy(&block.size, payload.data() + 8, 8);
+            // An extent outside the mapping would make blockData()
+            // hand out pointers past it (SIGBUS). The header capacity
+            // tracks every extension, so this only trips on corrupt
+            // records — stop replay at the last sealed epoch, exactly
+            // as for a failed CRC.
+            if (block.offset < sizeof(FileHeader) ||
+                block.size > data_capacity_ ||
+                block.offset > data_capacity_ - block.size) {
+                replay_ok = false;
+                break;
+            }
             staged_blocks[key] = block;
             break;
           }
@@ -423,6 +454,11 @@ Arena::alloc(const std::string &name, std::size_t bytes, bool *existed)
             std::to_string(bytes) + " B; capacity " +
             std::to_string(data_capacity_) + " B)");
     bump_ = alignUp(offset + bytes, kBlockAlign);
+    // Fresh blocks are contractually zero-filled, and the sparse file
+    // alone does not guarantee it: recovery recomputes bump_ from
+    // committed blocks only, so this extent may overlay pages written
+    // through a block that was freed or never committed.
+    std::memset(data_ + offset, 0, bytes);
     blocks_[name] = Block{offset, bytes};
     appendRecord(kRecAlloc, name, packAlloc(offset, bytes));
     return data_ + offset;
@@ -468,6 +504,10 @@ Arena::grow(const std::string &name, std::size_t bytes)
     bump_ = alignUp(offset + bytes, kBlockAlign);
     std::memcpy(data_ + offset, data_ + old.offset,
                 static_cast<std::size_t>(old.size));
+    // The grown tail is fresh space and must honor the zero-fill
+    // contract (see alloc()).
+    std::memset(data_ + offset + old.size, 0,
+                bytes - static_cast<std::size_t>(old.size));
     blocks_[name] = Block{offset, bytes};
     appendRecord(kRecAlloc, name, packAlloc(offset, bytes));
     return data_ + offset;
@@ -521,8 +561,16 @@ Arena::commit()
 {
     if (!appendRecord(kRecCommit, "", ""))
         return false;
-    if (::fsync(log_fd_) != 0)
-        util::warn("arena: fsync failed: %s", std::strerror(errno));
+    if (::fsync(log_fd_) != 0) {
+        // The commit record may never reach disk; reporting the epoch
+        // as sealed would let callers (SweepJournal::record) treat a
+        // possibly-lost commit as durable. Kill the log like an
+        // injected fault: nothing appended from here on persists.
+        util::warn("arena: fsync failed, log is no longer durable: %s",
+                   std::strerror(errno));
+        failed_ = true;
+        return false;
+    }
     ++epoch_;
     ++stats_.commits;
     return true;

@@ -113,8 +113,9 @@ class Arena
     /** Last committed (sealed) epoch; 0 on a fresh arena. */
     std::uint64_t epoch() const { return epoch_; }
 
-    /** True once the injected fault tripped: the log is dead and
-     *  nothing appended since persists. */
+    /** True once the log is dead — the injected fault tripped, or a
+     *  real fsync failure made durability unknowable — and nothing
+     *  appended since persists. */
     bool failed() const { return failed_; }
 
     const ArenaStats &stats() const { return stats_; }
@@ -125,7 +126,8 @@ class Arena
      * Allocate (or reopen) the named block. When a committed block of
      * this name and size already exists its persisted bytes are
      * returned and *existed is set; a size mismatch discards the old
-     * block and allocates fresh (zero-filled — arena.dat is sparse).
+     * block and allocates fresh (explicitly zero-filled — the extent
+     * may reuse file pages behind blocks discarded by recovery).
      * The allocation is logged but, like every index mutation, only
      * survives a crash once commit() seals it. Pointers stay valid for
      * the arena's lifetime (the mapping never moves).
@@ -166,8 +168,10 @@ class Arena
 
     /**
      * Seal the open epoch: append a commit record and fsync the log.
-     * Returns false when the injected fault has tripped (the epoch is
-     * lost — a reopen rolls back to the last sealed one).
+     * Returns false — and marks the arena failed() — when the injected
+     * fault has tripped or the fsync itself fails; either way the
+     * epoch is not durable and a reopen may roll back to the last
+     * sealed one.
      */
     bool commit();
 

@@ -94,15 +94,17 @@ SweepJournal::fingerprint(const SweepSpec &spec,
 std::size_t
 SweepJournal::completedCount() const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     std::size_t n = 0;
     for (std::size_t i = 0; i < jobs_total_; ++i)
-        n += completed(i) ? 1 : 0;
+        n += completedLocked(i) ? 1 : 0;
     return n;
 }
 
 void
 SweepJournal::bind(const std::string &fingerprint, std::size_t num_jobs)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     fingerprint_ = fingerprint;
     jobs_total_ = num_jobs;
     done_.assign((num_jobs + 7) / 8, '\0');
@@ -118,6 +120,13 @@ SweepJournal::bind(const std::string &fingerprint, std::size_t num_jobs)
 bool
 SweepJournal::completed(std::size_t index) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return completedLocked(index);
+}
+
+bool
+SweepJournal::completedLocked(std::size_t index) const
+{
     if (index >= jobs_total_)
         return false;
     return (static_cast<unsigned char>(done_[index / 8]) >>
@@ -129,6 +138,7 @@ bool
 SweepJournal::load(std::size_t index, JobResult *out,
                    std::string *error) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     std::string payload;
     if (!arena_->get(jobKey(index), &payload)) {
         if (error)
@@ -178,7 +188,7 @@ SweepJournal::record(const JobResult &result)
         return true; // failed jobs re-run on resume
     std::lock_guard<std::mutex> lock(mutex_);
     if (result.spec.index >= jobs_total_ ||
-        completed(result.spec.index))
+        completedLocked(result.spec.index))
         return true;
 
     const std::string result_text = sim::serializeResult(result.result);

@@ -18,8 +18,13 @@
  * byte-identical to an uninterrupted run (the check/ fuzzer's seventh
  * invariant pins this).
  *
- * Thread safe: record() takes an internal mutex (workers call it
- * concurrently); the read-side API is only used before workers start.
+ * Thread safe: every member that touches campaign state — record()
+ * and the read-side API (completed(), load(), completedCount()) —
+ * takes an internal mutex, and all arena access goes through it, so
+ * the single-threaded Arena is never entered concurrently through
+ * this class. SweepRunner additionally finishes all read-side calls
+ * before submitting any job, so in practice readers and writers never
+ * even contend.
  */
 
 #ifndef INC_RUNNER_JOURNAL_H
@@ -84,6 +89,9 @@ class SweepJournal
     bool record(const JobResult &result);
 
   private:
+    /** completed() without taking mutex_ (callers hold it). */
+    bool completedLocked(std::size_t index) const;
+
     arena::Arena *arena_;
     mutable std::mutex mutex_;
     std::string fingerprint_;

@@ -231,29 +231,40 @@ SweepRunner::run()
     SweepReport report;
     ResultSink sink(jobs.size());
     const auto campaign_start = clock::now();
+
+    // Warm restart: deliver journaled jobs without re-running. All
+    // journal reads (and the underlying single-threaded Arena reads)
+    // happen here, before any job is submitted — once workers start
+    // they call journal_->record(), and interleaving the read side
+    // with that would race. The journaled result text round-trips
+    // bit-exactly, so the resumed campaign's aggregates are
+    // byte-identical to an uninterrupted run's.
+    std::vector<const JobSpec *> pending;
+    pending.reserve(jobs.size());
+    for (const JobSpec &job : jobs) {
+        if (journal_ && journal_->completed(job.index)) {
+            JobResult jr;
+            std::string err;
+            if (journal_->load(job.index, &jr, &err)) {
+                jr.spec = job;
+                sink.deliver(std::move(jr));
+                continue;
+            }
+            util::warn("sweep journal: job %zu marked complete but "
+                       "unreadable (%s); re-running",
+                       job.index, err.c_str());
+        }
+        pending.push_back(&job);
+    }
+
     {
         ThreadPool pool(spec_.jobs <= 0
                             ? 0
                             : static_cast<unsigned>(spec_.jobs));
         report.jobs_used = pool.threadCount();
         const bool collect = spec_.collect_metrics;
-        for (const JobSpec &job : jobs) {
-            // Warm restart: deliver journaled jobs without re-running.
-            // The journaled result text round-trips bit-exactly, so the
-            // resumed campaign's aggregates are byte-identical to an
-            // uninterrupted run's.
-            if (journal_ && journal_->completed(job.index)) {
-                JobResult jr;
-                std::string err;
-                if (journal_->load(job.index, &jr, &err)) {
-                    jr.spec = job;
-                    sink.deliver(std::move(jr));
-                    continue;
-                }
-                util::warn("sweep journal: job %zu marked complete but "
-                           "unreadable (%s); re-running",
-                           job.index, err.c_str());
-            }
+        for (const JobSpec *job_ptr : pending) {
+            const JobSpec &job = *job_ptr;
             pool.submit([this, &sink, &job, retries, collect] {
                 JobResult jr;
                 jr.spec = job;
