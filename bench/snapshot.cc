@@ -2,7 +2,7 @@
  * @file
  * Perf-trajectory snapshot harness (bench/snapshot).
  *
- * Runs a pinned kernel x profile suite and emits BENCH_5.json: per-entry
+ * Runs a pinned kernel x profile suite and emits BENCH_7.json: per-entry
  * wall time, instructions/sec, energy-per-frame, quality, and the run
  * report digest (obs::reportDigest over the canonical report JSON), plus
  * an aggregate throughput figure. Committed snapshots (BENCH_*.json at
@@ -11,6 +11,16 @@
  * fails when throughput regressed by more than the gate (default 10 %)
  * against the newest committed one.
  *
+ * In addition to the pinned suite, the flagship entry is re-run under
+ * every registered execution engine (nvp::allExecEngines(), DESIGN.md
+ * §11/§13) as `<name>@<engine>` entries. Those rows are informative —
+ * they show each engine's sim-level throughput — and are EXCLUDED from
+ * the gated aggregate so the trajectory stays comparable with snapshots
+ * taken before the engine matrix existed. Their report digests must be
+ * identical to the base entry's (engines are bit-identical by contract);
+ * a mismatch is fatal, making every snapshot run an engine-equivalence
+ * check too.
+ *
  * Timing fields are machine-dependent by nature; everything else in the
  * snapshot (instructions, frames, energy, psnr, report digests) is a
  * deterministic function of the pinned samples/seed, so digest drift
@@ -18,7 +28,7 @@
  *
  * Modes:
  *   snapshot [--out F]                      run the suite, write F
- *                                           (default BENCH_5.json)
+ *                                           (default BENCH_7.json)
  *   snapshot --check PRIOR CURRENT          gate CURRENT against PRIOR;
  *            [--max-regression-pct P]       exit 1 on > P % regression
  *                                           (default 10)
@@ -46,6 +56,7 @@
 
 #include "bench_common.h"
 #include "kernels/kernel.h"
+#include "nvp/core.h"
 #include "obs/json.h"
 #include "obs/observer.h"
 #include "obs/report/flight_recorder.h"
@@ -62,7 +73,7 @@ namespace
 using namespace inc;
 
 constexpr char kSchema[] = "inc-bench-snapshot-v1";
-constexpr int kPr = 6;
+constexpr int kPr = 7;
 constexpr double kDefaultGatePct = 10.0;
 
 /** The pinned suite: two power regimes for the flagship kernel plus
@@ -83,11 +94,18 @@ constexpr SuiteEntry kSuite[] = {
     {"integral_p3", "integral", 3},
 };
 
+/** The entry re-run under every registered engine (`<name>@<engine>`
+ *  rows). The flagship's mid-power profile: enough outages to exercise
+ *  recovery paths, enough power to retire real work. */
+constexpr SuiteEntry kEngineMatrixEntry = {"sobel_p2", "sobel", 2};
+
 struct Measurement
 {
     std::string name;
     std::string kernel;
     int profile = 0;
+    std::string engine; ///< execution engine the entry ran under
+    bool in_aggregate = true; ///< counted in the gated throughput total
     double wall_seconds = 0.0;
     double instr_per_sec = 0.0;
     double energy_per_frame_nj = 0.0;
@@ -117,7 +135,8 @@ snapshotRounds()
  *  into the sim and is fatal. */
 Measurement
 runEntry(const SuiteEntry &entry, std::size_t samples,
-         std::uint64_t seed, int rounds)
+         std::uint64_t seed, int rounds,
+         const nvp::ExecEngine *engine = nullptr)
 {
     using clock = std::chrono::steady_clock;
 
@@ -127,11 +146,21 @@ runEntry(const SuiteEntry &entry, std::size_t samples,
     const kernels::Kernel kernel = kernels::makeKernel(entry.kernel);
     sim::SimConfig config = bench::incidentalConfig(2, 8);
     config.seed = seed;
+    if (engine)
+        config.exec_engine = *engine;
 
     Measurement m;
     m.name = entry.name;
     m.kernel = entry.kernel;
     m.profile = entry.profile;
+    m.engine = nvp::execEngineName(config.exec_engine);
+    if (engine) {
+        // Engine-matrix row: named `<entry>@<engine>`, informative
+        // only — kept out of the gated aggregate so the trajectory
+        // stays comparable with pre-matrix snapshots.
+        m.name += "@" + m.engine;
+        m.in_aggregate = false;
+    }
     m.wall_seconds = 0.0;
     for (int round = 0; round < rounds; ++round) {
         obs::Observer observer;
@@ -201,6 +230,9 @@ snapshotToJson(const std::vector<Measurement> &suite,
         e.set("profile",
               obs::JsonValue::of(static_cast<std::uint64_t>(
                   m.profile)));
+        if (!m.engine.empty())
+            e.set("engine", obs::JsonValue::of(m.engine));
+        e.set("aggregate", obs::JsonValue::of(m.in_aggregate));
         e.set("wall_seconds", obs::JsonValue::of(m.wall_seconds));
         e.set("instr_per_sec", obs::JsonValue::of(m.instr_per_sec));
         e.set("energy_per_frame_nj",
@@ -211,8 +243,10 @@ snapshotToJson(const std::vector<Measurement> &suite,
               obs::JsonValue::of(m.frames_completed));
         e.set("report_digest", obs::JsonValue::of(m.report_digest));
         entries.push(std::move(e));
-        total_instr += m.instructions;
-        total_wall += m.wall_seconds;
+        if (m.in_aggregate) {
+            total_instr += m.instructions;
+            total_wall += m.wall_seconds;
+        }
     }
     doc.set("suite", std::move(entries));
     doc.set("throughput_instr_per_sec",
@@ -448,6 +482,25 @@ runSuite(const std::string &out_path)
     for (const SuiteEntry &entry : kSuite)
         suite.push_back(runEntry(entry, samples, seed, rounds));
 
+    // Engine matrix: the flagship entry under every registered engine.
+    // The digests must agree with the base entry — the engines are
+    // bit-identical by contract (DESIGN.md §11/§13), so a snapshot run
+    // doubles as an engine-equivalence check.
+    std::string base_digest;
+    for (const Measurement &m : suite)
+        if (m.name == kEngineMatrixEntry.name)
+            base_digest = m.report_digest;
+    for (const nvp::ExecEngine engine : nvp::allExecEngines()) {
+        suite.push_back(runEntry(kEngineMatrixEntry, samples, seed,
+                                 rounds, &engine));
+        if (suite.back().report_digest != base_digest)
+            util::fatal("engine '%s' diverged from the default engine: "
+                        "digest %s vs %s on %s",
+                        nvp::execEngineName(engine),
+                        suite.back().report_digest.c_str(),
+                        base_digest.c_str(), kEngineMatrixEntry.name);
+    }
+
     util::Table table("perf snapshot (pinned suite, best of " +
                       std::to_string(rounds) + ")");
     table.setHeader({"entry", "wall s", "instr/s", "nJ/frame", "PSNR",
@@ -483,7 +536,7 @@ parseDoubleArg(const char *text, const char *what)
 int
 main(int argc, char **argv)
 {
-    std::string out_path = "BENCH_5.json";
+    std::string out_path = "BENCH_7.json";
     std::string check_prior, check_current;
     std::string doctor_in, doctor_out;
     double max_pct = kDefaultGatePct;

@@ -5,12 +5,15 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 
 #include "check/oracle.h"
 #include "check/program_fuzzer.h"
 #include "check/recovery_trial.h"
+#include "isa/batch/batch_core.h"
 #include "isa/disassembler.h"
+#include "nvp/core.h"
 #include "nvp/memory.h"
 #include "obs/observer.h"
 #include "obs/report/report.h"
@@ -102,10 +105,11 @@ metricsDivergence(const obs::Observer &observer)
 }
 
 /**
- * The engine-equivalence invariant: re-run @p spec's co-simulation with
- * the reference interpreter and compare against the predecoded run's
- * serialized SimResult + metrics JSON. Any byte of difference is a
- * divergence (the first differing line is reported).
+ * The engine-equivalence invariant: re-run @p spec's co-simulation
+ * under every registered engine other than the one that produced
+ * @p fast_result (the predecoded fast path) and compare each run's
+ * serialized SimResult + metrics JSON against it. Any byte of
+ * difference is a divergence (the first differing line is reported).
  */
 Divergence
 engineDiffDivergence(const kernels::Kernel &kernel,
@@ -114,38 +118,49 @@ engineDiffDivergence(const kernels::Kernel &kernel,
                      const std::string &fast_result,
                      const obs::Observer &fast_obs)
 {
-    sim::SimConfig ref_cfg = fast_cfg;
-    ref_cfg.exec_engine = nvp::ExecEngine::reference;
-    obs::Observer ref_obs;
-    ref_cfg.obs = &ref_obs;
-    sim::SystemSimulator ref_sim(kernel, &power, ref_cfg);
-    const std::string ref_result = sim::serializeResult(ref_sim.run());
-
-    if (ref_result != fast_result) {
-        std::istringstream ref_lines(ref_result);
-        std::istringstream fast_lines(fast_result);
-        std::string ref_line, fast_line;
-        while (std::getline(ref_lines, ref_line) &&
-               std::getline(fast_lines, fast_line)) {
-            if (ref_line != fast_line)
-                break;
-        }
-        Divergence d;
-        d.violated = true;
-        d.invariant = "engine";
-        d.detail = "SimResult diverged between engines: reference '" +
-                   ref_line + "' vs predecoded '" + fast_line + "'";
-        return d;
-    }
-    const std::string ref_json = ref_obs.registry.toJson();
     const std::string fast_json = fast_obs.registry.toJson();
-    if (ref_json != fast_json) {
-        Divergence d;
-        d.violated = true;
-        d.invariant = "engine_metrics";
-        d.detail =
-            "metrics JSON diverged between engines (results agree)";
-        return d;
+    for (const nvp::ExecEngine engine : nvp::allExecEngines()) {
+        if (engine == fast_cfg.exec_engine)
+            continue;
+        sim::SimConfig other_cfg = fast_cfg;
+        other_cfg.exec_engine = engine;
+        obs::Observer other_obs;
+        other_cfg.obs = &other_obs;
+        sim::SystemSimulator other_sim(kernel, &power, other_cfg);
+        const std::string other_result =
+            sim::serializeResult(other_sim.run());
+
+        if (other_result != fast_result) {
+            std::istringstream other_lines(other_result);
+            std::istringstream fast_lines(fast_result);
+            std::string other_line, fast_line;
+            while (std::getline(other_lines, other_line) &&
+                   std::getline(fast_lines, fast_line)) {
+                if (other_line != fast_line)
+                    break;
+            }
+            Divergence d;
+            d.violated = true;
+            d.invariant = "engine";
+            d.detail = std::string("SimResult diverged between "
+                                   "engines: ") +
+                       nvp::execEngineName(engine) + " '" + other_line +
+                       "' vs " +
+                       nvp::execEngineName(fast_cfg.exec_engine) +
+                       " '" + fast_line + "'";
+            return d;
+        }
+        if (other_obs.registry.toJson() != fast_json) {
+            Divergence d;
+            d.violated = true;
+            d.invariant = "engine_metrics";
+            d.detail =
+                std::string("metrics JSON diverged between engines "
+                            "(results agree): ") +
+                nvp::execEngineName(engine) + " vs " +
+                nvp::execEngineName(fast_cfg.exec_engine);
+            return d;
+        }
     }
     return {};
 }
@@ -601,6 +616,178 @@ runRacTrial(const TrialSpec &spec)
     return compare("fresh contributions");
 }
 
+// ---- batch_lanes -------------------------------------------------------
+
+/**
+ * The batch engine's lane-isolation contract: W fuzzed trials stepped
+ * in SoA lockstep through one nvp::BatchCore must each be bit-identical
+ * to the same seed run solo through nvp::Core — registers, PC, halt
+ * state, instret, cycles and the full data-memory image — and the
+ * architectural state a trial halts with must stay byte-frozen while
+ * the rest of the batch keeps stepping (the divergence-mask invariant).
+ */
+Divergence
+runBatchLanesTrial(const TrialSpec &spec)
+{
+    ProgramFuzzer fuzzer;
+    const FuzzedProgram fp =
+        fuzzer.generate(spec.program_seed, 0, false, spec.body_ops);
+
+    // All trial parameters are drawn from the spec's own stream so the
+    // trial replays bit-exactly from its repro bundle.
+    util::Rng t(spec.seed);
+    const int width = 2 + static_cast<int>(t.nextBounded(8)); // 2..9
+    constexpr std::uint64_t kMaxSteps = 100000;
+
+    nvp::CoreConfig cfg;
+    cfg.approx_alu = true;
+    cfg.approx_mem = true;
+    cfg.max_lanes = 1;
+
+    struct SoloState
+    {
+        std::unique_ptr<nvp::DataMemory> mem;
+        std::unique_ptr<nvp::Core> core;
+        std::uint64_t steps = 0;
+        std::uint64_t cycles = 0;
+    };
+    std::vector<SoloState> solo(static_cast<std::size_t>(width));
+    std::vector<std::unique_ptr<nvp::DataMemory>> batch_mems;
+    nvp::BatchCore batch(&fp.kernel.program, cfg);
+    for (int i = 0; i < width; ++i) {
+        const std::uint64_t mem_seed = t.next();
+        const std::uint64_t core_seed = t.next();
+        const int bits = 2 + static_cast<int>(t.nextBounded(7)); // 2..8
+        auto &s = solo[static_cast<std::size_t>(i)];
+        s.mem = std::make_unique<nvp::DataMemory>(util::Rng(mem_seed));
+        s.core = std::make_unique<nvp::Core>(&fp.kernel.program,
+                                             s.mem.get(), cfg,
+                                             util::Rng(core_seed));
+        s.core->setMainBits(bits);
+        batch_mems.push_back(
+            std::make_unique<nvp::DataMemory>(util::Rng(mem_seed)));
+        const int idx =
+            batch.addTrial(batch_mems.back().get(),
+                           util::Rng(core_seed));
+        batch.setBits(idx, bits);
+    }
+
+    // Solo trajectories: each core alone, exactly as nvp::Core runs.
+    for (auto &s : solo) {
+        while (!s.core->halted() && s.steps < kMaxSteps) {
+            s.cycles += static_cast<std::uint64_t>(
+                s.core->step().cycles);
+            ++s.steps;
+        }
+    }
+
+    // Batch trajectory, capturing each trial's architectural state the
+    // moment it retires so the divergence-mask invariant is checked
+    // against continued stepping of the surviving lanes.
+    struct RetiredState
+    {
+        bool captured = false;
+        std::uint16_t pc = 0;
+        nvp::RegSnapshot regs{};
+        std::uint64_t instret = 0;
+        std::uint64_t cycles = 0;
+    };
+    std::vector<RetiredState> at_halt(
+        static_cast<std::size_t>(width));
+    std::uint64_t batch_steps = 0;
+    auto capture = [&] {
+        for (int i = 0; i < width; ++i) {
+            auto &r = at_halt[static_cast<std::size_t>(i)];
+            if (r.captured || !batch.halted(i))
+                continue;
+            r.captured = true;
+            r.pc = batch.pc(i);
+            r.regs = batch.regSnapshot(i);
+            r.instret = batch.instret(i);
+            r.cycles = batch.cycles(i);
+        }
+    };
+    capture();
+    while (batch_steps < kMaxSteps && batch.stepAll()) {
+        ++batch_steps;
+        capture();
+    }
+
+    auto fail = [&](int trial, const std::string &invariant,
+                    const std::string &what, long long expected,
+                    long long actual) {
+        std::ostringstream why;
+        why << "trial " << trial << "/" << width << ": " << what
+            << " (batch engine vs solo core)";
+        Divergence d = byteMismatch(
+            invariant, static_cast<std::uint32_t>(trial), 0,
+            static_cast<int>(expected), static_cast<int>(actual),
+            why.str());
+        return d;
+    };
+
+    for (int i = 0; i < width; ++i) {
+        const auto &s = solo[static_cast<std::size_t>(i)];
+        if (batch.halted(i) != s.core->halted())
+            return fail(i, "batch_lanes", "halt state diverged",
+                        s.core->halted() ? 1 : 0,
+                        batch.halted(i) ? 1 : 0);
+        if (batch.pc(i) != s.core->pc())
+            return fail(i, "batch_lanes", "pc diverged", s.core->pc(),
+                        batch.pc(i));
+        if (batch.instret(i) != s.core->lane(0).instret)
+            return fail(i, "batch_lanes", "instret diverged",
+                        static_cast<long long>(s.core->lane(0).instret),
+                        static_cast<long long>(batch.instret(i)));
+        if (batch.cycles(i) != s.cycles)
+            return fail(i, "batch_lanes", "cycle count diverged",
+                        static_cast<long long>(s.cycles),
+                        static_cast<long long>(batch.cycles(i)));
+        for (int r = 0; r < isa::kNumRegs; ++r) {
+            if (batch.reg(i, r) != s.core->regs().readFast(0, r))
+                return fail(i, "batch_lanes",
+                            "register r" + std::to_string(r) +
+                                " diverged",
+                            s.core->regs().readFast(0, r),
+                            batch.reg(i, r));
+        }
+        const auto solo_img = s.mem->snapshot(0, isa::kDataMemBytes);
+        const auto batch_img =
+            batch.memory(i).snapshot(0, isa::kDataMemBytes);
+        for (std::size_t b = 0; b < solo_img.size(); ++b) {
+            if (solo_img[b] != batch_img[b])
+                return fail(i, "batch_lanes",
+                            "memory byte " + std::to_string(b) +
+                                " diverged",
+                            solo_img[b], batch_img[b]);
+        }
+
+        // Divergence-mask invariant: the state captured at retirement
+        // must equal the final state — masked lanes are never written.
+        const auto &r = at_halt[static_cast<std::size_t>(i)];
+        if (!r.captured)
+            continue; // trial never halted within the step budget
+        if (r.pc != batch.pc(i) || r.instret != batch.instret(i) ||
+            r.cycles != batch.cycles(i))
+            return fail(i, "batch_mask",
+                        "retired trial's pc/instret/cycles changed "
+                        "after halt",
+                        r.pc, batch.pc(i));
+        const nvp::RegSnapshot now = batch.regSnapshot(i);
+        for (int reg = 0; reg < isa::kNumRegs; ++reg) {
+            if (r.regs[static_cast<std::size_t>(reg)] !=
+                now[static_cast<std::size_t>(reg)])
+                return fail(i, "batch_mask",
+                            "retired trial's register r" +
+                                std::to_string(reg) +
+                                " changed after halt",
+                            r.regs[static_cast<std::size_t>(reg)],
+                            now[static_cast<std::size_t>(reg)]);
+        }
+    }
+    return {};
+}
+
 } // namespace
 
 // ---- public API -------------------------------------------------------
@@ -614,6 +801,7 @@ modeName(TrialMode mode)
       case TrialMode::monotone_bits: return "monotone_bits";
       case TrialMode::rac_merge: return "rac_merge";
       case TrialMode::arena_recovery: return "arena_recovery";
+      case TrialMode::batch_lanes: return "batch_lanes";
     }
     return "unknown";
 }
@@ -658,7 +846,7 @@ parseModeFilter(const std::string &filter)
         if (!matched)
             util::fatal("unknown trial mode '%s' in --modes (valid: "
                         "exact_recovery, bounded_error, monotone_bits, "
-                        "rac_merge, arena_recovery)",
+                        "rac_merge, arena_recovery, batch_lanes)",
                         name.c_str());
         pos = comma + 1;
     }
@@ -679,7 +867,7 @@ expandTrials(const CheckConfig &config)
     // Candidates come off the unfiltered stream; a mode filter keeps
     // the first `trials` allowed ones, so a filtered run executes
     // byte-identical specs to the matching subset of an unfiltered run
-    // with the same seed. Every mode has >= 12% mass, so the candidate
+    // with the same seed. Every mode has >= 8% mass, so the candidate
     // cap is unreachable with a non-empty allow mask.
     const long long max_candidates =
         static_cast<long long>(std::max(0, config.trials)) * 200 + 200;
@@ -700,10 +888,12 @@ expandTrials(const CheckConfig &config)
             s.mode = TrialMode::bounded_error;
         else if (u < 72)
             s.mode = TrialMode::monotone_bits;
-        else if (u < 85)
+        else if (u < 82)
             s.mode = TrialMode::rac_merge;
-        else
+        else if (u < 92)
             s.mode = TrialMode::arena_recovery;
+        else
+            s.mode = TrialMode::batch_lanes;
         s.program_seed = t.next();
         s.profile = 1 + static_cast<int>(t.nextBounded(5));
         s.samples = config.trace_samples;
@@ -744,6 +934,7 @@ runTrial(const TrialSpec &spec)
       case TrialMode::monotone_bits: return runMonotoneTrial(spec);
       case TrialMode::rac_merge: return runRacTrial(spec);
       case TrialMode::arena_recovery: return runArenaTrial(spec);
+      case TrialMode::batch_lanes: return runBatchLanesTrial(spec);
     }
     Divergence d;
     d.violated = true;
@@ -980,7 +1171,7 @@ CheckReport::summary() const
     out << trials << " trials (exact=" << mode_counts[0]
         << " bounded=" << mode_counts[1]
         << " monotone=" << mode_counts[2] << " rac=" << mode_counts[3]
-        << " arena=" << mode_counts[4]
+        << " arena=" << mode_counts[4] << " batch=" << mode_counts[5]
         << "), " << failures.size() << " violation"
         << (failures.size() == 1 ? "" : "s");
     for (const TrialFailure &f : failures) {

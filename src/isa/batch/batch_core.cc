@@ -1,0 +1,689 @@
+#include "isa/batch/batch_core.h"
+
+#include <algorithm>
+
+#include "isa/batch/vec.h"
+#include "util/bit_ops.h"
+#include "util/logging.h"
+
+namespace inc::nvp
+{
+
+namespace vec = inc::isa::batch;
+
+namespace
+{
+
+std::size_t
+roundUpToVec(std::size_t n)
+{
+    const std::size_t w = vec::kVecWidth;
+    return (n + w - 1) / w * w;
+}
+
+} // namespace
+
+BatchCore::BatchCore(const isa::Program *program, CoreConfig config)
+    : program_(program), config_(config)
+{
+    if (!program_)
+        util::panic("BatchCore requires a program");
+    decoded_ = isa::PredecodedProgram(*program_);
+}
+
+int
+BatchCore::addTrial(DataMemory *memory, util::Rng rng)
+{
+    if (!memory)
+        util::panic("BatchCore::addTrial requires a data memory");
+    const int t = width();
+    mems_.push_back(memory);
+    // Same consumption as nvp::Core's constructor (alu_(rng.split())):
+    // a trial seeded like a solo core draws the same noise stream.
+    alus_.emplace_back(rng.split());
+    pc_.push_back(0);
+    halted_.push_back(0);
+    ac_en_.push_back(0);
+    bits_.push_back(8);
+    ac_mask_.push_back(0);
+    has_resume_.push_back(0);
+    resume_pc_.push_back(0);
+    frame_reg_.push_back(0);
+    match_mask_.push_back(0);
+    instret_.push_back(0);
+    cycles_.push_back(0);
+    reshape();
+    // The new trial may occupy a former padding lane that full-row ops
+    // scribbled on; its registers must start at the power-up zeros.
+    for (int r = 0; r < isa::kNumRegs; ++r)
+        regs_[static_cast<std::size_t>(r) * padded_ +
+              static_cast<std::size_t>(t)] = 0;
+    scan_needed_ = true;
+    return t;
+}
+
+void
+BatchCore::reshape()
+{
+    const std::size_t new_padded =
+        roundUpToVec(static_cast<std::size_t>(width()));
+    if (new_padded == padded_)
+        return;
+    std::vector<std::uint16_t> grown(
+        static_cast<std::size_t>(isa::kNumRegs) * new_padded, 0);
+    const std::size_t old_width =
+        static_cast<std::size_t>(width()) - 1; // trial being added is new
+    for (int r = 0; r < isa::kNumRegs; ++r) {
+        for (std::size_t t = 0; t < old_width && padded_ > 0; ++t)
+            grown[static_cast<std::size_t>(r) * new_padded + t] =
+                regs_[static_cast<std::size_t>(r) * padded_ + t];
+    }
+    regs_ = std::move(grown);
+    padded_ = new_padded;
+    scratch_b_.assign(padded_, 0);
+    scratch_dst_.assign(padded_, 0);
+}
+
+std::size_t
+BatchCore::check(int t) const
+{
+    if (t < 0 || t >= width())
+        util::panic("BatchCore: trial index %d out of range (%d trials)",
+                    t, width());
+    return static_cast<std::size_t>(t);
+}
+
+void
+BatchCore::setPc(int t, std::uint16_t pc)
+{
+    pc_[check(t)] = pc;
+    scan_needed_ = true;
+}
+
+void
+BatchCore::clearHalted(int t)
+{
+    const std::size_t i = check(t);
+    if (halted_[i]) {
+        halted_[i] = 0;
+        --halted_count_;
+    }
+    scan_needed_ = true;
+}
+
+std::uint16_t
+BatchCore::reg(int t, int r) const
+{
+    check(t);
+    if (r < 0 || r >= isa::kNumRegs)
+        util::panic("BatchCore: register %d out of range", r);
+    return regRead(t, r);
+}
+
+void
+BatchCore::setReg(int t, int r, std::uint16_t value)
+{
+    check(t);
+    if (r < 0 || r >= isa::kNumRegs)
+        util::panic("BatchCore: register %d out of range", r);
+    regWrite(t, r, value);
+}
+
+RegSnapshot
+BatchCore::regSnapshot(int t) const
+{
+    check(t);
+    RegSnapshot snap{};
+    for (int r = 0; r < isa::kNumRegs; ++r)
+        snap[static_cast<std::size_t>(r)] = regRead(t, r);
+    return snap;
+}
+
+void
+BatchCore::setBits(int t, int bits)
+{
+    const std::size_t i = check(t);
+    if (bits < 1 || bits > 8)
+        util::panic("BatchCore::setBits: bits out of range %d", bits);
+    const bool was_low = bits_[i] < 8;
+    const bool is_low = bits < 8;
+    bits_[i] = static_cast<std::uint8_t>(bits);
+    low_bits_count_ += (is_low ? 1 : 0) - (was_low ? 1 : 0);
+}
+
+std::uint64_t
+BatchCore::totalInstret() const
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t n : instret_)
+        total += n;
+    return total;
+}
+
+void
+BatchCore::rescan()
+{
+    halted_count_ = 0;
+    bool first = true;
+    bool same = true;
+    std::uint16_t common = 0;
+    for (int t = 0; t < width(); ++t) {
+        if (halted_[static_cast<std::size_t>(t)]) {
+            ++halted_count_;
+            continue;
+        }
+        if (first) {
+            common = pc_[static_cast<std::size_t>(t)];
+            first = false;
+        } else if (pc_[static_cast<std::size_t>(t)] != common) {
+            same = false;
+        }
+    }
+    converged_ = same;
+    pc0_ = common;
+}
+
+BatchCore::VecKind
+BatchCore::vecKind(const isa::DecodedInst &d)
+{
+    using isa::Op;
+    switch (d.op) {
+      case Op::ldi:
+        return VecKind::copy_b;
+      case Op::mov:
+        return VecKind::copy_a;
+      case Op::add:
+      case Op::addi:
+        return VecKind::add;
+      case Op::sub:
+        return VecKind::sub;
+      case Op::mul:
+        return VecKind::mul;
+      case Op::and_:
+      case Op::andi:
+        return VecKind::band;
+      case Op::or_:
+      case Op::ori:
+        return VecKind::bor;
+      case Op::xor_:
+      case Op::xori:
+        return VecKind::bxor;
+      // Register-operand shifts have per-trial counts; AVX2 has no
+      // 16-bit variable shift, so only the uniform immediate forms take
+      // the vector path.
+      case Op::sll:
+      case Op::slli:
+        return d.b_is_imm ? VecKind::shl : VecKind::none;
+      case Op::srl:
+      case Op::srli:
+        return d.b_is_imm ? VecKind::shr : VecKind::none;
+      case Op::sra:
+      case Op::srai:
+        return d.b_is_imm ? VecKind::sar : VecKind::none;
+      case Op::slt:
+      case Op::slti:
+        return VecKind::slt_s;
+      case Op::sltu:
+      case Op::sltiu:
+        return VecKind::slt_u;
+      case Op::min:
+        return VecKind::min_s;
+      case Op::max:
+        return VecKind::max_s;
+      case Op::minu:
+        return VecKind::min_u;
+      case Op::maxu:
+        return VecKind::max_u;
+      // divu/remu have no vector integer division; everything else is
+      // control flow, memory or incidental state — scalar by nature.
+      default:
+        return VecKind::none;
+    }
+}
+
+void
+BatchCore::rowOp(VecKind kind, const isa::DecodedInst &d,
+                 std::uint16_t *dst, const std::uint16_t *a,
+                 const std::uint16_t *b)
+{
+    switch (kind) {
+      case VecKind::copy_a:
+        vec::rowCopy(dst, a, padded_);
+        break;
+      case VecKind::copy_b:
+        vec::rowCopy(dst, b, padded_);
+        break;
+      case VecKind::add:
+        vec::rowAdd(dst, a, b, padded_);
+        break;
+      case VecKind::sub:
+        vec::rowSub(dst, a, b, padded_);
+        break;
+      case VecKind::mul:
+        vec::rowMul(dst, a, b, padded_);
+        break;
+      case VecKind::band:
+        vec::rowAnd(dst, a, b, padded_);
+        break;
+      case VecKind::bor:
+        vec::rowOr(dst, a, b, padded_);
+        break;
+      case VecKind::bxor:
+        vec::rowXor(dst, a, b, padded_);
+        break;
+      case VecKind::shl:
+        vec::rowShlImm(dst, a, d.imm & 15, padded_);
+        break;
+      case VecKind::shr:
+        vec::rowShrImm(dst, a, d.imm & 15, padded_);
+        break;
+      case VecKind::sar:
+        vec::rowSarImm(dst, a, d.imm & 15, padded_);
+        break;
+      case VecKind::slt_s:
+        vec::rowSltS(dst, a, b, padded_);
+        break;
+      case VecKind::slt_u:
+        vec::rowSltU(dst, a, b, padded_);
+        break;
+      case VecKind::min_s:
+        vec::rowMinS(dst, a, b, padded_);
+        break;
+      case VecKind::max_s:
+        vec::rowMaxS(dst, a, b, padded_);
+        break;
+      case VecKind::min_u:
+        vec::rowMinU(dst, a, b, padded_);
+        break;
+      case VecKind::max_u:
+        vec::rowMaxU(dst, a, b, padded_);
+        break;
+      case VecKind::none:
+        util::panic("BatchCore::rowOp: scalar op on vector path");
+    }
+}
+
+void
+BatchCore::fullRowStep(const isa::DecodedInst &d, VecKind kind)
+{
+    // All trials live + convergent: unmasked full-row compute. Writes
+    // into the padding lanes are fine (not architectural); writes to
+    // r0 go to scratch so the r0-zero invariant holds, but the noise
+    // fixup still runs there — the solo core draws the RNG even when
+    // the write is discarded, and draw parity is the contract.
+    std::uint16_t *dst = d.rd == 0 ? scratch_dst_.data() : row(d.rd);
+    const std::uint16_t *a = row(d.rs1);
+    const std::uint16_t *b;
+    if (d.b_is_imm) {
+        vec::rowSplat(scratch_b_.data(), d.imm, padded_);
+        b = scratch_b_.data();
+    } else {
+        b = row(d.rs2);
+    }
+    rowOp(kind, d, dst, a, b);
+
+    if (d.noise_candidate && config_.approx_alu && low_bits_count_ > 0) {
+        for (int t = 0; t < width(); ++t) {
+            const auto i = static_cast<std::size_t>(t);
+            // Same predicate + draw order within a trial as nvp::Core;
+            // each trial owns its RNG so cross-trial order is free.
+            if (((ac_mask_[i] >> d.rd) & 1) && ac_en_[i] &&
+                bits_[i] < 8)
+                dst[i] = alus_[i].injectNoise(dst[i], bits_[i]);
+        }
+    }
+
+    const std::uint16_t next = static_cast<std::uint16_t>(pc0_ + 1);
+    for (int t = 0; t < width(); ++t) {
+        const auto i = static_cast<std::size_t>(t);
+        pc_[i] = next;
+        ++instret_[i];
+        cycles_[i] += d.cycles;
+    }
+    pc0_ = next;
+}
+
+void
+BatchCore::maskedGroupStep(const isa::DecodedInst &d, VecKind kind)
+{
+    // Convergent group with retired trials present: compute the full
+    // row into scratch (retired lanes' operands produce garbage that is
+    // never written back), then write back live lanes only — a retired
+    // trial's architectural state must not change (divergence-mask
+    // invariant).
+    const std::uint16_t *a = row(d.rs1);
+    const std::uint16_t *b;
+    if (d.b_is_imm) {
+        vec::rowSplat(scratch_b_.data(), d.imm, padded_);
+        b = scratch_b_.data();
+    } else {
+        b = row(d.rs2);
+    }
+    rowOp(kind, d, scratch_dst_.data(), a, b);
+
+    const bool noise_possible = d.noise_candidate &&
+                                config_.approx_alu &&
+                                low_bits_count_ > 0;
+    const std::uint16_t next = static_cast<std::uint16_t>(pc0_ + 1);
+    for (int t = 0; t < width(); ++t) {
+        const auto i = static_cast<std::size_t>(t);
+        if (halted_[i])
+            continue;
+        std::uint16_t value = scratch_dst_[i];
+        if (noise_possible && ((ac_mask_[i] >> d.rd) & 1) && ac_en_[i] &&
+            bits_[i] < 8)
+            value = alus_[i].injectNoise(value, bits_[i]);
+        regWrite(t, d.rd, value);
+        pc_[i] = next;
+        ++instret_[i];
+        cycles_[i] += d.cycles;
+    }
+    pc0_ = next;
+}
+
+template <typename ComputeFn>
+inline void
+BatchCore::dataOpTrial(int t, const isa::DecodedInst &d,
+                       ComputeFn compute)
+{
+    const auto i = static_cast<std::size_t>(t);
+    const std::uint16_t a = regRead(t, d.rs1);
+    const std::uint16_t b = d.b_is_imm ? d.imm : regRead(t, d.rs2);
+    std::uint16_t result = compute(a, b);
+    // Identical noise predicate to nvp::Core for draw parity.
+    if (d.noise_candidate && config_.approx_alu &&
+        ((ac_mask_[i] >> d.rd) & 1)) {
+        const int bits = ac_en_[i] ? bits_[i] : 8;
+        if (bits < 8)
+            result = alus_[i].injectNoise(result, bits);
+    }
+    regWrite(t, d.rd, result);
+}
+
+void
+BatchCore::stepTrial(int t)
+{
+    // Scalar fallback: the predecoded engine's jump table specialized
+    // to a single lane. Semantics per op are an exact twin of
+    // nvp::Core::stepPredecoded with one active lane.
+    const auto i = static_cast<std::size_t>(t);
+    const isa::DecodedInst &d = decoded_.at(pc_[i]);
+    std::uint16_t next_pc = static_cast<std::uint16_t>(pc_[i] + 1);
+    std::uint64_t extra_cycles = 0;
+
+    const bool approx = config_.approx_mem && ac_en_[i] != 0;
+    const int mem_bits = ac_en_[i] ? bits_[i] : 8;
+
+    using U = std::uint16_t;
+    using S = std::int16_t;
+    switch (d.op) {
+      case isa::Op::nop:
+        break;
+      case isa::Op::halt:
+        halted_[i] = 1;
+        ++halted_count_;
+        break;
+
+      case isa::Op::ldi:
+        dataOpTrial(t, d, [](U, U b) { return b; });
+        break;
+      case isa::Op::mov:
+        dataOpTrial(t, d, [](U a, U) { return a; });
+        break;
+      case isa::Op::add:
+      case isa::Op::addi:
+        dataOpTrial(t, d,
+                    [](U a, U b) { return static_cast<U>(a + b); });
+        break;
+      case isa::Op::sub:
+        dataOpTrial(t, d,
+                    [](U a, U b) { return static_cast<U>(a - b); });
+        break;
+      case isa::Op::mul:
+        dataOpTrial(t, d, [](U a, U b) {
+            return static_cast<U>(static_cast<std::uint32_t>(a) * b);
+        });
+        break;
+      case isa::Op::divu:
+        dataOpTrial(t, d, [](U a, U b) {
+            return b == 0 ? static_cast<U>(0xFFFF)
+                          : static_cast<U>(a / b);
+        });
+        break;
+      case isa::Op::remu:
+        dataOpTrial(t, d, [](U a, U b) {
+            return b == 0 ? a : static_cast<U>(a % b);
+        });
+        break;
+      case isa::Op::and_:
+      case isa::Op::andi:
+        dataOpTrial(t, d,
+                    [](U a, U b) { return static_cast<U>(a & b); });
+        break;
+      case isa::Op::or_:
+      case isa::Op::ori:
+        dataOpTrial(t, d,
+                    [](U a, U b) { return static_cast<U>(a | b); });
+        break;
+      case isa::Op::xor_:
+      case isa::Op::xori:
+        dataOpTrial(t, d,
+                    [](U a, U b) { return static_cast<U>(a ^ b); });
+        break;
+      case isa::Op::sll:
+      case isa::Op::slli:
+        dataOpTrial(t, d, [](U a, U b) {
+            return static_cast<U>(a << (b & 15));
+        });
+        break;
+      case isa::Op::srl:
+      case isa::Op::srli:
+        dataOpTrial(t, d, [](U a, U b) {
+            return static_cast<U>(a >> (b & 15));
+        });
+        break;
+      case isa::Op::sra:
+      case isa::Op::srai:
+        dataOpTrial(t, d, [](U a, U b) {
+            return static_cast<U>(static_cast<S>(a) >> (b & 15));
+        });
+        break;
+      case isa::Op::slt:
+      case isa::Op::slti:
+        dataOpTrial(t, d, [](U a, U b) {
+            return static_cast<U>(
+                static_cast<S>(a) < static_cast<S>(b) ? 1 : 0);
+        });
+        break;
+      case isa::Op::sltu:
+      case isa::Op::sltiu:
+        dataOpTrial(t, d, [](U a, U b) {
+            return static_cast<U>(a < b ? 1 : 0);
+        });
+        break;
+      case isa::Op::min:
+        dataOpTrial(t, d, [](U a, U b) {
+            return static_cast<U>(
+                std::min(static_cast<S>(a), static_cast<S>(b)));
+        });
+        break;
+      case isa::Op::max:
+        dataOpTrial(t, d, [](U a, U b) {
+            return static_cast<U>(
+                std::max(static_cast<S>(a), static_cast<S>(b)));
+        });
+        break;
+      case isa::Op::minu:
+        dataOpTrial(t, d, [](U a, U b) { return std::min(a, b); });
+        break;
+      case isa::Op::maxu:
+        dataOpTrial(t, d, [](U a, U b) { return std::max(a, b); });
+        break;
+
+      case isa::Op::ld8: {
+        const std::uint32_t addr = static_cast<std::uint16_t>(
+            regRead(t, d.rs1) + d.imm);
+        regWrite(t, d.rd,
+                 mems_[i]->load8(0, addr, mem_bits, approx));
+        break;
+      }
+      case isa::Op::ld8s: {
+        const std::uint32_t addr = static_cast<std::uint16_t>(
+            regRead(t, d.rs1) + d.imm);
+        regWrite(t, d.rd,
+                 static_cast<U>(util::signExtend(
+                     mems_[i]->load8(0, addr, mem_bits, approx), 8)));
+        break;
+      }
+      case isa::Op::ld16: {
+        const std::uint32_t addr = static_cast<std::uint16_t>(
+            regRead(t, d.rs1) + d.imm);
+        const std::uint8_t lo =
+            mems_[i]->load8(0, addr, mem_bits, approx);
+        const std::uint8_t hi = mems_[i]->load8(
+            0, static_cast<std::uint16_t>(addr + 1), mem_bits, approx);
+        regWrite(t, d.rd, static_cast<U>(lo | (hi << 8)));
+        break;
+      }
+
+      case isa::Op::st8:
+      case isa::Op::st16: {
+        const std::uint32_t addr = static_cast<std::uint16_t>(
+            regRead(t, d.rs1) + d.imm);
+        const std::uint16_t value = regRead(t, d.rs2);
+        mems_[i]->store8(0, addr, static_cast<std::uint8_t>(value),
+                         mem_bits, approx);
+        if (d.op == isa::Op::st16)
+            mems_[i]->store8(0, static_cast<std::uint16_t>(addr + 1),
+                             static_cast<std::uint8_t>(value >> 8),
+                             mem_bits, approx);
+        break;
+      }
+
+      case isa::Op::beq:
+      case isa::Op::bne:
+      case isa::Op::blt:
+      case isa::Op::bge:
+      case isa::Op::bltu:
+      case isa::Op::bgeu: {
+        const U a = regRead(t, d.rs1);
+        const U b = regRead(t, d.rs2);
+        const auto sa = static_cast<S>(a);
+        const auto sb = static_cast<S>(b);
+        bool taken = false;
+        switch (d.op) {
+          case isa::Op::beq: taken = a == b; break;
+          case isa::Op::bne: taken = a != b; break;
+          case isa::Op::blt: taken = sa < sb; break;
+          case isa::Op::bge: taken = sa >= sb; break;
+          case isa::Op::bltu: taken = a < b; break;
+          default: taken = a >= b; break; // bgeu
+        }
+        if (taken) {
+            next_pc = d.imm;
+            ++extra_cycles; // taken-branch bubble
+        }
+        break;
+      }
+
+      case isa::Op::jmp:
+        next_pc = d.imm;
+        break;
+      case isa::Op::jal:
+        regWrite(t, d.rd, static_cast<std::uint16_t>(pc_[i] + 1));
+        next_pc = d.imm;
+        break;
+      case isa::Op::jr:
+        next_pc = regRead(t, d.rs1);
+        break;
+
+      case isa::Op::markrp:
+        has_resume_[i] = 1;
+        resume_pc_[i] = pc_[i];
+        frame_reg_[i] = d.rs1;
+        match_mask_[i] = d.imm;
+        break;
+      case isa::Op::acset:
+        ac_mask_[i] |= d.imm;
+        break;
+      case isa::Op::acclr:
+        ac_mask_[i] &= static_cast<std::uint16_t>(~d.imm);
+        break;
+      case isa::Op::acen:
+        ac_en_[i] = d.imm != 0 ? 1 : 0;
+        break;
+      case isa::Op::assem: {
+        const std::uint32_t base = regRead(t, d.rs1);
+        const std::uint32_t len = regRead(t, d.rs2);
+        const std::uint32_t bytes = mems_[i]->assemble(
+            base, len, static_cast<isa::AssembleMode>(d.imm));
+        extra_cycles += 2ULL * bytes;
+        break;
+      }
+
+      case isa::Op::num_ops:
+        util::panic("BatchCore::stepTrial: invalid opcode");
+    }
+
+    ++instret_[i];
+    cycles_[i] += static_cast<std::uint64_t>(d.cycles) + extra_cycles;
+    pc_[i] = next_pc;
+}
+
+bool
+BatchCore::stepAll()
+{
+    if (scan_needed_) {
+        rescan();
+        scan_needed_ = false;
+    }
+    if (width() == 0 || halted_count_ == width())
+        return false;
+
+    if (converged_) {
+        const isa::DecodedInst &d = decoded_.at(pc0_);
+        const VecKind kind = vecKind(d);
+        if (kind != VecKind::none) {
+            if (halted_count_ == 0)
+                fullRowStep(d, kind);
+            else
+                maskedGroupStep(d, kind);
+            return true;
+        }
+    }
+
+    // Scalar path: every live trial advances exactly one instruction,
+    // in trial order; track whether the batch (re)converges so the next
+    // step can take the vector path again.
+    bool first = true;
+    bool same = true;
+    std::uint16_t common = 0;
+    for (int t = 0; t < width(); ++t) {
+        const auto i = static_cast<std::size_t>(t);
+        if (halted_[i])
+            continue;
+        stepTrial(t);
+        if (halted_[i])
+            continue; // retired this step
+        if (first) {
+            common = pc_[i];
+            first = false;
+        } else if (pc_[i] != common) {
+            same = false;
+        }
+    }
+    converged_ = same;
+    pc0_ = common;
+    return true;
+}
+
+std::uint64_t
+BatchCore::runToHalt(std::uint64_t max_steps)
+{
+    std::uint64_t steps = 0;
+    while (steps < max_steps && stepAll())
+        ++steps;
+    return steps;
+}
+
+} // namespace inc::nvp

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * BatchCore: engine #3 — W independent trials in SoA lockstep.
+ *
+ * Each trial is one single-SIMD-lane NVP core (its own registers, AC
+ * flags, data memory and noise RNG) executing the shared program. The
+ * register file is stored transposed — register r of trial t at
+ * row[r][t] — so when every live trial sits at the same PC ("the
+ * convergent group"), one data-class instruction becomes one vectorized
+ * row operation (isa/batch/vec.h: explicit AVX2 or the portable
+ * fallback) instead of W interpreter iterations.
+ *
+ * Divergence model: a trial leaves the convergent group when its
+ * control flow departs from the group PC (data-dependent branch, jr) or
+ * when it retires (halt). Divergent trials fall back to scalar
+ * stepping — the same jump-table semantics the predecoded engine uses,
+ * specialized to one lane — and rejoin the vector path automatically as
+ * soon as all live PCs coincide again. Retired (masked) trials are
+ * never stepped and never written: the divergence-mask invariant that
+ * tests/test_batch_lanes.cc checks.
+ *
+ * Bit-identity contract (enforced by tests/test_batch_lanes.cc,
+ * tests/test_engine_diff.cc and the fuzzer's batch_lanes mode): a
+ * trial's architectural trajectory in a W-wide batch is identical to
+ * the same seed run solo through nvp::Core, for any W and any
+ * divergence pattern. This holds structurally because
+ *
+ *  - every live trial advances exactly one instruction per stepAll(),
+ *    so its instruction sequence is the solo sequence regardless of how
+ *    the batch groups or diverges;
+ *  - trials share no mutable state — registers, memory and the noise
+ *    RNG are per trial, so cross-trial interleaving cannot be observed;
+ *  - the vectorized row ops are exact 16-bit integer semantics, and the
+ *    ALU-noise predicate + draw order within a trial are evaluated
+ *    per lane exactly as nvp::Core evaluates them.
+ */
+
+#ifndef INC_ISA_BATCH_BATCH_CORE_H
+#define INC_ISA_BATCH_BATCH_CORE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/predecode.h"
+#include "isa/program.h"
+#include "nvp/approx_alu.h"
+#include "nvp/core.h"
+#include "nvp/memory.h"
+#include "util/rng.h"
+
+namespace inc::nvp
+{
+
+/** W single-lane cores stepped in SoA lockstep. */
+class BatchCore
+{
+  public:
+    /**
+     * @param config  approx_alu / approx_mem as for nvp::Core; the
+     *     engine field is ignored (this IS the batch engine) and
+     *     max_lanes is ignored (trials are single-SIMD-lane cores;
+     *     incidental lane adoption is a controller concern and stays on
+     *     the scalar engines).
+     */
+    BatchCore(const isa::Program *program, CoreConfig config);
+
+    /**
+     * Add one trial before stepping begins. @p rng is consumed exactly
+     * as nvp::Core's constructor consumes it (the noise ALU forks from
+     * it), so passing the same seed as a solo Core yields the same
+     * draw stream. @p memory is not owned and must outlive this object.
+     * Returns the trial index.
+     */
+    int addTrial(DataMemory *memory, util::Rng rng);
+
+    int width() const { return static_cast<int>(mems_.size()); }
+
+    // ---- lockstep execution -------------------------------------------
+
+    /**
+     * Advance every live (non-retired) trial exactly one instruction:
+     * the convergent group via one vectorized row op when the fetched
+     * instruction allows it, divergent trials scalar. Returns false —
+     * without stepping — once every trial has retired.
+     */
+    bool stepAll();
+
+    /** stepAll() until all trials retire or @p max_steps lockstep
+     *  steps have run. Returns lockstep steps taken. */
+    std::uint64_t runToHalt(std::uint64_t max_steps);
+
+    /** True when all live trials sit at the same PC (vector path). */
+    bool converged() const { return converged_; }
+
+    int haltedCount() const { return halted_count_; }
+    bool allHalted() const { return halted_count_ == width(); }
+
+    // ---- per-trial architectural state --------------------------------
+
+    std::uint16_t pc(int t) const { return pc_[check(t)]; }
+    void setPc(int t, std::uint16_t pc);
+
+    bool halted(int t) const { return halted_[check(t)] != 0; }
+    void clearHalted(int t);
+
+    std::uint16_t reg(int t, int r) const;
+    void setReg(int t, int r, std::uint16_t value);
+    RegSnapshot regSnapshot(int t) const;
+
+    bool acEnabled(int t) const { return ac_en_[check(t)] != 0; }
+    std::uint16_t acMask(int t) const { return ac_mask_[check(t)]; }
+
+    int bits(int t) const { return bits_[check(t)]; }
+    void setBits(int t, int bits);
+
+    bool hasResumePoint(int t) const
+    {
+        return has_resume_[check(t)] != 0;
+    }
+    std::uint16_t resumePc(int t) const { return resume_pc_[check(t)]; }
+
+    std::uint64_t instret(int t) const { return instret_[check(t)]; }
+    std::uint64_t cycles(int t) const { return cycles_[check(t)]; }
+    std::uint64_t totalInstret() const;
+
+    DataMemory &memory(int t) { return *mems_[check(t)]; }
+
+    const CoreConfig &config() const { return config_; }
+
+  private:
+    /** Enum of the vectorizable row operations (none = scalar path). */
+    enum class VecKind : std::uint8_t
+    {
+        none,
+        copy_a,
+        copy_b,
+        add,
+        sub,
+        mul,
+        band,
+        bor,
+        bxor,
+        shl,
+        shr,
+        sar,
+        slt_s,
+        slt_u,
+        min_s,
+        max_s,
+        min_u,
+        max_u,
+    };
+
+    static VecKind vecKind(const isa::DecodedInst &d);
+
+    std::size_t check(int t) const;
+    std::uint16_t *row(int r)
+    {
+        return regs_.data() + static_cast<std::size_t>(r) * padded_;
+    }
+    std::uint16_t regRead(int t, int r) const
+    {
+        return regs_[static_cast<std::size_t>(r) * padded_ +
+                     static_cast<std::size_t>(t)];
+    }
+    void regWrite(int t, int r, std::uint16_t value)
+    {
+        if (r == 0)
+            return; // r0 hardwired to zero, as in RegisterFile
+        regs_[static_cast<std::size_t>(r) * padded_ +
+              static_cast<std::size_t>(t)] = value;
+    }
+
+    /** Grow the SoA rows to cover width() trials. */
+    void reshape();
+
+    /** Dispatch one vectorized row op into @p dst. */
+    void rowOp(VecKind kind, const isa::DecodedInst &d,
+               std::uint16_t *dst, const std::uint16_t *a,
+               const std::uint16_t *b);
+
+    /** Vector path, all trials live and convergent: full-row compute. */
+    void fullRowStep(const isa::DecodedInst &d, VecKind kind);
+
+    /** Vector path with retired trials: compute into scratch, write
+     *  back only the live lanes (masked writeback). */
+    void maskedGroupStep(const isa::DecodedInst &d, VecKind kind);
+
+    /** Scalar path: advance trial @p t one instruction (predecoded
+     *  jump-table semantics specialized to a single lane). */
+    void stepTrial(int t);
+
+    template <typename ComputeFn>
+    void dataOpTrial(int t, const isa::DecodedInst &d,
+                     ComputeFn compute);
+
+    /** Recompute converged_/pc0_ after external state mutation. */
+    void rescan();
+
+    const isa::Program *program_;
+    CoreConfig config_;
+    isa::PredecodedProgram decoded_;
+
+    std::size_t padded_ = 0; ///< row width: width() rounded up to vec
+
+    // SoA register file: isa::kNumRegs rows of padded_ u16 lanes.
+    std::vector<std::uint16_t> regs_;
+    std::vector<std::uint16_t> scratch_b_;   ///< immediate splat row
+    std::vector<std::uint16_t> scratch_dst_; ///< masked-writeback row
+
+    // Per-trial architectural state (index = trial).
+    std::vector<std::uint16_t> pc_;
+    std::vector<std::uint8_t> halted_;
+    std::vector<std::uint8_t> ac_en_;
+    std::vector<std::uint8_t> bits_;
+    std::vector<std::uint16_t> ac_mask_;
+    std::vector<std::uint8_t> has_resume_;
+    std::vector<std::uint16_t> resume_pc_;
+    std::vector<std::uint8_t> frame_reg_;
+    std::vector<std::uint16_t> match_mask_;
+    std::vector<std::uint64_t> instret_;
+    std::vector<std::uint64_t> cycles_;
+
+    std::vector<DataMemory *> mems_;
+    std::vector<ApproxAlu> alus_;
+
+    // Convergence tracking: when converged_, every live trial's PC is
+    // pc0_ and stepAll() skips the per-lane scan entirely.
+    bool converged_ = true;
+    std::uint16_t pc0_ = 0;
+    int halted_count_ = 0;
+    /** Trials with bits < 8: guards the noise-fixup scan so precise
+     *  batches never pay a per-lane predicate loop. */
+    int low_bits_count_ = 0;
+    bool scan_needed_ = false;
+};
+
+} // namespace inc::nvp
+
+#endif // INC_ISA_BATCH_BATCH_CORE_H

@@ -1,0 +1,393 @@
+/**
+ * @file
+ * Row primitives for the batch engine's structure-of-arrays state.
+ *
+ * BatchCore (batch_core.h) lays the register file out transposed:
+ * register r of trial t lives at row[r][t], so one architectural
+ * instruction over W convergent trials becomes one loop over a
+ * contiguous u16 row. These primitives are that loop, in two
+ * build-time-selected flavours:
+ *
+ *  - explicit AVX2 (16 x u16 per __m256i) when the translation unit is
+ *    compiled with -mavx2 (the default; see src/isa/batch/CMakeLists.txt
+ *    and the INCIDENTAL_NO_AVX2 option), and
+ *  - a portable scalar fallback written so the autovectorizer can do
+ *    whatever the target allows (-mno-avx2 CI leg, non-x86 hosts).
+ *
+ * Both flavours compute bit-identical results — all ops are exact
+ * 16-bit integer semantics, there is nothing rounding-dependent to
+ * diverge — which tests/test_batch_lanes.cc and the no-AVX2 CI leg
+ * enforce against the scalar engines.
+ *
+ * Rows are padded to a multiple of kVecWidth lanes; primitives may read
+ * and write the padding (those lanes are not architectural).
+ */
+
+#ifndef INC_ISA_BATCH_VEC_H
+#define INC_ISA_BATCH_VEC_H
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace inc::isa::batch
+{
+
+/** u16 lanes per vector op; rows are padded to a multiple of this. */
+constexpr std::size_t kVecWidth = 16;
+
+#if defined(__AVX2__)
+constexpr bool kHaveAvx2 = true;
+#else
+constexpr bool kHaveAvx2 = false;
+#endif
+
+/** The flavour compiled into this binary (for bench/CI labels). */
+inline const char *
+vecBackendName()
+{
+    return kHaveAvx2 ? "avx2" : "portable";
+}
+
+#if defined(__AVX2__)
+
+namespace detail
+{
+inline __m256i
+loadRow(const std::uint16_t *p)
+{
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i *>(p));
+}
+
+inline void
+storeRow(std::uint16_t *p, __m256i v)
+{
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(p), v);
+}
+} // namespace detail
+
+inline void
+rowSplat(std::uint16_t *dst, std::uint16_t value, std::size_t n)
+{
+    const __m256i v = _mm256_set1_epi16(static_cast<short>(value));
+    for (std::size_t i = 0; i < n; i += kVecWidth)
+        detail::storeRow(dst + i, v);
+}
+
+inline void
+rowCopy(std::uint16_t *dst, const std::uint16_t *a, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; i += kVecWidth)
+        detail::storeRow(dst + i, detail::loadRow(a + i));
+}
+
+inline void
+rowAdd(std::uint16_t *dst, const std::uint16_t *a,
+       const std::uint16_t *b, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; i += kVecWidth)
+        detail::storeRow(dst + i, _mm256_add_epi16(detail::loadRow(a + i),
+                                                   detail::loadRow(b + i)));
+}
+
+inline void
+rowSub(std::uint16_t *dst, const std::uint16_t *a,
+       const std::uint16_t *b, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; i += kVecWidth)
+        detail::storeRow(dst + i, _mm256_sub_epi16(detail::loadRow(a + i),
+                                                   detail::loadRow(b + i)));
+}
+
+inline void
+rowMul(std::uint16_t *dst, const std::uint16_t *a,
+       const std::uint16_t *b, std::size_t n)
+{
+    // mullo == low 16 bits of the 32-bit product — exactly the scalar
+    // engines' static_cast<u16>(u32(a) * b).
+    for (std::size_t i = 0; i < n; i += kVecWidth)
+        detail::storeRow(dst + i,
+                         _mm256_mullo_epi16(detail::loadRow(a + i),
+                                            detail::loadRow(b + i)));
+}
+
+inline void
+rowAnd(std::uint16_t *dst, const std::uint16_t *a,
+       const std::uint16_t *b, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; i += kVecWidth)
+        detail::storeRow(dst + i, _mm256_and_si256(detail::loadRow(a + i),
+                                                   detail::loadRow(b + i)));
+}
+
+inline void
+rowOr(std::uint16_t *dst, const std::uint16_t *a,
+      const std::uint16_t *b, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; i += kVecWidth)
+        detail::storeRow(dst + i, _mm256_or_si256(detail::loadRow(a + i),
+                                                  detail::loadRow(b + i)));
+}
+
+inline void
+rowXor(std::uint16_t *dst, const std::uint16_t *a,
+       const std::uint16_t *b, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; i += kVecWidth)
+        detail::storeRow(dst + i, _mm256_xor_si256(detail::loadRow(a + i),
+                                                   detail::loadRow(b + i)));
+}
+
+inline void
+rowShlImm(std::uint16_t *dst, const std::uint16_t *a, int count,
+          std::size_t n)
+{
+    const __m128i c = _mm_cvtsi32_si128(count);
+    for (std::size_t i = 0; i < n; i += kVecWidth)
+        detail::storeRow(dst + i,
+                         _mm256_sll_epi16(detail::loadRow(a + i), c));
+}
+
+inline void
+rowShrImm(std::uint16_t *dst, const std::uint16_t *a, int count,
+          std::size_t n)
+{
+    const __m128i c = _mm_cvtsi32_si128(count);
+    for (std::size_t i = 0; i < n; i += kVecWidth)
+        detail::storeRow(dst + i,
+                         _mm256_srl_epi16(detail::loadRow(a + i), c));
+}
+
+inline void
+rowSarImm(std::uint16_t *dst, const std::uint16_t *a, int count,
+          std::size_t n)
+{
+    const __m128i c = _mm_cvtsi32_si128(count);
+    for (std::size_t i = 0; i < n; i += kVecWidth)
+        detail::storeRow(dst + i,
+                         _mm256_sra_epi16(detail::loadRow(a + i), c));
+}
+
+inline void
+rowSltS(std::uint16_t *dst, const std::uint16_t *a,
+        const std::uint16_t *b, std::size_t n)
+{
+    const __m256i one = _mm256_set1_epi16(1);
+    for (std::size_t i = 0; i < n; i += kVecWidth) {
+        const __m256i lt = _mm256_cmpgt_epi16(detail::loadRow(b + i),
+                                              detail::loadRow(a + i));
+        detail::storeRow(dst + i, _mm256_and_si256(lt, one));
+    }
+}
+
+inline void
+rowSltU(std::uint16_t *dst, const std::uint16_t *a,
+        const std::uint16_t *b, std::size_t n)
+{
+    // No unsigned 16-bit compare in AVX2: bias both operands by 0x8000
+    // so the signed compare orders them as unsigned.
+    const __m256i one = _mm256_set1_epi16(1);
+    const __m256i bias = _mm256_set1_epi16(static_cast<short>(0x8000));
+    for (std::size_t i = 0; i < n; i += kVecWidth) {
+        const __m256i av =
+            _mm256_xor_si256(detail::loadRow(a + i), bias);
+        const __m256i bv =
+            _mm256_xor_si256(detail::loadRow(b + i), bias);
+        detail::storeRow(dst + i,
+                         _mm256_and_si256(_mm256_cmpgt_epi16(bv, av),
+                                          one));
+    }
+}
+
+inline void
+rowMinS(std::uint16_t *dst, const std::uint16_t *a,
+        const std::uint16_t *b, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; i += kVecWidth)
+        detail::storeRow(dst + i, _mm256_min_epi16(detail::loadRow(a + i),
+                                                   detail::loadRow(b + i)));
+}
+
+inline void
+rowMaxS(std::uint16_t *dst, const std::uint16_t *a,
+        const std::uint16_t *b, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; i += kVecWidth)
+        detail::storeRow(dst + i, _mm256_max_epi16(detail::loadRow(a + i),
+                                                   detail::loadRow(b + i)));
+}
+
+inline void
+rowMinU(std::uint16_t *dst, const std::uint16_t *a,
+        const std::uint16_t *b, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; i += kVecWidth)
+        detail::storeRow(dst + i, _mm256_min_epu16(detail::loadRow(a + i),
+                                                   detail::loadRow(b + i)));
+}
+
+inline void
+rowMaxU(std::uint16_t *dst, const std::uint16_t *a,
+        const std::uint16_t *b, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; i += kVecWidth)
+        detail::storeRow(dst + i, _mm256_max_epu16(detail::loadRow(a + i),
+                                                   detail::loadRow(b + i)));
+}
+
+#else // portable fallback: plain loops the autovectorizer can take
+
+inline void
+rowSplat(std::uint16_t *dst, std::uint16_t value, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = value;
+}
+
+inline void
+rowCopy(std::uint16_t *dst, const std::uint16_t *a, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = a[i];
+}
+
+inline void
+rowAdd(std::uint16_t *dst, const std::uint16_t *a,
+       const std::uint16_t *b, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = static_cast<std::uint16_t>(a[i] + b[i]);
+}
+
+inline void
+rowSub(std::uint16_t *dst, const std::uint16_t *a,
+       const std::uint16_t *b, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = static_cast<std::uint16_t>(a[i] - b[i]);
+}
+
+inline void
+rowMul(std::uint16_t *dst, const std::uint16_t *a,
+       const std::uint16_t *b, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = static_cast<std::uint16_t>(
+            static_cast<std::uint32_t>(a[i]) * b[i]);
+}
+
+inline void
+rowAnd(std::uint16_t *dst, const std::uint16_t *a,
+       const std::uint16_t *b, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = static_cast<std::uint16_t>(a[i] & b[i]);
+}
+
+inline void
+rowOr(std::uint16_t *dst, const std::uint16_t *a,
+      const std::uint16_t *b, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = static_cast<std::uint16_t>(a[i] | b[i]);
+}
+
+inline void
+rowXor(std::uint16_t *dst, const std::uint16_t *a,
+       const std::uint16_t *b, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = static_cast<std::uint16_t>(a[i] ^ b[i]);
+}
+
+inline void
+rowShlImm(std::uint16_t *dst, const std::uint16_t *a, int count,
+          std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = static_cast<std::uint16_t>(a[i] << count);
+}
+
+inline void
+rowShrImm(std::uint16_t *dst, const std::uint16_t *a, int count,
+          std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = static_cast<std::uint16_t>(a[i] >> count);
+}
+
+inline void
+rowSarImm(std::uint16_t *dst, const std::uint16_t *a, int count,
+          std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = static_cast<std::uint16_t>(
+            static_cast<std::int16_t>(a[i]) >> count);
+}
+
+inline void
+rowSltS(std::uint16_t *dst, const std::uint16_t *a,
+        const std::uint16_t *b, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = static_cast<std::uint16_t>(
+            static_cast<std::int16_t>(a[i]) <
+                    static_cast<std::int16_t>(b[i])
+                ? 1
+                : 0);
+}
+
+inline void
+rowSltU(std::uint16_t *dst, const std::uint16_t *a,
+        const std::uint16_t *b, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = static_cast<std::uint16_t>(a[i] < b[i] ? 1 : 0);
+}
+
+inline void
+rowMinS(std::uint16_t *dst, const std::uint16_t *a,
+        const std::uint16_t *b, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto sa = static_cast<std::int16_t>(a[i]);
+        const auto sb = static_cast<std::int16_t>(b[i]);
+        dst[i] = static_cast<std::uint16_t>(sa < sb ? sa : sb);
+    }
+}
+
+inline void
+rowMaxS(std::uint16_t *dst, const std::uint16_t *a,
+        const std::uint16_t *b, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto sa = static_cast<std::int16_t>(a[i]);
+        const auto sb = static_cast<std::int16_t>(b[i]);
+        dst[i] = static_cast<std::uint16_t>(sa < sb ? sb : sa);
+    }
+}
+
+inline void
+rowMinU(std::uint16_t *dst, const std::uint16_t *a,
+        const std::uint16_t *b, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = a[i] < b[i] ? a[i] : b[i];
+}
+
+inline void
+rowMaxU(std::uint16_t *dst, const std::uint16_t *a,
+        const std::uint16_t *b, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = a[i] < b[i] ? b[i] : a[i];
+}
+
+#endif // __AVX2__
+
+} // namespace inc::isa::batch
+
+#endif // INC_ISA_BATCH_VEC_H

@@ -13,20 +13,51 @@ namespace
 
 } // namespace
 
+const std::array<ExecEngine, kNumExecEngines> &
+allExecEngines()
+{
+    static const std::array<ExecEngine, kNumExecEngines> kEngines = {
+        ExecEngine::reference,
+        ExecEngine::predecoded,
+        ExecEngine::batch,
+    };
+    return kEngines;
+}
+
+std::string
+execEngineNames()
+{
+    std::string out;
+    for (ExecEngine e : allExecEngines()) {
+        if (!out.empty())
+            out += ",";
+        out += execEngineName(e);
+    }
+    return out;
+}
+
 std::optional<ExecEngine>
 execEngineFromName(const std::string &name)
 {
-    if (name == "reference")
-        return ExecEngine::reference;
-    if (name == "predecoded")
-        return ExecEngine::predecoded;
+    for (ExecEngine e : allExecEngines()) {
+        if (name == execEngineName(e))
+            return e;
+    }
     return std::nullopt;
 }
 
 const char *
 execEngineName(ExecEngine engine)
 {
-    return engine == ExecEngine::reference ? "reference" : "predecoded";
+    switch (engine) {
+    case ExecEngine::reference:
+        return "reference";
+    case ExecEngine::predecoded:
+        return "predecoded";
+    case ExecEngine::batch:
+        return "batch";
+    }
+    return "unknown";
 }
 
 Core::Core(const isa::Program *program, DataMemory *memory,
@@ -38,7 +69,7 @@ Core::Core(const isa::Program *program, DataMemory *memory,
     if (config_.max_lanes < 1 || config_.max_lanes > kMaxLanes)
         util::fatal("CoreConfig::max_lanes must be 1..%d", kMaxLanes);
     lanes_[0].active = true;
-    if (config_.engine == ExecEngine::predecoded)
+    if (config_.engine != ExecEngine::reference)
         decoded_ = isa::PredecodedProgram(*program_);
 }
 

@@ -19,6 +19,7 @@
 #ifndef INC_NVP_CORE_H
 #define INC_NVP_CORE_H
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -34,7 +35,7 @@ namespace inc::nvp
 {
 
 /**
- * Interpreter selection. Both engines implement identical architectural
+ * Interpreter selection. All engines implement identical architectural
  * semantics — same results, same RNG draw sequence, same observability
  * counters — enforced bit-for-bit by tests/test_engine_diff.cc and the
  * fuzzer's engine-diff invariant (`nvpsim fuzz --engine-diff`).
@@ -42,17 +43,38 @@ namespace inc::nvp
  *  - reference:  decode-as-you-go loop; metadata re-derived every step.
  *  - predecoded: dispatches over a dense DecodedInst array resolved at
  *    program load (isa/predecode.h); the default.
+ *  - batch:      trial-batched engine. Inside one Core the instruction
+ *    semantics are the predecoded fast path (which is exactly why
+ *    byte-identity survives batching); the batching itself lives in
+ *    nvp::BatchCore (src/isa/batch: W independent single-SIMD-lane
+ *    cores stepped in SoA lockstep) and sim::SimBatch (N co-simulators
+ *    stepped sample-by-sample), selected by SimConfig::exec_engine =
+ *    batch + SweepSpec::batch_width.
  */
 enum class ExecEngine
 {
     reference,
     predecoded,
+    batch,
 };
 
-/** Parse "reference"/"predecoded"; nullopt otherwise. */
+/** Number of engines (size of allExecEngines()). */
+constexpr int kNumExecEngines = 3;
+
+/**
+ * The engine registry: every engine, reference first. Benches and the
+ * differential test tiers iterate this so a new engine is benched and
+ * diffed automatically instead of being forgotten in a hardcoded list.
+ */
+const std::array<ExecEngine, kNumExecEngines> &allExecEngines();
+
+/** Comma-separated engine names, e.g. for CLI usage strings. */
+std::string execEngineNames();
+
+/** Parse "reference"/"predecoded"/"batch"; nullopt otherwise. */
 std::optional<ExecEngine> execEngineFromName(const std::string &name);
 
-/** Engine name ("reference"/"predecoded"). */
+/** Engine name ("reference"/"predecoded"/"batch"). */
 const char *execEngineName(ExecEngine engine);
 
 /** Static core configuration. */
@@ -153,9 +175,12 @@ class Core
     /** Execute one instruction across all active lanes. */
     StepResult step()
     {
-        return config_.engine == ExecEngine::predecoded
-                   ? stepPredecoded()
-                   : stepReference();
+        // The batch engine's per-instruction semantics inside a single
+        // Core are the predecoded fast path; only `reference` takes the
+        // decode-as-you-go baseline.
+        return config_.engine == ExecEngine::reference
+                   ? stepReference()
+                   : stepPredecoded();
     }
 
     const CoreConfig &config() const { return config_; }
@@ -208,7 +233,7 @@ class Core
     const isa::Program *program_;
     DataMemory *mem_;
     CoreConfig config_;
-    isa::PredecodedProgram decoded_; ///< built iff engine == predecoded
+    isa::PredecodedProgram decoded_; ///< built iff engine != reference
     RegisterFile rf_;
     ApproxAlu alu_;
 

@@ -1,7 +1,9 @@
 #include "runner/sweep.h"
 
+#include <algorithm>
 #include <chrono>
 #include <exception>
+#include <memory>
 #include <sstream>
 #include <utility>
 
@@ -10,6 +12,7 @@
 #include "obs/schema.h"
 #include "runner/journal.h"
 #include "runner/thread_pool.h"
+#include "sim/batch_sim.h"
 #include "util/logging.h"
 
 namespace inc::runner
@@ -203,6 +206,7 @@ ResultSink::take()
 SweepRunner::SweepRunner(SweepSpec spec)
     : SweepRunner(std::move(spec), &SweepRunner::simJob)
 {
+    default_body_ = true;
 }
 
 SweepRunner::SweepRunner(SweepSpec spec, JobFn body)
@@ -257,66 +261,47 @@ SweepRunner::run()
         pending.push_back(&job);
     }
 
+    const int batch_width = spec_.batch_width;
+    if (batch_width < 1)
+        util::fatal("SweepSpec::batch_width must be >= 1 (got %d)",
+                    batch_width);
+    if (batch_width > 1 && !default_body_)
+        util::fatal("SweepSpec::batch_width > 1 requires the default "
+                    "sim job body (custom JobFn bodies cannot be "
+                    "packed into a SimBatch)");
+
     {
         ThreadPool pool(spec_.jobs <= 0
                             ? 0
                             : static_cast<unsigned>(spec_.jobs));
         report.jobs_used = pool.threadCount();
         const bool collect = spec_.collect_metrics;
-        for (const JobSpec *job_ptr : pending) {
-            const JobSpec &job = *job_ptr;
-            pool.submit([this, &sink, &job, retries, collect] {
-                JobResult jr;
-                jr.spec = job;
-                const auto start = clock::now();
-                for (int attempt = 0; attempt <= retries; ++attempt) {
-                    jr.attempts = attempt + 1;
-                    try {
-                        // Attempt 0 uses the job's own seed so results
-                        // are reproducible; retries fork a distinct
-                        // stream — replaying the identical RNG state
-                        // would deterministically re-fail any job whose
-                        // failure is draw-dependent.
-                        util::Rng rng(
-                            retrySeed(job.rng_seed, attempt));
-                        if (collect) {
-                            // Fresh observer per attempt: a partial
-                            // registry from a thrown attempt must not
-                            // leak into the kept one.
-                            obs::Observer observer;
-                            JobSpec instrumented = job;
-                            instrumented.config.obs = &observer;
-                            jr.result = body_(
-                                instrumented,
-                                spec_.traces[job.trace_index], rng);
-                            jr.metrics = std::move(observer.registry);
-                        } else {
-                            jr.result = body_(
-                                job, spec_.traces[job.trace_index],
-                                rng);
-                        }
-                        jr.ok = true;
-                        jr.error.clear();
-                        break;
-                    } catch (const std::exception &e) {
-                        jr.ok = false;
-                        jr.error = e.what();
-                    } catch (...) {
-                        jr.ok = false;
-                        jr.error = "unknown exception";
-                    }
-                }
-                jr.wall_ms =
-                    std::chrono::duration<double, std::milli>(
-                        clock::now() - start)
-                        .count();
-                if (journal_) {
-                    journal_->record(jr);
-                    if (record_hook_)
-                        record_hook_(jr.spec.index);
-                }
-                sink.deliver(std::move(jr));
-            });
+        if (batch_width > 1) {
+            // Lane-batched execution: pack pending jobs, in expansion
+            // order, into groups of up to batch_width lanes; each group
+            // is one pool task driving one SimBatch. Jobs keep their
+            // expansion-time seeds and lanes share no mutable state,
+            // so this is byte-identical to the serial path at any
+            // --jobs x batch-width combination.
+            const auto width = static_cast<std::size_t>(batch_width);
+            for (std::size_t start = 0; start < pending.size();
+                 start += width) {
+                const std::size_t end =
+                    std::min(pending.size(), start + width);
+                pool.submit([this, &sink, &pending, start, end,
+                             retries, collect] {
+                    runBatchGroup(pending, start, end, retries,
+                                  collect, sink);
+                });
+            }
+        } else {
+            for (const JobSpec *job_ptr : pending) {
+                const JobSpec &job = *job_ptr;
+                pool.submit([this, &sink, &job, retries, collect] {
+                    recordAndDeliver(
+                        runSingleJob(job, retries, collect), sink);
+                });
+            }
         }
         pool.wait();
     }
@@ -325,6 +310,122 @@ SweepRunner::run()
         std::chrono::duration<double>(clock::now() - campaign_start)
             .count();
     return report;
+}
+
+JobResult
+SweepRunner::runSingleJob(const JobSpec &job, int retries, bool collect)
+{
+    using clock = std::chrono::steady_clock;
+
+    JobResult jr;
+    jr.spec = job;
+    const auto start = clock::now();
+    for (int attempt = 0; attempt <= retries; ++attempt) {
+        jr.attempts = attempt + 1;
+        try {
+            // Attempt 0 uses the job's own seed so results are
+            // reproducible; retries fork a distinct stream — replaying
+            // the identical RNG state would deterministically re-fail
+            // any job whose failure is draw-dependent.
+            util::Rng rng(retrySeed(job.rng_seed, attempt));
+            if (collect) {
+                // Fresh observer per attempt: a partial registry from
+                // a thrown attempt must not leak into the kept one.
+                obs::Observer observer;
+                JobSpec instrumented = job;
+                instrumented.config.obs = &observer;
+                jr.result = body_(instrumented,
+                                  spec_.traces[job.trace_index], rng);
+                jr.metrics = std::move(observer.registry);
+            } else {
+                jr.result =
+                    body_(job, spec_.traces[job.trace_index], rng);
+            }
+            jr.ok = true;
+            jr.error.clear();
+            break;
+        } catch (const std::exception &e) {
+            jr.ok = false;
+            jr.error = e.what();
+        } catch (...) {
+            jr.ok = false;
+            jr.error = "unknown exception";
+        }
+    }
+    jr.wall_ms = std::chrono::duration<double, std::milli>(
+                     clock::now() - start)
+                     .count();
+    return jr;
+}
+
+void
+SweepRunner::recordAndDeliver(JobResult result, ResultSink &sink)
+{
+    if (journal_) {
+        journal_->record(result);
+        if (record_hook_)
+            record_hook_(result.spec.index);
+    }
+    sink.deliver(std::move(result));
+}
+
+void
+SweepRunner::runBatchGroup(const std::vector<const JobSpec *> &pending,
+                           std::size_t start, std::size_t end,
+                           int retries, bool collect, ResultSink &sink)
+{
+    using clock = std::chrono::steady_clock;
+
+    const std::size_t count = end - start;
+    std::vector<std::unique_ptr<obs::Observer>> observers(count);
+    const auto group_start = clock::now();
+    bool batched_ok = false;
+    std::vector<sim::SimResult> results;
+    try {
+        sim::SimBatch batch;
+        for (std::size_t k = 0; k < count; ++k) {
+            const JobSpec &job = *pending[start + k];
+            sim::SimConfig config = job.config;
+            if (collect) {
+                observers[k] = std::make_unique<obs::Observer>();
+                config.obs = observers[k].get();
+            }
+            const kernels::Kernel kernel =
+                kernels::makeKernel(job.kernel);
+            batch.add(std::make_unique<sim::SystemSimulator>(
+                kernel, &spec_.traces[job.trace_index], config));
+        }
+        results = batch.runAll();
+        batched_ok = true;
+    } catch (...) {
+        // A single lane failing poisons the whole lockstep group (the
+        // exception unwound the round-robin, so sibling lanes are
+        // part-run). Discard the group and rerun every job through the
+        // serial path: attempt 0 replays the identical spec — the sims
+        // are pure in it — and the retry ladder applies per job.
+    }
+    if (batched_ok) {
+        const double wall_ms =
+            std::chrono::duration<double, std::milli>(clock::now() -
+                                                      group_start)
+                .count();
+        for (std::size_t k = 0; k < count; ++k) {
+            JobResult jr;
+            jr.spec = *pending[start + k];
+            jr.attempts = 1;
+            jr.ok = true;
+            jr.result = std::move(results[k]);
+            if (collect)
+                jr.metrics = std::move(observers[k]->registry);
+            jr.wall_ms = wall_ms;
+            recordAndDeliver(std::move(jr), sink);
+        }
+        return;
+    }
+    for (std::size_t k = 0; k < count; ++k)
+        recordAndDeliver(runSingleJob(*pending[start + k], retries,
+                                      collect),
+                         sink);
 }
 
 } // namespace inc::runner

@@ -1,0 +1,47 @@
+#include "sim/batch_sim.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace inc::sim
+{
+
+void
+SimBatch::add(std::unique_ptr<SystemSimulator> simulator)
+{
+    if (!simulator)
+        util::panic("SimBatch::add: null simulator");
+    lanes_.push_back(Lane{std::move(simulator), /*live=*/true});
+    ++live_count_;
+}
+
+bool
+SimBatch::stepRound()
+{
+    if (live_count_ == 0)
+        return false;
+    for (Lane &lane : lanes_) {
+        if (!lane.live)
+            continue; // finished lane: masked out, never touched again
+        if (!lane.sim->stepSample()) {
+            lane.live = false;
+            --live_count_;
+        }
+    }
+    return live_count_ > 0;
+}
+
+std::vector<SimResult>
+SimBatch::runAll()
+{
+    while (stepRound()) {
+    }
+    std::vector<SimResult> results;
+    results.reserve(lanes_.size());
+    for (Lane &lane : lanes_)
+        results.push_back(lane.sim->finalize());
+    return results;
+}
+
+} // namespace inc::sim

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * SimBatch: the lane-batched SystemSim driver for sweeps.
+ *
+ * Runs N independent co-simulators in lockstep, one 0.1 ms trace
+ * sample per lane per round, via SystemSimulator::stepSample(). This is
+ * the sim-layer face of the batch engine (SimConfig::exec_engine =
+ * batch): SweepRunner packs compatible jobs into a SimBatch instead of
+ * running them one after another, keeping N co-simulations' hot state
+ * interleaved through the cache and letting each lane's core take the
+ * fast-path interpreter.
+ *
+ * Byte-identity contract: the lanes are fully independent simulators —
+ * separate RNG trees, memories, capacitors, observers — and
+ * stepSample() is exactly the loop body of run(), so any interleaving
+ * of lanes produces results byte-identical to running each simulator
+ * serially. Lanes that finish early (shorter trace, core halt = a
+ * different outage/retire point) simply drop out of the round-robin —
+ * the batch analogue of a divergence mask — and never perturb the
+ * remaining lanes. Enforced by tests/test_engine_diff.cc (ragged
+ * tails, single-lane batches, per-lane divergent outage points) and
+ * the SweepRunner packing tests.
+ */
+
+#ifndef INC_SIM_BATCH_SIM_H
+#define INC_SIM_BATCH_SIM_H
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "sim/system_sim.h"
+
+namespace inc::sim
+{
+
+/** N SystemSimulators stepped sample-by-sample in lockstep. */
+class SimBatch
+{
+  public:
+    SimBatch() = default;
+
+    /** Add a lane. The simulator is owned by the batch. */
+    void add(std::unique_ptr<SystemSimulator> simulator);
+
+    std::size_t width() const { return lanes_.size(); }
+
+    /**
+     * One lockstep round: every live lane advances one trace sample.
+     * Returns false once every lane has finished (its stepSample()
+     * returned false), without stepping anything.
+     */
+    bool stepRound();
+
+    /**
+     * Drive all lanes to completion and return each lane's finalized
+     * SimResult, in lane order. Byte-identical to running each
+     * simulator's run() serially.
+     */
+    std::vector<SimResult> runAll();
+
+  private:
+    struct Lane
+    {
+        std::unique_ptr<SystemSimulator> sim;
+        bool live = true; ///< false once stepSample() returned false
+    };
+
+    std::vector<Lane> lanes_;
+    std::size_t live_count_ = 0;
+};
+
+} // namespace inc::sim
+
+#endif // INC_SIM_BATCH_SIM_H

@@ -381,11 +381,22 @@ SystemSimulator::performRestore(std::size_t sample)
 SimResult
 SystemSimulator::run()
 {
-    const std::size_t samples = trace_->size();
-    std::uint64_t on_samples = 0;
-    bool first_start = true;
+    while (stepSample()) {
+    }
+    return finalize();
+}
 
-    for (std::size_t i = 0; i < samples; ++i) {
+bool
+SystemSimulator::stepSample()
+{
+    const std::size_t samples = trace_->size();
+    if (finalized_)
+        util::panic("SystemSimulator: stepSample after finalize");
+    if (sample_cursor_ >= samples || core_->halted())
+        return false;
+
+    {
+        const std::size_t i = sample_cursor_++;
         current_sample_ = i;
         ++obs_samples_;
         captureFramesUpTo(i);
@@ -401,10 +412,10 @@ SystemSimulator::run()
                                     ? next_start_threshold_nj_
                                     : start_threshold_nj_;
             if (capacitor_.energyNj() >= wake && newest_frame_ >= 0) {
-                if (first_start) {
+                if (first_start_) {
                     // Cold boot: no restore cost, start at the program
                     // entry.
-                    first_start = false;
+                    first_start_ = false;
                     ++obs_cold_boots_;
                     tracePowerPhase(i, /*next_on=*/true);
                     on_ = true;
@@ -433,20 +444,22 @@ SystemSimulator::run()
             }
             if (!on_) {
                 bit_ctrl_.recordTick(0);
-                continue;
+                return sample_cursor_ < samples;
             }
         }
 
-        ++on_samples;
+        ++on_samples_;
         controller_->updateLaneBits(capacitor_.fraction());
         bit_ctrl_.recordTick(core_->acEnabled() ? core_->mainBits() : 8);
 
-        // Quantum stepping (predecoded engine only): when the stored
+        // Quantum stepping (fast-path engines only): when the stored
         // energy provably cannot reach the backup reserve within this
         // sample's cycle budget, the per-step reserve comparison is
-        // dead code and is skipped for the whole quantum.
+        // dead code and is skipped for the whole quantum. The proof is
+        // engine-independent; only the reference baseline keeps the
+        // naive per-step comparison as the semantic anchor.
         const bool quantum_ok =
-            config_.exec_engine == nvp::ExecEngine::predecoded;
+            config_.exec_engine != nvp::ExecEngine::reference;
         bool skip_reserve =
             quantum_ok && capacitor_.energyNj() > quantum_safe_level_nj_;
 
@@ -575,9 +588,18 @@ SystemSimulator::run()
                 break;
             }
         }
-        if (core_->halted())
-            break;
     }
+    return sample_cursor_ < samples && !core_->halted();
+}
+
+SimResult
+SystemSimulator::finalize()
+{
+    const std::size_t samples = trace_->size();
+    if (finalized_)
+        util::panic("SystemSimulator: finalize called twice");
+    finalized_ = true;
+    const std::uint64_t on_samples = on_samples_;
 
     // Final flush: score everything still in flight.
     if (config_.score_quality) {

@@ -62,11 +62,14 @@ struct SimConfig
 
     /**
      * Interpreter engine (propagated into core.engine at construction).
-     * `predecoded` additionally enables quantum stepping: the per-step
-     * backup-reserve comparison is skipped for a whole sample when the
-     * stored energy provably cannot fall to the reserve within it (see
-     * DESIGN.md §11). Both engines are bit-identical by contract —
-     * enforced by tests/test_engine_diff.cc and fuzz --engine-diff.
+     * The fast-path engines (`predecoded`, `batch`) additionally enable
+     * quantum stepping: the per-step backup-reserve comparison is
+     * skipped for a whole sample when the stored energy provably cannot
+     * fall to the reserve within it (see DESIGN.md §11). `batch` also
+     * marks the run as packable into a lane-batched sweep
+     * (runner::SweepSpec::batch_width, sim::SimBatch). All engines are
+     * bit-identical by contract — enforced by tests/test_engine_diff.cc
+     * and fuzz --engine-diff.
      */
     nvp::ExecEngine exec_engine = nvp::ExecEngine::predecoded;
 
@@ -190,8 +193,24 @@ class SystemSimulator
     SystemSimulator(kernels::Kernel kernel, const trace::PowerTrace *trace,
                     SimConfig config);
 
-    /** Run over the whole trace and return the aggregated metrics. */
+    /** Run over the whole trace and return the aggregated metrics.
+     *  Equivalent to stepSample() until exhausted, then finalize(). */
     SimResult run();
+
+    /**
+     * Advance the co-simulation by one 0.1 ms trace sample. Returns
+     * true while more work remains (trace not exhausted, core not
+     * halted); a false return means the next call would do nothing and
+     * finalize() may be taken. sim::SimBatch drives N simulators in
+     * lockstep through this — the decomposition is observationally
+     * identical to run() (run() IS this loop), so interleaving
+     * independent simulators cannot change any result.
+     */
+    bool stepSample();
+
+    /** Aggregate and return the run metrics. Call exactly once, after
+     *  stepSample() returns false. */
+    SimResult finalize();
 
     /** The controller (for scripted recompute requests in examples). */
     core::IncidentalController &controller() { return *controller_; }
@@ -252,6 +271,10 @@ class SystemSimulator
     std::map<std::uint32_t, std::vector<std::uint8_t>> golden_cache_;
 
     // Execution state.
+    std::size_t sample_cursor_ = 0; ///< next trace sample to execute
+    std::uint64_t on_samples_ = 0;
+    bool first_start_ = true;
+    bool finalized_ = false;
     bool on_ = false;
     std::size_t off_since_ = 0;
     bool waiting_for_frame_ = false;

@@ -82,7 +82,29 @@ TEST(DiffHarness, SmallFuzzRunIsCleanAcrossAllModes)
     int covered = 0;
     for (const int n : report.mode_counts)
         covered += n > 0 ? 1 : 0;
-    EXPECT_GE(covered, 3); // 16 trials reach at least 3 of the 4 modes
+    EXPECT_GE(covered, 3); // 16 trials reach at least 3 of the 6 modes
+}
+
+TEST(DiffHarness, BatchLanesModeRunsCleanWithEngineDiff)
+{
+    // The batch tier of the fuzzer: batch_lanes trials (BatchCore vs
+    // solo-core bit identity + the divergence-mask invariant) plus the
+    // engine-equivalence invariant, which re-runs co-simulator trials
+    // under every registered engine — including batch — and requires
+    // byte-equal results.
+    CheckConfig cfg;
+    cfg.trials = 8;
+    cfg.master_seed = 11;
+    cfg.jobs = 2;
+    cfg.trace_samples = 2500;
+    cfg.engine_diff = true;
+    cfg.mode_filter = "batch_lanes,exact_recovery";
+    const CheckReport report = runCheck(cfg);
+    EXPECT_EQ(report.trials, 8);
+    EXPECT_TRUE(report.allOk()) << report.summary();
+    EXPECT_GT(report.mode_counts[static_cast<std::size_t>(
+                  TrialMode::batch_lanes)],
+              0);
 }
 
 TEST(DiffHarness, InjectedLeakyBackupIsCaughtAndReplaysDeterministically)

@@ -11,7 +11,8 @@
  *   nvpsim run [--kernel NAME] [--profile N | --trace F.csv]
  *              [--mode precise|fixed|dynamic] [--bits B] [--minbits B]
  *              [--policy full|linear|log|parabola] [--baseline]
- *              [--engine reference|predecoded] [--seconds S] [--seed K]
+ *              [--engine reference|predecoded|batch] [--seconds S]
+ *              [--seed K]
  *              [--metrics F.json] [--trace-out F.trace.json]
  *              [--arena DIR]
  *       Co-simulate a kernel on a power trace and print the result
@@ -30,9 +31,9 @@
  *   nvpsim sweep [--kernels A,B,...|all] [--profiles 1,2,...|all]
  *                [--mode precise|fixed|dynamic] [--bits B] [--minbits B]
  *                [--policy full|linear|log|parabola] [--baseline]
- *                [--engine reference|predecoded] [--seconds S]
- *                [--seed K] [--jobs N] [--out F.csv] [--metrics F.json]
- *                [--report] [--report-out F.json]
+ *                [--engine reference|predecoded|batch] [--seconds S]
+ *                [--seed K] [--jobs N] [--batch-width W] [--out F.csv]
+ *                [--metrics F.json] [--report] [--report-out F.json]
  *                [--arena DIR] [--resume] [--kill-after N]
  *       Run the kernel x profile grid in parallel on N worker threads
  *       (default: hardware concurrency) via runner::SweepRunner.
@@ -43,7 +44,12 @@
  *       excluded). Failing jobs are retried once, then reported; the
  *       exit status is nonzero only if failures remain after retry.
  *       --inject-failure J makes job J throw (a testing aid for the
- *       failure-capture path). --report derives a run report from the
+ *       failure-capture path). --batch-width W packs pending jobs, in
+ *       expansion order, into lane-batched groups of up to W
+ *       co-simulators stepped in lockstep (sim::SimBatch); like
+ *       --jobs, it only changes scheduling — every output is
+ *       byte-identical at any --jobs x --batch-width combination.
+ *       --report derives a run report from the
  *       merged registry (plus per-kernel efficiency rows) and prints
  *       it; --report-out saves its JSON. Report output carries no
  *       scheduling artifacts — with --report the sweep header also
@@ -74,15 +80,16 @@
  *       them). --replay re-runs one bundle deterministically.
  *       --inject-bug is a testing aid that plants a known recovery
  *       bug so the harness itself can be validated. --engine-diff
- *       additionally re-runs every co-simulator trial under the
- *       reference interpreter and requires the serialized SimResult
- *       and metrics JSON to match the predecoded run byte-for-byte
- *       (the engine-equivalence invariant; see DESIGN.md §11).
+ *       additionally re-runs every co-simulator trial under each of
+ *       the other registered engines (nvp::allExecEngines():
+ *       reference, predecoded, batch) and requires the serialized
+ *       SimResult and metrics JSON to match byte-for-byte (the
+ *       engine-equivalence invariant; see DESIGN.md §11, §13).
  *       --modes restricts trials to a comma-separated list of trial
  *       modes (exact_recovery, bounded_error, monotone_bits,
- *       rac_merge, arena_recovery); filtered trials keep the specs an
- *       unfiltered run of the same seed would draw, so repro seeds
- *       stay exact.
+ *       rac_merge, arena_recovery, batch_lanes); filtered trials keep
+ *       the specs an unfiltered run of the same seed would draw, so
+ *       repro seeds stay exact.
  *
  *   nvpsim report [--kernel NAME] [--profile N | --trace F.csv]
  *                 [run flags] [--flight-capacity N] [--out F.json]
@@ -314,8 +321,8 @@ configFromArgs(const Args &args)
         const std::string engine = args.get("engine");
         const auto parsed = nvp::execEngineFromName(engine);
         if (!parsed)
-            util::fatal("unknown --engine '%s' (reference|predecoded)",
-                        engine.c_str());
+            util::fatal("unknown --engine '%s' (%s)", engine.c_str(),
+                        nvp::execEngineNames().c_str());
         cfg.exec_engine = *parsed;
     }
     return cfg;
@@ -561,21 +568,38 @@ cmdSweep(const Args &args)
     const bool want_report =
         args.has("report") || args.has("report-out");
     spec.collect_metrics = args.has("metrics") || want_report;
+    spec.batch_width =
+        static_cast<int>(args.num("batch-width", 1));
+    if (spec.batch_width < 1)
+        util::fatal("--batch-width must be >= 1");
+    // Like --jobs, --batch-width only changes scheduling: the output
+    // is byte-identical at any width, so it is not part of the arena
+    // fingerprint below.
+    if (spec.batch_width > 1 && args.has("inject-failure"))
+        util::fatal("--batch-width > 1 cannot be combined with "
+                    "--inject-failure (the injected body is a custom "
+                    "JobFn, which the SimBatch packer rejects)");
 
-    runner::SweepRunner::JobFn body = &runner::SweepRunner::simJob;
+    std::unique_ptr<runner::SweepRunner> sweep_holder;
     if (args.has("inject-failure")) {
         const auto victim =
             static_cast<std::size_t>(args.num("inject-failure", 0));
-        body = [victim](const runner::JobSpec &job,
-                        const trace::PowerTrace &trace,
-                        util::Rng &rng) -> sim::SimResult {
+        runner::SweepRunner::JobFn body =
+            [victim](const runner::JobSpec &job,
+                     const trace::PowerTrace &trace,
+                     util::Rng &rng) -> sim::SimResult {
             if (job.index == victim)
                 throw std::runtime_error("injected failure (testing)");
             return runner::SweepRunner::simJob(job, trace, rng);
         };
+        sweep_holder =
+            std::make_unique<runner::SweepRunner>(spec, body);
+    } else {
+        // One-arg constructor: marks the body as the default sim job,
+        // which is what allows --batch-width to pack jobs.
+        sweep_holder = std::make_unique<runner::SweepRunner>(spec);
     }
-
-    runner::SweepRunner sweep(spec, body);
+    runner::SweepRunner &sweep = *sweep_holder;
 
     // --arena: journal campaign progress so a killed sweep can warm-
     // restart. The fingerprint covers the expanded jobs (kernels,
