@@ -2,7 +2,7 @@
  * @file
  * Perf-trajectory snapshot harness (bench/snapshot).
  *
- * Runs a pinned kernel x profile suite and emits BENCH_7.json: per-entry
+ * Runs a pinned kernel x profile suite and emits BENCH_8.json: per-entry
  * wall time, instructions/sec, energy-per-frame, quality, and the run
  * report digest (obs::reportDigest over the canonical report JSON), plus
  * an aggregate throughput figure. Committed snapshots (BENCH_*.json at
@@ -21,6 +21,18 @@
  * a mismatch is fatal, making every snapshot run an engine-equivalence
  * check too.
  *
+ * The flagship entry is also re-run under every registered backup
+ * strategy (sim::allStrategies(), DESIGN.md §14) as `<name>@<strategy>`
+ * rows, likewise excluded from the gated aggregate. Strategies are an
+ * observation overlay — a crash-free run must be bit-identical across
+ * them — so each strategy row's serialized SimResult is compared
+ * against the base entry's (the report digests legitimately differ:
+ * each strategy exports its own ckpt.* counters). The rows carry the
+ * per-strategy backup-traffic figures (ckpt_backup_bytes/events); the
+ * related-work claim that dirty-word tracking beats full-image copying
+ * (freezer strictly fewer backup bytes than active on the flagship) is
+ * asserted fatally here, so every snapshot re-proves it.
+ *
  * Timing fields are machine-dependent by nature; everything else in the
  * snapshot (instructions, frames, energy, psnr, report digests) is a
  * deterministic function of the pinned samples/seed, so digest drift
@@ -28,7 +40,7 @@
  *
  * Modes:
  *   snapshot [--out F]                      run the suite, write F
- *                                           (default BENCH_7.json)
+ *                                           (default BENCH_8.json)
  *   snapshot --check PRIOR CURRENT          gate CURRENT against PRIOR;
  *            [--max-regression-pct P]       exit 1 on > P % regression
  *                                           (default 10)
@@ -61,6 +73,8 @@
 #include "obs/observer.h"
 #include "obs/report/flight_recorder.h"
 #include "obs/report/report.h"
+#include "sim/result_io.h"
+#include "sim/strategy/strategy.h"
 #include "sim/system_sim.h"
 #include "trace/trace_generator.h"
 #include "util/fs.h"
@@ -73,7 +87,7 @@ namespace
 using namespace inc;
 
 constexpr char kSchema[] = "inc-bench-snapshot-v1";
-constexpr int kPr = 7;
+constexpr int kPr = 8;
 constexpr double kDefaultGatePct = 10.0;
 
 /** The pinned suite: two power regimes for the flagship kernel plus
@@ -95,8 +109,9 @@ constexpr SuiteEntry kSuite[] = {
 };
 
 /** The entry re-run under every registered engine (`<name>@<engine>`
+ *  rows) and every registered backup strategy (`<name>@<strategy>`
  *  rows). The flagship's mid-power profile: enough outages to exercise
- *  recovery paths, enough power to retire real work. */
+ *  recovery (and backup) paths, enough power to retire real work. */
 constexpr SuiteEntry kEngineMatrixEntry = {"sobel_p2", "sobel", 2};
 
 struct Measurement
@@ -105,6 +120,7 @@ struct Measurement
     std::string kernel;
     int profile = 0;
     std::string engine; ///< execution engine the entry ran under
+    std::string strategy; ///< set only on strategy-matrix rows
     bool in_aggregate = true; ///< counted in the gated throughput total
     double wall_seconds = 0.0;
     double instr_per_sec = 0.0;
@@ -112,7 +128,10 @@ struct Measurement
     double mean_psnr = 0.0;
     std::uint64_t instructions = 0;
     std::uint64_t frames_completed = 0;
+    std::uint64_t ckpt_backup_bytes = 0;
+    std::uint64_t ckpt_backup_events = 0;
     std::string report_digest;
+    std::string serialized_result; ///< in-memory only, never in JSON
 };
 
 std::size_t
@@ -136,7 +155,8 @@ snapshotRounds()
 Measurement
 runEntry(const SuiteEntry &entry, std::size_t samples,
          std::uint64_t seed, int rounds,
-         const nvp::ExecEngine *engine = nullptr)
+         const nvp::ExecEngine *engine = nullptr,
+         const sim::StrategyKind *strategy = nullptr)
 {
     using clock = std::chrono::steady_clock;
 
@@ -148,6 +168,8 @@ runEntry(const SuiteEntry &entry, std::size_t samples,
     config.seed = seed;
     if (engine)
         config.exec_engine = *engine;
+    if (strategy)
+        config.strategy = *strategy;
 
     Measurement m;
     m.name = entry.name;
@@ -159,6 +181,12 @@ runEntry(const SuiteEntry &entry, std::size_t samples,
         // only — kept out of the gated aggregate so the trajectory
         // stays comparable with pre-matrix snapshots.
         m.name += "@" + m.engine;
+        m.in_aggregate = false;
+    }
+    if (strategy) {
+        // Strategy-matrix row: same treatment as the engine rows.
+        m.strategy = sim::strategyName(*strategy);
+        m.name += "@" + m.strategy;
         m.in_aggregate = false;
     }
     m.wall_seconds = 0.0;
@@ -186,6 +214,11 @@ runEntry(const SuiteEntry &entry, std::size_t samples,
             const obs::RunReport report =
                 obs::buildRunReport(observer.registry, &flight);
             m.report_digest = obs::reportDigest(report.toJson());
+            m.serialized_result = sim::serializeResult(result);
+            const sim::StrategyStats &ckpt =
+                simulator.strategy().stats();
+            m.ckpt_backup_bytes = ckpt.backup_bytes;
+            m.ckpt_backup_events = ckpt.backups;
             m.wall_seconds = wall;
         } else {
             if (result.main_instructions != m.instructions)
@@ -232,6 +265,13 @@ snapshotToJson(const std::vector<Measurement> &suite,
                   m.profile)));
         if (!m.engine.empty())
             e.set("engine", obs::JsonValue::of(m.engine));
+        if (!m.strategy.empty()) {
+            e.set("strategy", obs::JsonValue::of(m.strategy));
+            e.set("ckpt_backup_bytes",
+                  obs::JsonValue::of(m.ckpt_backup_bytes));
+            e.set("ckpt_backup_events",
+                  obs::JsonValue::of(m.ckpt_backup_events));
+        }
         e.set("aggregate", obs::JsonValue::of(m.in_aggregate));
         e.set("wall_seconds", obs::JsonValue::of(m.wall_seconds));
         e.set("instr_per_sec", obs::JsonValue::of(m.instr_per_sec));
@@ -490,6 +530,10 @@ runSuite(const std::string &out_path)
     for (const Measurement &m : suite)
         if (m.name == kEngineMatrixEntry.name)
             base_digest = m.report_digest;
+    std::string base_result;
+    for (const Measurement &m : suite)
+        if (m.name == kEngineMatrixEntry.name)
+            base_result = m.serialized_result;
     for (const nvp::ExecEngine engine : nvp::allExecEngines()) {
         suite.push_back(runEntry(kEngineMatrixEntry, samples, seed,
                                  rounds, &engine));
@@ -500,6 +544,37 @@ runSuite(const std::string &out_path)
                         suite.back().report_digest.c_str(),
                         base_digest.c_str(), kEngineMatrixEntry.name);
     }
+
+    // Strategy matrix: the flagship entry under every registered
+    // backup strategy. Strategies are an observation overlay
+    // (DESIGN.md §14): a crash-free run is bit-identical across them,
+    // so the serialized SimResult must match the base entry byte for
+    // byte. The report digest is NOT compared — each strategy exports
+    // its own ckpt.* counters, so digests legitimately differ.
+    std::uint64_t active_bytes = 0, freezer_bytes = 0;
+    for (const sim::StrategyKind strategy : sim::allStrategies()) {
+        suite.push_back(runEntry(kEngineMatrixEntry, samples, seed,
+                                 rounds, nullptr, &strategy));
+        const Measurement &row = suite.back();
+        if (row.serialized_result != base_result)
+            util::fatal("strategy '%s' perturbed the simulation: "
+                        "SimResult diverged from the base run on %s",
+                        sim::strategyName(strategy),
+                        kEngineMatrixEntry.name);
+        if (strategy == sim::StrategyKind::active)
+            active_bytes = row.ckpt_backup_bytes;
+        else if (strategy == sim::StrategyKind::freezer)
+            freezer_bytes = row.ckpt_backup_bytes;
+    }
+    // The related-work claim the strategy zoo exists to land: dirty-word
+    // tracking must beat full-image copying on backup traffic.
+    if (!(freezer_bytes < active_bytes))
+        util::fatal("freezer backed up %llu bytes vs active's %llu on "
+                    "%s — dirty-word tracking must strictly reduce "
+                    "backup traffic",
+                    static_cast<unsigned long long>(freezer_bytes),
+                    static_cast<unsigned long long>(active_bytes),
+                    kEngineMatrixEntry.name);
 
     util::Table table("perf snapshot (pinned suite, best of " +
                       std::to_string(rounds) + ")");
@@ -536,7 +611,7 @@ parseDoubleArg(const char *text, const char *what)
 int
 main(int argc, char **argv)
 {
-    std::string out_path = "BENCH_7.json";
+    std::string out_path = "BENCH_8.json";
     std::string check_prior, check_current;
     std::string doctor_in, doctor_out;
     double max_pct = kDefaultGatePct;

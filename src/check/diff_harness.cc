@@ -11,6 +11,7 @@
 #include "check/oracle.h"
 #include "check/program_fuzzer.h"
 #include "check/recovery_trial.h"
+#include "check/strategy_trial.h"
 #include "isa/batch/batch_core.h"
 #include "isa/disassembler.h"
 #include "nvp/core.h"
@@ -802,6 +803,7 @@ modeName(TrialMode mode)
       case TrialMode::rac_merge: return "rac_merge";
       case TrialMode::arena_recovery: return "arena_recovery";
       case TrialMode::batch_lanes: return "batch_lanes";
+      case TrialMode::strategy_diff: return "strategy_diff";
     }
     return "unknown";
 }
@@ -846,7 +848,8 @@ parseModeFilter(const std::string &filter)
         if (!matched)
             util::fatal("unknown trial mode '%s' in --modes (valid: "
                         "exact_recovery, bounded_error, monotone_bits, "
-                        "rac_merge, arena_recovery, batch_lanes)",
+                        "rac_merge, arena_recovery, batch_lanes, "
+                        "strategy_diff)",
                         name.c_str());
         pos = comma + 1;
     }
@@ -882,18 +885,20 @@ expandTrials(const CheckConfig &config)
         // own stream so specs are independent of each other.
         util::Rng t(s.seed);
         const std::uint64_t u = t.nextBounded(100);
-        if (u < 40)
+        if (u < 36)
             s.mode = TrialMode::exact_recovery;
-        else if (u < 60)
+        else if (u < 54)
             s.mode = TrialMode::bounded_error;
-        else if (u < 72)
+        else if (u < 66)
             s.mode = TrialMode::monotone_bits;
-        else if (u < 82)
+        else if (u < 75)
             s.mode = TrialMode::rac_merge;
-        else if (u < 92)
+        else if (u < 84)
             s.mode = TrialMode::arena_recovery;
-        else
+        else if (u < 92)
             s.mode = TrialMode::batch_lanes;
+        else
+            s.mode = TrialMode::strategy_diff;
         s.program_seed = t.next();
         s.profile = 1 + static_cast<int>(t.nextBounded(5));
         s.samples = config.trace_samples;
@@ -935,6 +940,7 @@ runTrial(const TrialSpec &spec)
       case TrialMode::rac_merge: return runRacTrial(spec);
       case TrialMode::arena_recovery: return runArenaTrial(spec);
       case TrialMode::batch_lanes: return runBatchLanesTrial(spec);
+      case TrialMode::strategy_diff: return runStrategyTrial(spec);
     }
     Divergence d;
     d.violated = true;
@@ -1172,6 +1178,7 @@ CheckReport::summary() const
         << " bounded=" << mode_counts[1]
         << " monotone=" << mode_counts[2] << " rac=" << mode_counts[3]
         << " arena=" << mode_counts[4] << " batch=" << mode_counts[5]
+        << " strategy=" << mode_counts[6]
         << "), " << failures.size() << " violation"
         << (failures.size() == 1 ? "" : "s");
     for (const TrialFailure &f : failures) {

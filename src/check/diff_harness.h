@@ -66,6 +66,19 @@
  *     retires (halts) with is byte-frozen for the rest of the batch —
  *     masked lanes are never written.
  *
+ *   strategy_diff — the backup-strategy zoo's conformance contract
+ *     (sim/strategy, DESIGN.md §14): a fuzzed co-simulator trial runs
+ *     once per registered strategy (sim::allStrategies()) over the
+ *     same spec, and every strategy's serialized SimResult must equal
+ *     the `active` baseline byte-for-byte — strategies are an
+ *     observation overlay and may never perturb the simulated
+ *     trajectory. The overlay itself is then checked: the ckpt.*
+ *     identities of obs/schema.h hold per strategy, the freezer's
+ *     dirty-word backup never writes more bytes than the full-image
+ *     baseline, and every committed image CRC-verifies. Every third
+ *     trial re-runs the active/freezer pair against an arena-backed
+ *     store and requires the committed image to survive reopen.
+ *
  *   engine_diff (cross-cutting, opt-in via `fuzz --engine-diff`) — a
  *     co-simulator trial whose primary invariant passed re-runs under
  *     every other registered engine (nvp::allExecEngines(): the
@@ -102,9 +115,10 @@ enum class TrialMode : int
     rac_merge,
     arena_recovery,
     batch_lanes,
+    strategy_diff,
 };
 
-constexpr int kNumTrialModes = 6;
+constexpr int kNumTrialModes = 7;
 
 /** Test-only fault injection; proves the harness catches real bugs. */
 enum class BugKind : int

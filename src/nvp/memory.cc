@@ -166,6 +166,7 @@ DataMemory::store8(int lane, std::uint32_t addr, std::uint8_t value,
 
     VersionedRegion *r = findVersioned(addr);
     if (!r || lane == 0) {
+        markDirty(addr);
         main_[addr] = value;
         main_prec_[addr] = static_cast<std::uint8_t>(bits);
         return;
@@ -179,6 +180,7 @@ DataMemory::store8(int lane, std::uint32_t addr, std::uint8_t value,
     if (r->write_through) {
         if (bits >= main_prec_[addr]) {
             INC_OBS_COUNT(obs_, wt_commits);
+            markDirty(addr);
             main_[addr] = value;
             main_prec_[addr] = static_cast<std::uint8_t>(bits);
         } else {
@@ -191,6 +193,7 @@ void
 DataMemory::resetVersionedRange(std::uint32_t start, std::uint32_t len)
 {
     INC_OBS_ADD(obs_, version_resets, len);
+    markDirtyRange(start, len);
     for (std::uint32_t addr = start; addr < start + len; ++addr) {
         checkAddr(addr);
         main_[addr] = 0;
@@ -266,6 +269,7 @@ DataMemory::assemble(std::uint32_t start, std::uint32_t len,
             }
         }
         cell.written = 0;
+        markDirty(addr);
         main_[addr] = static_cast<std::uint8_t>(value);
         main_prec_[addr] = static_cast<std::uint8_t>(prec);
     }
@@ -310,10 +314,35 @@ DataMemory::applyOutageDecay(double duration_tenth_ms)
                     if (util::bit(diff, static_cast<unsigned>(b - 1)))
                         ++failures_.flips[static_cast<size_t>(b - 1)];
                 }
+                markDirty(addr);
                 main_[addr] = neu;
             }
         }
     }
+}
+
+void
+DataMemory::enableDirtyTracking()
+{
+    if (!dirty_.empty())
+        return;
+    const std::size_t words = (size_ + kDirtyWordBytes - 1) / kDirtyWordBytes;
+    dirty_.assign((words + 63) / 64, 0);
+}
+
+void
+DataMemory::clearDirty()
+{
+    std::fill(dirty_.begin(), dirty_.end(), 0);
+}
+
+std::uint64_t
+DataMemory::dirtyWordCount() const
+{
+    std::uint64_t n = 0;
+    for (std::uint64_t word : dirty_)
+        n += static_cast<std::uint64_t>(util::popcount64(word));
+    return n;
 }
 
 std::uint8_t
@@ -327,6 +356,7 @@ void
 DataMemory::hostWrite8(std::uint32_t addr, std::uint8_t value)
 {
     checkAddr(addr);
+    markDirty(addr);
     main_[addr] = value;
 }
 
@@ -336,6 +366,7 @@ DataMemory::hostWriteBlock(std::uint32_t addr,
 {
     if (addr + data.size() > size_)
         util::panic("hostWriteBlock out of range");
+    markDirtyRange(addr, data.size());
     std::copy(data.begin(), data.end(), main_ + addr);
 }
 

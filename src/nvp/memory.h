@@ -193,6 +193,39 @@ class DataMemory
      *  observational. */
     void setObsCounters(obs::MemCounters *counters) { obs_ = counters; }
 
+    // ---- dirty-word tracking (Freezer backup strategy) -------------------
+
+    /** Dirty-tracking granularity: one bit per 4-byte word. */
+    static constexpr std::uint32_t kDirtyWordBytes = 4;
+
+    /**
+     * Start marking words whose main-version bytes are written. Off by
+     * default — the bitmap is empty and every write path pays only one
+     * predictable branch. Tracking covers ALL main_ mutations (lane
+     * stores, write-through commits, assemble merges, versioned resets,
+     * outage decay, host/DMA writes), so a consumer that copies exactly
+     * the marked words after each clearDirty() interval can never miss
+     * a changed byte (the property tests/test_dirty_bitmap.cc proves).
+     * Over-reporting is allowed: a bit covers its whole 4-byte word and
+     * is set even when a write stores the value already present.
+     */
+    void enableDirtyTracking();
+    bool dirtyTrackingEnabled() const { return !dirty_.empty(); }
+
+    /** Clear every dirty bit (start of a new tracking interval). */
+    void clearDirty();
+
+    /** Number of words currently marked dirty. */
+    std::uint64_t dirtyWordCount() const;
+
+    /** Raw bitmap, bit w = word [w*4, w*4+4) dirty. Empty when tracking
+     *  is disabled. */
+    const std::vector<std::uint64_t> &dirtyBits() const { return dirty_; }
+
+    /** Main-version byte array (strategies copy checkpoint images from
+     *  here). Valid for size() bytes. */
+    const std::uint8_t *mainData() const { return main_; }
+
   private:
     struct VersionedRegion
     {
@@ -226,6 +259,25 @@ class DataMemory
     const VersionedRegion *findVersioned(std::uint32_t addr) const;
     void checkAddr(std::uint32_t addr) const;
 
+    void markDirty(std::uint32_t addr)
+    {
+        if (dirty_.empty())
+            return;
+        const std::uint32_t w = addr / kDirtyWordBytes;
+        dirty_[w >> 6] |= std::uint64_t{1} << (w & 63);
+    }
+
+    void markDirtyRange(std::uint32_t addr, std::size_t len)
+    {
+        if (dirty_.empty() || len == 0)
+            return;
+        const std::uint32_t first = addr / kDirtyWordBytes;
+        const std::uint32_t last =
+            (addr + static_cast<std::uint32_t>(len) - 1) / kDirtyWordBytes;
+        for (std::uint32_t w = first; w <= last; ++w)
+            dirty_[w >> 6] |= std::uint64_t{1} << (w & 63);
+    }
+
     std::size_t size_ = 0;
     std::uint8_t *main_ = nullptr;      ///< size_ bytes
     std::uint8_t *main_prec_ = nullptr; ///< size_ precision tags
@@ -238,6 +290,10 @@ class DataMemory
     util::Rng rng_;
     nvm::RetentionFailureCounts failures_;
     obs::MemCounters *obs_ = nullptr;
+    /** One bit per 4-byte main_ word; empty = tracking disabled. Heap
+     *  only (never persisted): a warm restart re-syncs conservatively
+     *  by treating every word as dirty. */
+    std::vector<std::uint64_t> dirty_;
 };
 
 } // namespace inc::nvp

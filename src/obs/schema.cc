@@ -105,6 +105,29 @@ verifySimMetricIdentities(const MetricsRegistry &m, double rel_tol)
              ck.c(kSimFramesCaptured) + ck.c(kSimFramesDmaDropped),
              ck.c(kSimFrameAttempts));
 
+    // Checkpoint-strategy overlay (src/sim/strategy). Guarded on the
+    // schema being present: pre-strategy registries (older golden
+    // files, non-sim producers) simply skip the block.
+    if (m.has(kCkptBackups)) {
+        // A strategy commits exactly once per committed in-situ backup.
+        ck.equal("ckpt.backup.events == sim.backup.committed",
+                 ck.c(kCkptBackups), ck.c(kSimBackupsCommitted));
+        // Wake-up restores plus cold boots partition sim restores
+        // (sim.restore.successes counts cold boots; the strategy's
+        // restore hook runs only on the performRestore path).
+        ck.equal("ckpt.restore.events + cold_boots == sim restores",
+                 ck.c(kCkptRestores) + ck.c(kSimColdBoots),
+                 ck.c(kSimRestores));
+        // A dirty-tracking strategy may only UNDER-write, never
+        // over-write, the words it claims to cover.
+        ck.atMost("ckpt.dirty.words_written <= words_tracked",
+                  ck.c(kCkptWordsWritten), ck.c(kCkptWordsTracked));
+        // Every serviced restore needs some committed image behind it.
+        ck.atMost("ckpt.restore.events <= backups + snapshots",
+                  ck.c(kCkptRestores),
+                  ck.c(kCkptBackups) + ck.c(kCkptSnapshots));
+    }
+
 #if INC_OBS_ENABLED
     // The ledger split and the unfunded-demand tracking accumulate on
     // the hot path, so — like the raw hot counters below — they are

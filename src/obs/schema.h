@@ -117,6 +117,28 @@ inline constexpr char kAcInstrLost[] = "ac.instructions.lost";
 inline constexpr char kAcForwardProgress[] = "ac.forward_progress";
 inline constexpr char kAcCheckpointEnergy[] = "ac.energy.checkpoint_nj";
 
+// ---- checkpoint strategies (src/sim/strategy; DESIGN.md §14) ------------
+/** Image commits at in-situ backup events (== sim.backup.committed). */
+inline constexpr char kCkptBackups[] = "ckpt.backup.events";
+/** Extra threshold-triggered commits (ondemand watermark crossings). */
+inline constexpr char kCkptSnapshots[] = "ckpt.snapshot.events";
+/** Bytes written into the image across all commits. */
+inline constexpr char kCkptBackupBytes[] = "ckpt.backup.bytes";
+/** Wake-up restores serviced (cold boots excluded; +sim.cold_boots ==
+ *  sim.restore.successes). */
+inline constexpr char kCkptRestores[] = "ckpt.restore.events";
+inline constexpr char kCkptRestoreBytes[] = "ckpt.restore.bytes";
+/** 4-byte words written vs covered per commit; their ratio is the
+ *  strategy's dirty ratio (1.0 for full-image strategies). */
+inline constexpr char kCkptWordsWritten[] = "ckpt.dirty.words_written";
+inline constexpr char kCkptWordsTracked[] = "ckpt.dirty.words_tracked";
+/** Modeled backup energy, nJ (ld8+st8 per byte; reported, not drained). */
+inline constexpr char kCkptBackupEnergy[] = "ckpt.energy.backup_nj";
+/** Modeled restore copy-loop latency, us. */
+inline constexpr char kCkptRestoreLatency[] = "ckpt.restore.modeled_us";
+/** Per-run strategy tag: "ckpt.strategy.<name>" += 1. */
+inline constexpr char kCkptStrategyPrefix[] = "ckpt.strategy.";
+
 // ---- runner aggregation -------------------------------------------------
 inline constexpr char kRunnerJobsTotal[] = "runner.jobs_total";
 inline constexpr char kRunnerJobsFailed[] = "runner.jobs_failed";

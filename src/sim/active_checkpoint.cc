@@ -1,13 +1,11 @@
 #include "sim/active_checkpoint.h"
 
-#include <cstring>
-
-#include "arena/backend.h"
 #include "energy/capacitor.h"
 #include "nvm/nvm_array.h"
 #include "obs/observer.h"
 #include "obs/report/flight_recorder.h"
 #include "obs/schema.h"
+#include "sim/strategy/image_store.h"
 #include "util/logging.h"
 
 namespace inc::sim
@@ -52,26 +50,18 @@ runActiveCheckpoint(const trace::PowerTrace &trace,
     bool has_image = false;     // an intact checkpoint exists in FeRAM
     int copy_progress = -1;     // bytes copied; -1 = no copy in flight
 
-    // Materialised FeRAM: a double-buffered image plus commit metadata.
+    // Materialised FeRAM: a double-buffered image plus commit metadata
+    // behind the ImageStore discipline shared with the strategy zoo.
     // The copy loop writes the in-flight image into the *inactive* slot
     // and flips the metadata only after the last byte, so a kill at any
     // byte leaves the committed slot untouched — exactly the
     // double-buffered commit the model's torn-checkpoint accounting
-    // assumes.
-    std::uint8_t *image = nullptr;
-    std::uint8_t *meta = nullptr; // [0] valid, [1] active slot, [8..15] attempts
-    std::uint64_t attempt_base = 0;
+    // assumes. The legacy 16-byte "ac.meta" layout is preserved
+    // byte-identically (tests/test_arena_sweep.cc reads it raw).
     const auto state_bytes = static_cast<std::size_t>(config.state_bytes);
-    if (config.persistence) {
-        bool image_existed = false;
-        bool meta_existed = false;
-        image = config.persistence->acquire("ac.image", 2 * state_bytes,
-                                            &image_existed);
-        meta = config.persistence->acquire("ac.meta", 16, &meta_existed);
-        if (image_existed && meta_existed && meta[0] == 1)
-            has_image = true; // warm restart from the committed image
-        std::memcpy(&attempt_base, meta + 8, sizeof attempt_base);
-    }
+    ImageStore store(config.persistence, "ac", state_bytes);
+    has_image = store.warmStart(); // warm restart from the committed image
+    const std::uint64_t attempt_base = store.bootSeq();
     double since_checkpoint = 0.0; // committed-but-unsaved instructions
     double off_tenth_ms = 0.0;     // dark time since last brown-out
     const double start_threshold =
@@ -196,35 +186,27 @@ runActiveCheckpoint(const trace::PowerTrace &trace,
                 cap.drain(byte_energy);
                 result.checkpoint_energy_nj += byte_energy;
                 budget -= 2.0; // ld8 + st8 per byte
-                if (image) {
-                    // A deterministic byte pattern keyed by (attempt,
-                    // offset) stands in for the MCU's register/RAM
-                    // state; tests distinguish torn from committed
-                    // images by it.
+                // A deterministic byte pattern keyed by (attempt,
+                // offset) stands in for the MCU's register/RAM state;
+                // tests distinguish torn from committed images by it.
+                // (No-op without a persistence backend.)
+                {
                     const std::uint64_t attempt =
                         attempt_base + checkpoint_attempts;
-                    const std::size_t inactive = meta[1] == 0 ? 1 : 0;
-                    image[inactive * state_bytes +
-                          static_cast<std::size_t>(copy_progress)] =
+                    store.writeByte(
+                        static_cast<std::size_t>(copy_progress),
                         static_cast<std::uint8_t>(
                             (attempt * 31 +
                              static_cast<std::uint64_t>(copy_progress) *
                                  7) &
-                            0xff);
+                            0xff));
                 }
                 if (++copy_progress >= config.state_bytes) {
                     copy_progress = -1;
                     has_image = true;
                     ++result.checkpoints;
-                    if (meta) {
-                        // Commit: flip the active slot, then mark valid.
-                        meta[1] = meta[1] == 0 ? 1 : 0;
-                        meta[0] = 1;
-                        const std::uint64_t attempts =
-                            attempt_base + checkpoint_attempts;
-                        std::memcpy(meta + 8, &attempts,
-                                    sizeof attempts);
-                    }
+                    // Commit: flip the active slot, then mark valid.
+                    store.commit(attempt_base + checkpoint_attempts);
                     result.forward_progress +=
                         static_cast<std::uint64_t>(since_checkpoint);
                     since_checkpoint = 0.0;

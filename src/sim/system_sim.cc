@@ -65,6 +65,20 @@ SystemSimulator::SystemSimulator(kernels::Kernel kernel,
             [this](const core::FrameCompletion &c) { scoreFrame(c); });
     }
 
+    // Backup strategy (DESIGN.md §14): an observation-only overlay built
+    // after the memory image and regions are initialized, so a freezer
+    // strategy's dirty tracking starts from a clean interval. The
+    // modeled per-byte cost is the software copy loop's ld8+st8 pair.
+    {
+        StrategyConfig sc;
+        sc.kind = config_.strategy;
+        sc.persistence = config_.persistence;
+        sc.backup_nj_per_byte =
+            energy_model_.instructionEnergyNj(isa::Op::ld8, 8) +
+            energy_model_.instructionEnergyNj(isa::Op::st8, 8);
+        strategy_ = makeStrategy(sc, mem_.get());
+    }
+
     obs_ = config_.obs;
     if (obs_) {
         obs_initial_nj_ = capacitor_.energyNj();
@@ -278,6 +292,7 @@ SystemSimulator::performBackup(std::size_t sample)
     const double drained = capacitor_.drain(cost);
     result_.backup_energy_nj += cost;
     ++result_.backups;
+    strategy_->onBackup(sample);
     if (obs_) {
         obs_unfunded_nj_ += cost - drained;
         obs_->registry
@@ -339,6 +354,7 @@ SystemSimulator::performRestore(std::size_t sample)
     const double drained = capacitor_.drain(cost);
     result_.restore_energy_nj += cost;
     ++result_.restores;
+    strategy_->onRestore(sample);
     const double outage =
         static_cast<double>(sample - off_since_); // 0.1 ms units
     if (obs_) {
@@ -420,6 +436,7 @@ SystemSimulator::stepSample()
                     tracePowerPhase(i, /*next_on=*/true);
                     on_ = true;
                     ++result_.restores;
+                    strategy_->onColdBoot(i);
                     if (obs_ && obs_->flight) {
                         // No checkpoint image exists yet; log the boot
                         // as a completed outage covering the dark lead-in
@@ -451,6 +468,7 @@ SystemSimulator::stepSample()
         ++on_samples_;
         controller_->updateLaneBits(capacitor_.fraction());
         bit_ctrl_.recordTick(core_->acEnabled() ? core_->mainBits() : 8);
+        strategy_->onSample(i, capacitor_.fraction());
 
         // Quantum stepping (fast-path engines only): when the stored
         // energy provably cannot reach the backup reserve within this
@@ -780,6 +798,8 @@ SystemSimulator::publishMetrics(std::uint64_t on_samples)
     count(obs::kQueuePasses, qc.passes);
     count(obs::kQueueDropped, qc.dropped);
 #endif
+
+    strategy_->publish(m);
 }
 
 } // namespace inc::sim

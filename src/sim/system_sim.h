@@ -36,6 +36,7 @@
 #include "energy/capacitor.h"
 #include "energy/energy_model.h"
 #include "kernels/kernel.h"
+#include "sim/strategy/strategy.h"
 #include "trace/power_trace.h"
 
 namespace inc::obs
@@ -118,6 +119,18 @@ struct SimConfig
      * owned; must outlive the simulator.
      */
     arena::PersistenceBackend *persistence = nullptr;
+
+    /**
+     * Backup strategy attached to the run (DESIGN.md §14). Strategies
+     * are a persistence + ckpt.* accounting overlay over the
+     * simulation: they never feed back into the capacitor, core or
+     * data memory, so crash-free results are bit-identical across all
+     * registered strategies (enforced by tests/test_strategy_conformance
+     * and fuzz --modes strategy_diff). The strategy's checkpoint image
+     * lives in `persistence` under the "ckpt" prefix (a private heap
+     * store when persistence is null).
+     */
+    StrategyKind strategy = StrategyKind::active;
 };
 
 /** Per-frame quality record. */
@@ -218,6 +231,10 @@ class SystemSimulator
     /** Live data memory (for differential checkers in src/check). */
     nvp::DataMemory &memory() { return *mem_; }
 
+    /** The attached backup strategy (conformance tests inspect its
+     *  stats and image). */
+    const CheckpointStrategy &strategy() const { return *strategy_; }
+
     /** Derived thresholds (for inspection / tests). */
     double startThresholdNj() const { return start_threshold_nj_; }
     double backupThresholdNj() const { return backup_threshold_nj_; }
@@ -246,6 +263,7 @@ class SystemSimulator
     std::unique_ptr<nvp::DataMemory> mem_;
     std::unique_ptr<nvp::Core> core_;
     std::unique_ptr<core::IncidentalController> controller_;
+    std::unique_ptr<CheckpointStrategy> strategy_;
 
     double start_threshold_nj_ = 0.0;
     double backup_threshold_nj_ = 0.0;

@@ -49,6 +49,13 @@ setBit(std::uint64_t value, unsigned index, bool on)
     return on ? (value | m) : (value & ~m);
 }
 
+/** Number of set bits in @p value. */
+constexpr int
+popcount64(std::uint64_t value)
+{
+    return __builtin_popcountll(value);
+}
+
 /** Sign extend the low @p width bits of @p value. */
 constexpr std::int64_t
 signExtend(std::uint64_t value, unsigned width)

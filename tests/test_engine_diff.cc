@@ -39,6 +39,7 @@
 #include "obs/observer.h"
 #include "sim/batch_sim.h"
 #include "sim/result_io.h"
+#include "sim/strategy/strategy.h"
 #include "sim/system_sim.h"
 #include "trace/trace_generator.h"
 
@@ -179,6 +180,54 @@ INSTANTIATE_TEST_SUITE_P(
                 c = '_';
         return name;
     });
+
+// ---- strategy x engine composition ------------------------------------
+
+/**
+ * `--strategy` composes with every registered engine: a crash-free run
+ * is byte-identical across the full strategy x engine grid (strategies
+ * are an observation overlay, engines are bit-exact replacements — the
+ * product can introduce no drift either). Within one strategy the
+ * metrics JSON, ckpt.* block included, must also match across engines.
+ */
+TEST(StrategyEngineDiff, StrategiesComposeWithEveryEngine)
+{
+    for (const char *kernel : {"sobel", "median"}) {
+        for (int profile = 1; profile <= 2; ++profile) {
+            trace::TraceGenerator gen(trace::paperProfile(profile), 99);
+            const trace::PowerTrace power = gen.generate(kSamples);
+            const sim::SimConfig base = incidentalConfig();
+            const RunOut ref = runEngine(
+                kernel, power, base, nvp::ExecEngine::reference);
+            for (const sim::StrategyKind strategy :
+                 sim::allStrategies()) {
+                std::string strategy_metrics; // reference engine's
+                for (const nvp::ExecEngine engine :
+                     nvp::allExecEngines()) {
+                    SCOPED_TRACE(std::string(kernel) + " profile " +
+                                 std::to_string(profile) +
+                                 " strategy " +
+                                 sim::strategyName(strategy) +
+                                 " engine " +
+                                 nvp::execEngineName(engine));
+                    sim::SimConfig cfg = base;
+                    cfg.strategy = strategy;
+                    const RunOut run =
+                        runEngine(kernel, power, cfg, engine);
+                    EXPECT_EQ(ref.result, run.result)
+                        << "SimResult diverged: "
+                        << firstDiffLine(ref.result, run.result);
+                    if (strategy_metrics.empty())
+                        strategy_metrics = run.metrics;
+                    else
+                        EXPECT_EQ(strategy_metrics, run.metrics)
+                            << "ckpt.* metrics diverged between "
+                               "engines within one strategy";
+                }
+            }
+        }
+    }
+}
 
 // ---- sim-level lane batching (sim::SimBatch) --------------------------
 

@@ -11,7 +11,8 @@
  *   nvpsim run [--kernel NAME] [--profile N | --trace F.csv]
  *              [--mode precise|fixed|dynamic] [--bits B] [--minbits B]
  *              [--policy full|linear|log|parabola] [--baseline]
- *              [--engine reference|predecoded|batch] [--seconds S]
+ *              [--engine reference|predecoded|batch]
+ *              [--strategy active|freezer|ondemand] [--seconds S]
  *              [--seed K]
  *              [--metrics F.json] [--trace-out F.trace.json]
  *              [--arena DIR]
@@ -27,11 +28,19 @@
  *       (data memory + RAC version store) with a persistence arena
  *       (src/arena) at DIR instead of heap buffers; with --metrics the
  *       arena.* session statistics are folded into the registry.
+ *       --strategy selects the backup strategy attached to the run
+ *       (sim::allStrategies(): active, freezer, ondemand; DESIGN.md
+ *       §14). Strategies are an observation overlay — the simulated
+ *       trajectory is bit-identical across all of them — that persists
+ *       a checkpoint image ("ckpt.image"/"ckpt.meta", CRC-verified,
+ *       arena-backed with --arena) and reports its backup cost in the
+ *       ckpt.* metric block.
  *
  *   nvpsim sweep [--kernels A,B,...|all] [--profiles 1,2,...|all]
  *                [--mode precise|fixed|dynamic] [--bits B] [--minbits B]
  *                [--policy full|linear|log|parabola] [--baseline]
- *                [--engine reference|predecoded|batch] [--seconds S]
+ *                [--engine reference|predecoded|batch]
+ *                [--strategy active|freezer|ondemand] [--seconds S]
  *                [--seed K] [--jobs N] [--batch-width W] [--out F.csv]
  *                [--metrics F.json] [--report] [--report-out F.json]
  *                [--arena DIR] [--resume] [--kill-after N]
@@ -87,9 +96,9 @@
  *       engine-equivalence invariant; see DESIGN.md §11, §13).
  *       --modes restricts trials to a comma-separated list of trial
  *       modes (exact_recovery, bounded_error, monotone_bits,
- *       rac_merge, arena_recovery, batch_lanes); filtered trials keep
- *       the specs an unfiltered run of the same seed would draw, so
- *       repro seeds stay exact.
+ *       rac_merge, arena_recovery, batch_lanes, strategy_diff);
+ *       filtered trials keep the specs an unfiltered run of the same
+ *       seed would draw, so repro seeds stay exact.
  *
  *   nvpsim report [--kernel NAME] [--profile N | --trace F.csv]
  *                 [run flags] [--flight-capacity N] [--out F.json]
@@ -324,6 +333,15 @@ configFromArgs(const Args &args)
             util::fatal("unknown --engine '%s' (%s)", engine.c_str(),
                         nvp::execEngineNames().c_str());
         cfg.exec_engine = *parsed;
+    }
+    if (args.has("strategy")) {
+        const std::string strategy = args.get("strategy");
+        const auto parsed = sim::strategyFromName(strategy);
+        if (!parsed)
+            util::fatal("unknown --strategy '%s' (%s)",
+                        strategy.c_str(),
+                        sim::strategyNames().c_str());
+        cfg.strategy = *parsed;
     }
     return cfg;
 }
@@ -612,14 +630,15 @@ cmdSweep(const Args &args)
         const std::string dir = args.get("arena");
         const std::string fingerprint_extra = util::format(
             "mode=%s bits=%d minbits=%d policy=%s baseline=%d "
-            "engine=%s income-scale=%.17g frame-factor=%.17g "
-            "metrics=%d",
+            "engine=%s strategy=%s income-scale=%.17g "
+            "frame-factor=%.17g metrics=%d",
             args.get("mode", "dynamic").c_str(),
             static_cast<int>(args.num("bits", 4)),
             static_cast<int>(args.num("minbits", 2)),
             args.get("policy", "linear").c_str(),
             args.has("baseline") ? 1 : 0,
-            args.get("engine", "default").c_str(), cfg.income_scale,
+            args.get("engine", "default").c_str(),
+            sim::strategyName(cfg.strategy), cfg.income_scale,
             cfg.frame_period_factor, spec.collect_metrics ? 1 : 0);
         const std::vector<runner::JobSpec> jobs =
             runner::expandSweep(spec);
