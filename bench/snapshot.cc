@@ -2,7 +2,7 @@
  * @file
  * Perf-trajectory snapshot harness (bench/snapshot).
  *
- * Runs a pinned kernel x profile suite and emits BENCH_8.json: per-entry
+ * Runs a pinned kernel x profile suite and emits BENCH_9.json: per-entry
  * wall time, instructions/sec, energy-per-frame, quality, and the run
  * report digest (obs::reportDigest over the canonical report JSON), plus
  * an aggregate throughput figure. Committed snapshots (BENCH_*.json at
@@ -33,6 +33,14 @@
  * (freezer strictly fewer backup bytes than active on the flagship) is
  * asserted fatally here, so every snapshot re-proves it.
  *
+ * Finally, a pinned four-job campaign is run end to end through two
+ * spawned nvpsim processes — the serial `sweep` path and the 4-worker
+ * `serve` fleet service (DESIGN.md §15) — as `fleet_sweep@serial` /
+ * `fleet_sweep@w4` rows. They are likewise excluded from the gated
+ * aggregate (process spawn and socket costs are not sim throughput),
+ * but the two runs' merged CSVs must be byte-identical, so every
+ * snapshot run re-proves the fleet determinism contract.
+ *
  * Timing fields are machine-dependent by nature; everything else in the
  * snapshot (instructions, frames, energy, psnr, report digests) is a
  * deterministic function of the pinned samples/seed, so digest drift
@@ -40,7 +48,7 @@
  *
  * Modes:
  *   snapshot [--out F]                      run the suite, write F
- *                                           (default BENCH_8.json)
+ *                                           (default BENCH_9.json)
  *   snapshot --check PRIOR CURRENT          gate CURRENT against PRIOR;
  *            [--max-regression-pct P]       exit 1 on > P % regression
  *                                           (default 10)
@@ -60,11 +68,15 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 #include "bench_common.h"
 #include "kernels/kernel.h"
@@ -87,7 +99,7 @@ namespace
 using namespace inc;
 
 constexpr char kSchema[] = "inc-bench-snapshot-v1";
-constexpr int kPr = 8;
+constexpr int kPr = 9;
 constexpr double kDefaultGatePct = 10.0;
 
 /** The pinned suite: two power regimes for the flagship kernel plus
@@ -511,6 +523,83 @@ selftest()
     return 0;
 }
 
+#ifdef INC_NVPSIM_PATH
+/** Wall-time one spawned nvpsim campaign command, best of @p rounds.
+ *  Fleet rows measure the whole process tree — spawn, expansion,
+ *  simulation, wire-protocol merge — which is the figure a campaign
+ *  user actually sees. */
+Measurement
+runFleetRow(const char *name, const std::string &command, int rounds)
+{
+    using clock = std::chrono::steady_clock;
+    Measurement m;
+    m.name = name;
+    m.kernel = "campaign";
+    m.profile = 0;
+    m.in_aggregate = false;
+    for (int round = 0; round < rounds; ++round) {
+        const auto start = clock::now();
+        const int rc = std::system(command.c_str());
+        const double wall =
+            std::chrono::duration<double>(clock::now() - start).count();
+        if (rc != 0)
+            util::fatal("fleet bench command failed (status %d): %s",
+                        rc, command.c_str());
+        m.wall_seconds =
+            round == 0 ? wall : std::min(m.wall_seconds, wall);
+    }
+    return m;
+}
+
+/** The fleet-throughput rows: the same pinned four-job campaign run
+ *  serially (`nvpsim sweep`) and through the 4-worker fleet service
+ *  (`nvpsim serve`). Informative only — excluded from the gated
+ *  aggregate — but the merged CSVs must be byte-identical, making
+ *  every snapshot run a fleet-determinism check too. */
+void
+appendFleetRows(std::vector<Measurement> *suite, std::uint64_t seed,
+                int rounds)
+{
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::temp_directory_path() /
+        ("inc-snapshot-fleet-" + std::to_string(::getpid()));
+    fs::create_directories(dir);
+    const std::string campaign = (dir / "campaign.json").string();
+    // 6 s of trace per job keeps each job heavy enough (~100 ms of
+    // simulation) that worker spawn and socket costs do not drown the
+    // parallel win.
+    writeTextFile(campaign,
+                  "{\"kernels\": \"sobel,median\", \"profiles\": "
+                  "\"2,3\", \"seconds\": 6.0, \"seed\": " +
+                      std::to_string(seed) + "}\n");
+    const std::string serial_csv = (dir / "serial.csv").string();
+    const std::string fleet_csv = (dir / "fleet.csv").string();
+    suite->push_back(runFleetRow(
+        "fleet_sweep@serial",
+        std::string(INC_NVPSIM_PATH) +
+            " sweep --kernels sobel,median --profiles 2,3"
+            " --seconds 6 --seed " +
+            std::to_string(seed) + " --jobs 1 --out " + serial_csv +
+            " > /dev/null 2>&1",
+        rounds));
+    // Each round wipes the fleet dir first: leftover shard journals
+    // would warm-restart the replacement run and time a no-op merge.
+    suite->push_back(runFleetRow(
+        "fleet_sweep@w4",
+        "rm -rf " + (dir / "fd").string() + " && " +
+            std::string(INC_NVPSIM_PATH) + " serve " + campaign +
+            " --workers 4 --fleet-dir " + (dir / "fd").string() +
+            " --out " + fleet_csv + " > /dev/null 2>&1",
+        rounds));
+    if (readTextFile(serial_csv) != readTextFile(fleet_csv))
+        util::fatal("fleet service diverged from the serial sweep: "
+                    "'%s' and '%s' differ",
+                    serial_csv.c_str(), fleet_csv.c_str());
+    fs::remove_all(dir);
+}
+#endif
+
 int
 runSuite(const std::string &out_path)
 {
@@ -576,6 +665,10 @@ runSuite(const std::string &out_path)
                     static_cast<unsigned long long>(active_bytes),
                     kEngineMatrixEntry.name);
 
+#ifdef INC_NVPSIM_PATH
+    appendFleetRows(&suite, seed, rounds);
+#endif
+
     util::Table table("perf snapshot (pinned suite, best of " +
                       std::to_string(rounds) + ")");
     table.setHeader({"entry", "wall s", "instr/s", "nJ/frame", "PSNR",
@@ -611,7 +704,7 @@ parseDoubleArg(const char *text, const char *what)
 int
 main(int argc, char **argv)
 {
-    std::string out_path = "BENCH_8.json";
+    std::string out_path = "BENCH_9.json";
     std::string check_prior, check_current;
     std::string doctor_in, doctor_out;
     double max_pct = kDefaultGatePct;

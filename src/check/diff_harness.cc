@@ -8,6 +8,7 @@
 #include <memory>
 #include <sstream>
 
+#include "check/fleet_trial.h"
 #include "check/oracle.h"
 #include "check/program_fuzzer.h"
 #include "check/recovery_trial.h"
@@ -804,6 +805,7 @@ modeName(TrialMode mode)
       case TrialMode::arena_recovery: return "arena_recovery";
       case TrialMode::batch_lanes: return "batch_lanes";
       case TrialMode::strategy_diff: return "strategy_diff";
+      case TrialMode::fleet_merge: return "fleet_merge";
     }
     return "unknown";
 }
@@ -849,7 +851,7 @@ parseModeFilter(const std::string &filter)
             util::fatal("unknown trial mode '%s' in --modes (valid: "
                         "exact_recovery, bounded_error, monotone_bits, "
                         "rac_merge, arena_recovery, batch_lanes, "
-                        "strategy_diff)",
+                        "strategy_diff, fleet_merge)",
                         name.c_str());
         pos = comma + 1;
     }
@@ -885,20 +887,22 @@ expandTrials(const CheckConfig &config)
         // own stream so specs are independent of each other.
         util::Rng t(s.seed);
         const std::uint64_t u = t.nextBounded(100);
-        if (u < 36)
+        if (u < 34)
             s.mode = TrialMode::exact_recovery;
-        else if (u < 54)
+        else if (u < 51)
             s.mode = TrialMode::bounded_error;
-        else if (u < 66)
+        else if (u < 62)
             s.mode = TrialMode::monotone_bits;
-        else if (u < 75)
+        else if (u < 70)
             s.mode = TrialMode::rac_merge;
-        else if (u < 84)
+        else if (u < 78)
             s.mode = TrialMode::arena_recovery;
-        else if (u < 92)
+        else if (u < 86)
             s.mode = TrialMode::batch_lanes;
-        else
+        else if (u < 93)
             s.mode = TrialMode::strategy_diff;
+        else
+            s.mode = TrialMode::fleet_merge;
         s.program_seed = t.next();
         s.profile = 1 + static_cast<int>(t.nextBounded(5));
         s.samples = config.trace_samples;
@@ -941,6 +945,7 @@ runTrial(const TrialSpec &spec)
       case TrialMode::arena_recovery: return runArenaTrial(spec);
       case TrialMode::batch_lanes: return runBatchLanesTrial(spec);
       case TrialMode::strategy_diff: return runStrategyTrial(spec);
+      case TrialMode::fleet_merge: return runFleetMergeTrial(spec);
     }
     Divergence d;
     d.violated = true;
@@ -1179,6 +1184,7 @@ CheckReport::summary() const
         << " monotone=" << mode_counts[2] << " rac=" << mode_counts[3]
         << " arena=" << mode_counts[4] << " batch=" << mode_counts[5]
         << " strategy=" << mode_counts[6]
+        << " fleet=" << mode_counts[7]
         << "), " << failures.size() << " violation"
         << (failures.size() == 1 ? "" : "s");
     for (const TrialFailure &f : failures) {

@@ -79,6 +79,17 @@
  *     trial re-runs the active/freezer pair against an arena-backed
  *     store and requires the committed image to survive reopen.
  *
+ *   fleet_merge — the fleet campaign service's shard/merge contract
+ *     (src/fleet, DESIGN.md §15): a fuzzed mini-sweep is run un-sharded
+ *     as the oracle, then split across 2 shards whose results travel
+ *     the RESULT wire encoding (fuzzed delivery interleaving, fuzzed
+ *     stream fragmentation) into a ResultFolder. The folded per-job
+ *     serialized results, status fields and merged metrics JSON must
+ *     equal the oracle's byte-for-byte. Every third trial replays
+ *     shard 0 from a reopened arena journal (the reassigned-shard warm
+ *     restart) and requires the replayed wire frames to be
+ *     byte-identical to the fresh run's.
+ *
  *   engine_diff (cross-cutting, opt-in via `fuzz --engine-diff`) — a
  *     co-simulator trial whose primary invariant passed re-runs under
  *     every other registered engine (nvp::allExecEngines(): the
@@ -116,9 +127,10 @@ enum class TrialMode : int
     arena_recovery,
     batch_lanes,
     strategy_diff,
+    fleet_merge,
 };
 
-constexpr int kNumTrialModes = 7;
+constexpr int kNumTrialModes = 8;
 
 /** Test-only fault injection; proves the harness catches real bugs. */
 enum class BugKind : int

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Campaign specification for the fleet service (`nvpsim serve`).
+ *
+ * A CampaignSpec is the JSON-file form of the `nvpsim sweep` flag set:
+ * the kernel/profile grid, trace length and seed, and every SimConfig
+ * knob that shapes a job. Both the serial sweep path and the fleet
+ * coordinator/worker pair build their runner::SweepSpec through
+ * buildSweepSpec() and derive their journal fingerprint through
+ * campaignFingerprintExtra(), so a campaign executed by any of the
+ * three produces bit-identical jobs — the foundation of the fleet's
+ * byte-identity guarantee (DESIGN.md §15).
+ *
+ * Campaign JSON is one object; every member is optional and defaults
+ * to the matching sweep-flag default, e.g.:
+ *
+ *   { "kernels": "sobel,median", "profiles": "2,3",
+ *     "seconds": 0.5, "seed": 2017, "mode": "dynamic" }
+ *
+ * Unknown members are rejected — a typoed knob silently meaning "use
+ * the default" would change results without changing the fingerprint
+ * the user thinks they pinned.
+ */
+
+#ifndef INC_FLEET_CAMPAIGN_H
+#define INC_FLEET_CAMPAIGN_H
+
+#include <cstdint>
+#include <string>
+
+#include "runner/sweep.h"
+#include "sim/system_sim.h"
+
+namespace inc::fleet
+{
+
+/** Declarative campaign: the `nvpsim sweep` flag set as data. */
+struct CampaignSpec
+{
+    std::string kernels = "all";  ///< comma list or "all"
+    std::string profiles = "all"; ///< comma list of 1..5 or "all"
+    double seconds = 5.0;         ///< trace length per profile
+    std::uint64_t seed = 2017;    ///< trace + master + config seed
+    std::string mode = "dynamic"; ///< precise | fixed | dynamic
+    int bits = 4;                 ///< fixed-mode bitwidth
+    int minbits = 2;              ///< dynamic-mode floor
+    std::string policy = "linear";
+    bool baseline = false;
+    /** Engine name, or "default" for the library default (the same
+     *  convention as an absent `--engine`). */
+    std::string engine = "default";
+    /** Strategy name, or "" for the library default. */
+    std::string strategy;
+    /** Negative = keep the SimConfig default (absent flag). */
+    double income_scale = -1.0;
+    double frame_factor = -1.0;
+};
+
+/** Parse campaign JSON. False + @p error on malformed input or an
+ *  unknown member; @p out is untouched then. */
+bool campaignFromJson(const std::string &text, CampaignSpec *out,
+                      std::string *error);
+
+/** Read + parse a campaign file. False + @p error on I/O or parse
+ *  failure. */
+bool loadCampaignFile(const std::string &path, CampaignSpec *out,
+                      std::string *error);
+
+/** Canonical JSON (sorted keys; round-trips through
+ *  campaignFromJson). */
+std::string campaignToJson(const CampaignSpec &spec);
+
+/**
+ * Resolve the campaign's SimConfig exactly as `nvpsim sweep` resolves
+ * its flags (configFromArgs). Fatal on unknown mode/policy/engine/
+ * strategy names, listing the valid ones.
+ */
+sim::SimConfig campaignConfig(const CampaignSpec &spec);
+
+/**
+ * Expand the campaign into a SweepSpec: validated kernel list, one
+ * generated trace per profile, a single config variant named after the
+ * mode. spec.jobs is left 0 — parallelism is the caller's scheduling
+ * decision and never part of campaign identity. Fatal on empty or
+ * unknown kernels/profiles.
+ */
+runner::SweepSpec buildSweepSpec(const CampaignSpec &spec,
+                                 bool collect_metrics);
+
+/**
+ * The SweepJournal fingerprint "extra" string for this campaign —
+ * byte-identical to the one `nvpsim sweep --arena` derives from its
+ * flags, so fleet shard journals and serial sweep journals agree on
+ * campaign identity.
+ */
+std::string campaignFingerprintExtra(const CampaignSpec &spec,
+                                     bool collect_metrics);
+
+} // namespace inc::fleet
+
+#endif // INC_FLEET_CAMPAIGN_H

@@ -1,0 +1,79 @@
+#include "fleet/folder.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace inc::fleet
+{
+
+ResultFolder::ResultFolder(std::vector<runner::JobSpec> jobs)
+    : jobs_(std::move(jobs)), slots_(jobs_.size()),
+      filled_(jobs_.size(), false), signatures_(jobs_.size())
+{
+}
+
+bool
+ResultFolder::fold(const DecodedResult &decoded, std::string *error)
+{
+    if (decoded.index >= jobs_.size()) {
+        *error = util::format("RESULT for job %zu outside the %zu-job "
+                              "campaign",
+                              decoded.index, jobs_.size());
+        return false;
+    }
+    const std::string signature =
+        decoded.result_text + '\0' + decoded.metrics_json;
+    if (filled_[decoded.index]) {
+        // A journal replay from a reassigned shard: determinism says
+        // the bytes must match what the first worker delivered.
+        if (signature != signatures_[decoded.index]) {
+            *error = util::format(
+                "job %zu delivered twice with differing bytes "
+                "(nondeterministic worker?)",
+                decoded.index);
+            return false;
+        }
+        bytes_ += decoded.result_text.size() +
+                  decoded.metrics_json.size() + decoded.error.size();
+        return true;
+    }
+    runner::JobResult jr;
+    if (!resultFromDecoded(decoded, jobs_[decoded.index], &jr, error))
+        return false;
+    slots_[decoded.index] = std::move(jr);
+    signatures_[decoded.index] = signature;
+    filled_[decoded.index] = true;
+    ++filled_count_;
+    bytes_ += decoded.result_text.size() + decoded.metrics_json.size() +
+              decoded.error.size();
+    return true;
+}
+
+bool
+ResultFolder::rangeComplete(std::size_t begin, std::size_t end) const
+{
+    if (end > jobs_.size())
+        return false;
+    for (std::size_t i = begin; i < end; ++i) {
+        if (!filled_[i])
+            return false;
+    }
+    return true;
+}
+
+runner::SweepReport
+ResultFolder::takeReport(double wall_seconds, unsigned jobs_used)
+{
+    for (std::size_t i = 0; i < filled_.size(); ++i) {
+        if (!filled_[i])
+            util::panic("ResultFolder: job %zu never folded", i);
+    }
+    runner::SweepReport report;
+    report.results = std::move(slots_);
+    report.wall_seconds = wall_seconds;
+    report.jobs_used = jobs_used;
+    return report;
+}
+
+} // namespace inc::fleet

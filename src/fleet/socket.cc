@@ -1,0 +1,122 @@
+#include "fleet/socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace inc::fleet
+{
+
+std::size_t
+maxSocketPathBytes()
+{
+    return sizeof(sockaddr_un{}.sun_path) - 1;
+}
+
+namespace
+{
+
+bool
+fillAddress(const std::string &path, sockaddr_un *addr,
+            std::string *error)
+{
+    if (path.size() > maxSocketPathBytes()) {
+        *error = "socket path '" + path + "' exceeds the " +
+                 std::to_string(maxSocketPathBytes()) +
+                 "-byte sockaddr_un limit";
+        return false;
+    }
+    std::memset(addr, 0, sizeof(*addr));
+    addr->sun_family = AF_UNIX;
+    std::memcpy(addr->sun_path, path.c_str(), path.size());
+    return true;
+}
+
+} // namespace
+
+int
+listenUnix(const std::string &path, std::string *error)
+{
+    sockaddr_un addr;
+    if (!fillAddress(path, &addr, error))
+        return -1;
+    // CLOEXEC everywhere: the coordinator forks workers while other
+    // connections are open, and a leaked duplicate of a worker's fd
+    // in a sibling process would defeat EOF-based crash detection.
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+        *error = std::string("socket(): ") + std::strerror(errno);
+        return -1;
+    }
+    ::unlink(path.c_str());
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        *error = "bind('" + path + "'): " + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    if (::listen(fd, 64) != 0) {
+        *error = "listen('" + path + "'): " + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+connectUnix(const std::string &path, std::string *error)
+{
+    sockaddr_un addr;
+    if (!fillAddress(path, &addr, error))
+        return -1;
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+        *error = std::string("socket(): ") + std::strerror(errno);
+        return -1;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        *error = "connect('" + path + "'): " + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool
+writeAll(int fd, const void *data, std::size_t n)
+{
+    const char *p = static_cast<const char *>(data);
+    std::size_t sent = 0;
+    while (sent < n) {
+        const ssize_t w =
+            ::send(fd, p + sent, n - sent, MSG_NOSIGNAL);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+long
+readSome(int fd, char *buffer, std::size_t capacity)
+{
+    while (true) {
+        const ssize_t r = ::read(fd, buffer, capacity);
+        if (r >= 0)
+            return static_cast<long>(r);
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return -2;
+        return -1;
+    }
+}
+
+} // namespace inc::fleet

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Thin Unix-domain-socket wrappers for the fleet service.
+ *
+ * Error handling is by return value + message (never fatal): the
+ * coordinator turns a failed listen into a hard CLI error, while a
+ * worker losing its socket mid-campaign is an expected event the
+ * coordinator's reassignment logic absorbs. All writes are EINTR-safe
+ * and use MSG_NOSIGNAL, so a peer dying mid-write surfaces as an error
+ * return instead of SIGPIPE.
+ */
+
+#ifndef INC_FLEET_SOCKET_H
+#define INC_FLEET_SOCKET_H
+
+#include <cstddef>
+#include <string>
+
+namespace inc::fleet
+{
+
+/** sockaddr_un path capacity; longer socket paths are rejected with a
+ *  clear error instead of silent truncation. */
+std::size_t maxSocketPathBytes();
+
+/**
+ * Create, bind and listen on a Unix stream socket at @p path (any
+ * stale file there is unlinked first). Returns the listening fd, or
+ * -1 with @p error set.
+ */
+int listenUnix(const std::string &path, std::string *error);
+
+/** Connect to @p path. Returns the fd, or -1 with @p error set. */
+int connectUnix(const std::string &path, std::string *error);
+
+/** Write all @p n bytes (EINTR-safe, MSG_NOSIGNAL). False when the
+ *  peer is gone. */
+bool writeAll(int fd, const void *data, std::size_t n);
+
+/**
+ * Read whatever is available into @p buffer (up to @p capacity).
+ * Returns bytes read; 0 means the peer closed the connection; -1
+ * means a real error (EINTR/EAGAIN are retried/reported as -2, "try
+ * again later").
+ */
+long readSome(int fd, char *buffer, std::size_t capacity);
+
+} // namespace inc::fleet
+
+#endif // INC_FLEET_SOCKET_H

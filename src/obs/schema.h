@@ -157,6 +157,22 @@ inline constexpr char kArenaRecoveryMs[] = "arena.recovery_ms";
 inline constexpr char kFlightDroppedOutages[] = "flight.dropped_outages";
 inline constexpr char kFlightDroppedFrames[] = "flight.dropped_frames";
 
+// ---- fleet coordinator (scheduling artifacts; kept in a separate
+// registry — never merged into campaign metrics, whose bytes must be
+// independent of worker count and crash history; DESIGN.md §15) ----------
+inline constexpr char kFleetShardsPlanned[] = "fleet.shards.planned";
+inline constexpr char kFleetShardsDispatched[] =
+    "fleet.shards.dispatched";
+inline constexpr char kFleetShardsCompleted[] =
+    "fleet.shards.completed";
+inline constexpr char kFleetShardsReassigned[] =
+    "fleet.shards.reassigned";
+inline constexpr char kFleetShardsRetried[] = "fleet.shards.retried";
+inline constexpr char kFleetWorkersSpawned[] = "fleet.workers.spawned";
+inline constexpr char kFleetWorkersLost[] = "fleet.workers.lost";
+inline constexpr char kFleetWorkerWallMs[] = "fleet.worker.wall_ms";
+inline constexpr char kFleetMergeBytes[] = "fleet.merge.bytes";
+
 /**
  * Check every cross-metric identity a system-simulator registry must
  * satisfy (counter identities exactly; energy ledgers within

@@ -1,0 +1,33 @@
+#include "runner/shard.h"
+
+#include "util/logging.h"
+
+namespace inc::runner
+{
+
+std::vector<ShardRange>
+planShards(std::size_t num_jobs, std::size_t max_shards)
+{
+    if (max_shards == 0)
+        util::fatal("planShards: max_shards must be >= 1");
+    std::vector<ShardRange> shards;
+    if (num_jobs == 0)
+        return shards;
+    const std::size_t count =
+        max_shards < num_jobs ? max_shards : num_jobs;
+    const std::size_t base = num_jobs / count;
+    const std::size_t rem = num_jobs % count;
+    shards.reserve(count);
+    std::size_t cursor = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        ShardRange shard;
+        shard.id = i;
+        shard.begin = cursor;
+        shard.end = cursor + base + (i < rem ? 1 : 0);
+        cursor = shard.end;
+        shards.push_back(shard);
+    }
+    return shards;
+}
+
+} // namespace inc::runner

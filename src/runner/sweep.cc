@@ -174,8 +174,16 @@ SweepReport::failureReport() const
 }
 
 ResultSink::ResultSink(std::size_t num_jobs)
-    : slots_(num_jobs), filled_(num_jobs, false)
+    : ResultSink(0, num_jobs)
 {
+}
+
+ResultSink::ResultSink(std::size_t begin, std::size_t end)
+    : begin_(begin), slots_(end - begin), filled_(end - begin, false)
+{
+    if (end < begin)
+        util::panic("ResultSink: inverted range [%zu, %zu)", begin,
+                    end);
 }
 
 void
@@ -183,13 +191,15 @@ ResultSink::deliver(JobResult result)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     const std::size_t index = result.spec.index;
-    if (index >= slots_.size())
-        util::panic("ResultSink: job index %zu out of range (%zu jobs)",
-                    index, slots_.size());
-    if (filled_[index])
+    if (index < begin_ || index - begin_ >= slots_.size())
+        util::panic("ResultSink: job index %zu outside range "
+                    "[%zu, %zu)",
+                    index, begin_, begin_ + slots_.size());
+    const std::size_t slot = index - begin_;
+    if (filled_[slot])
         util::panic("ResultSink: job %zu delivered twice", index);
-    slots_[index] = std::move(result);
-    filled_[index] = true;
+    slots_[slot] = std::move(result);
+    filled_[slot] = true;
 }
 
 std::vector<JobResult>
@@ -198,7 +208,8 @@ ResultSink::take()
     std::lock_guard<std::mutex> lock(mutex_);
     for (std::size_t i = 0; i < filled_.size(); ++i) {
         if (!filled_[i])
-            util::panic("ResultSink: job %zu never delivered", i);
+            util::panic("ResultSink: job %zu never delivered",
+                        begin_ + i);
     }
     return std::move(slots_);
 }
@@ -232,8 +243,17 @@ SweepRunner::run()
     const std::vector<JobSpec> jobs = expandSweep(spec_);
     const int retries = spec_.max_retries < 0 ? 0 : spec_.max_retries;
 
+    // setJobRange(): the grid (and its seed tree) above is always the
+    // full campaign; the range only restricts which jobs execute.
+    const std::size_t range_begin = has_range_ ? range_begin_ : 0;
+    const std::size_t range_end = has_range_ ? range_end_ : jobs.size();
+    if (range_begin >= range_end || range_end > jobs.size())
+        util::fatal("SweepRunner: job range [%zu, %zu) invalid for "
+                    "%zu-job campaign",
+                    range_begin, range_end, jobs.size());
+
     SweepReport report;
-    ResultSink sink(jobs.size());
+    ResultSink sink(range_begin, range_end);
     const auto campaign_start = clock::now();
 
     // Warm restart: deliver journaled jobs without re-running. All
@@ -244,13 +264,16 @@ SweepRunner::run()
     // bit-exactly, so the resumed campaign's aggregates are
     // byte-identical to an uninterrupted run's.
     std::vector<const JobSpec *> pending;
-    pending.reserve(jobs.size());
-    for (const JobSpec &job : jobs) {
+    pending.reserve(range_end - range_begin);
+    for (std::size_t i = range_begin; i < range_end; ++i) {
+        const JobSpec &job = jobs[i];
         if (journal_ && journal_->completed(job.index)) {
             JobResult jr;
             std::string err;
             if (journal_->load(job.index, &jr, &err)) {
                 jr.spec = job;
+                if (delivery_hook_)
+                    delivery_hook_(jr);
                 sink.deliver(std::move(jr));
                 continue;
             }
@@ -366,6 +389,8 @@ SweepRunner::recordAndDeliver(JobResult result, ResultSink &sink)
         if (record_hook_)
             record_hook_(result.spec.index);
     }
+    if (delivery_hook_)
+        delivery_hook_(result);
     sink.deliver(std::move(result));
 }
 

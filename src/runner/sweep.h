@@ -185,12 +185,16 @@ struct SweepReport
 
 /**
  * Collects JobResults from worker threads and hands them back sorted
- * into job-index order. Thread safe.
+ * into job-index order. Thread safe. The two-argument constructor
+ * restricts the sink to the job-index range [begin, end) — the shape a
+ * fleet shard executes (see runner/shard.h); out-of-range deliveries
+ * panic just like out-of-bounds ones.
  */
 class ResultSink
 {
   public:
     explicit ResultSink(std::size_t num_jobs);
+    ResultSink(std::size_t begin, std::size_t end);
 
     /** Deliver a finished job (any thread). */
     void deliver(JobResult result);
@@ -200,6 +204,7 @@ class ResultSink
 
   private:
     std::mutex mutex_;
+    std::size_t begin_ = 0;
     std::vector<JobResult> slots_;
     std::vector<bool> filled_;
 };
@@ -244,6 +249,34 @@ class SweepRunner
         record_hook_ = std::move(hook);
     }
 
+    /**
+     * Restrict execution to jobs [begin, end) of the expansion order.
+     * The full grid is still expanded — the per-job seed tree is forked
+     * in expansion order, so a restricted run's results are bit-exactly
+     * the same jobs a full run would produce — but only the range is
+     * executed (or loaded from the journal) and run() returns only its
+     * results. This is how a fleet worker executes one shard
+     * (runner/shard.h). Validated against the grid inside run().
+     */
+    void setJobRange(std::size_t begin, std::size_t end)
+    {
+        range_begin_ = begin;
+        range_end_ = end;
+        has_range_ = true;
+    }
+
+    /**
+     * Called with each finished JobResult right before it is delivered
+     * to the sink — journaled warm-restart results included — from
+     * whichever thread delivers it (callers synchronize). A fleet
+     * worker uses it to stream results to the coordinator as they
+     * complete instead of waiting for the whole shard.
+     */
+    void setDeliveryHook(std::function<void(const JobResult &)> hook)
+    {
+        delivery_hook_ = std::move(hook);
+    }
+
     /** Expand, execute across the pool, aggregate. */
     SweepReport run();
 
@@ -274,6 +307,10 @@ class SweepRunner
     bool default_body_ = false;
     SweepJournal *journal_ = nullptr;
     std::function<void(std::size_t)> record_hook_;
+    std::function<void(const JobResult &)> delivery_hook_;
+    std::size_t range_begin_ = 0;
+    std::size_t range_end_ = 0;
+    bool has_range_ = false;
 };
 
 } // namespace inc::runner

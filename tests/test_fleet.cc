@@ -1,0 +1,598 @@
+/**
+ * @file
+ * The fleet campaign service test tier (src/fleet, DESIGN.md §15).
+ *
+ * In-process units: shard-planner partition properties, campaign JSON
+ * round trip and rejection, wire-protocol encode/decode round trips
+ * (including failed jobs and fuzz-grade stream fragmentation), and
+ * ResultFolder ordering/duplicate semantics.
+ *
+ * Process level (spawning the real nvpsim binary): the worker-count
+ * matrix — one campaign served at --workers 1, 2 and 4 must produce
+ * --out/--metrics/--report-out files AND stdout byte-identical to the
+ * serial `nvpsim sweep` of the same grid; the crash matrix — with
+ * --kill-worker-after every first-generation worker SIGKILLs itself
+ * mid-shard, and after reassignment + journal warm-restart the merged
+ * bytes must still be identical; and the CLI hard-error surface — a
+ * fingerprint-mismatched fleet dir, a bogus worker count, and dead
+ * socket paths all die with a clear fatal message.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "fleet/campaign.h"
+#include "fleet/folder.h"
+#include "fleet/protocol.h"
+#include "runner/shard.h"
+#include "runner/sweep.h"
+#include "sim/result_io.h"
+
+using namespace inc;
+
+namespace fs = std::filesystem;
+
+// ---- shard planner ---------------------------------------------------
+
+TEST(ShardPlanner, PartitionsEveryJobExactlyOnce)
+{
+    for (std::size_t jobs = 0; jobs <= 40; ++jobs) {
+        for (std::size_t max_shards = 1; max_shards <= 9;
+             ++max_shards) {
+            const std::vector<runner::ShardRange> plan =
+                runner::planShards(jobs, max_shards);
+            if (jobs == 0) {
+                EXPECT_TRUE(plan.empty());
+                continue;
+            }
+            ASSERT_EQ(plan.size(), std::min(jobs, max_shards));
+            std::size_t next = 0;
+            std::size_t smallest = jobs, largest = 0;
+            for (std::size_t i = 0; i < plan.size(); ++i) {
+                EXPECT_EQ(plan[i].id, i);
+                EXPECT_EQ(plan[i].begin, next);
+                ASSERT_LT(plan[i].begin, plan[i].end);
+                next = plan[i].end;
+                smallest = std::min(smallest, plan[i].size());
+                largest = std::max(largest, plan[i].size());
+            }
+            EXPECT_EQ(next, jobs);
+            EXPECT_LE(largest - smallest, 1u)
+                << jobs << " jobs / " << max_shards << " shards";
+        }
+    }
+}
+
+// ---- campaign spec ---------------------------------------------------
+
+TEST(Campaign, JsonRoundTripPreservesEveryField)
+{
+    fleet::CampaignSpec spec;
+    spec.kernels = "sobel,median";
+    spec.profiles = "2,3";
+    spec.seconds = 0.75;
+    spec.seed = 4242;
+    spec.mode = "fixed";
+    spec.bits = 6;
+    spec.minbits = 3;
+    spec.policy = "log";
+    spec.baseline = true;
+    spec.engine = "default";
+    spec.strategy = "freezer";
+    spec.income_scale = 1.5;
+    spec.frame_factor = 2.0;
+
+    fleet::CampaignSpec back;
+    std::string error;
+    ASSERT_TRUE(fleet::campaignFromJson(fleet::campaignToJson(spec),
+                                        &back, &error))
+        << error;
+    EXPECT_EQ(back.kernels, spec.kernels);
+    EXPECT_EQ(back.profiles, spec.profiles);
+    EXPECT_DOUBLE_EQ(back.seconds, spec.seconds);
+    EXPECT_EQ(back.seed, spec.seed);
+    EXPECT_EQ(back.mode, spec.mode);
+    EXPECT_EQ(back.bits, spec.bits);
+    EXPECT_EQ(back.minbits, spec.minbits);
+    EXPECT_EQ(back.policy, spec.policy);
+    EXPECT_EQ(back.baseline, spec.baseline);
+    EXPECT_EQ(back.strategy, spec.strategy);
+    EXPECT_DOUBLE_EQ(back.income_scale, spec.income_scale);
+    EXPECT_DOUBLE_EQ(back.frame_factor, spec.frame_factor);
+}
+
+TEST(Campaign, RejectsUnknownKeysAndWrongTypes)
+{
+    fleet::CampaignSpec spec;
+    std::string error;
+    EXPECT_FALSE(fleet::campaignFromJson(
+        R"({"kernels": "sobel", "wokers": 4})", &spec, &error));
+    EXPECT_NE(error.find("unknown campaign key 'wokers'"),
+              std::string::npos)
+        << error;
+    EXPECT_FALSE(fleet::campaignFromJson(R"({"seconds": "five"})",
+                                         &spec, &error));
+    EXPECT_NE(error.find("wrong type"), std::string::npos) << error;
+    EXPECT_FALSE(fleet::campaignFromJson("[1,2]", &spec, &error));
+}
+
+TEST(Campaign, BuildSweepSpecExpandsTheGridDeterministically)
+{
+    fleet::CampaignSpec spec;
+    spec.kernels = "sobel,median";
+    spec.profiles = "2,3";
+    spec.seconds = 0.2;
+    spec.seed = 9;
+    const runner::SweepSpec a = fleet::buildSweepSpec(spec, true);
+    const runner::SweepSpec b = fleet::buildSweepSpec(spec, true);
+    EXPECT_EQ(a.kernels, (std::vector<std::string>{"sobel", "median"}));
+    ASSERT_EQ(a.traces.size(), 2u);
+    EXPECT_TRUE(a.collect_metrics);
+    const std::vector<runner::JobSpec> ja = runner::expandSweep(a);
+    const std::vector<runner::JobSpec> jb = runner::expandSweep(b);
+    ASSERT_EQ(ja.size(), 4u);
+    ASSERT_EQ(ja.size(), jb.size());
+    for (std::size_t i = 0; i < ja.size(); ++i) {
+        EXPECT_EQ(ja[i].rng_seed, jb[i].rng_seed);
+        EXPECT_EQ(ja[i].kernel, jb[i].kernel);
+    }
+
+    // The fingerprint extra is stable, and sensitive to config flags.
+    const std::string extra =
+        fleet::campaignFingerprintExtra(spec, true);
+    EXPECT_EQ(extra, fleet::campaignFingerprintExtra(spec, true));
+    EXPECT_NE(extra, fleet::campaignFingerprintExtra(spec, false));
+    fleet::CampaignSpec other = spec;
+    other.policy = "log";
+    EXPECT_NE(extra, fleet::campaignFingerprintExtra(other, true));
+}
+
+// ---- wire protocol ---------------------------------------------------
+
+namespace
+{
+
+runner::JobSpec
+jobSpecAt(std::size_t index)
+{
+    runner::JobSpec spec;
+    spec.index = index;
+    spec.kernel = "sobel";
+    spec.trace_name = "trace";
+    spec.variant = "base";
+    return spec;
+}
+
+runner::JobResult
+okJobResult(std::size_t index, bool with_metrics)
+{
+    runner::JobResult jr;
+    jr.spec = jobSpecAt(index);
+    jr.attempts = 1;
+    jr.ok = true;
+    jr.result.forward_progress = 123 + index;
+    jr.result.backups = 7;
+    jr.result.on_time_fraction = 0.625;
+    jr.result.mean_psnr = 31.25;
+    jr.result.frames_scored = 4;
+    if (with_metrics)
+        jr.metrics.counter("test.counter").value =
+            static_cast<double>(10 + index);
+    return jr;
+}
+
+/** Decode one encoded frame, feeding the reader 1 byte at a time. */
+fleet::DecodedResult
+decodeFrameBytewise(const std::string &frame)
+{
+    fleet::MessageReader reader;
+    fleet::Message message;
+    std::string error;
+    bool got = false;
+    for (std::size_t i = 0; i < frame.size(); ++i) {
+        reader.feed(frame.data() + i, 1);
+        if (reader.next(&message, &error)) {
+            got = true;
+            break;
+        }
+        EXPECT_TRUE(error.empty()) << error;
+    }
+    EXPECT_TRUE(got) << "frame never completed";
+    fleet::DecodedResult decoded;
+    EXPECT_TRUE(fleet::decodeResult(message, &decoded, &error))
+        << error;
+    return decoded;
+}
+
+} // namespace
+
+TEST(FleetProtocol, ResultRoundTripIsBitExact)
+{
+    const runner::JobResult jr = okJobResult(5, true);
+    const fleet::DecodedResult decoded =
+        decodeFrameBytewise(fleet::encodeResult(jr));
+
+    runner::JobResult back;
+    std::string error;
+    ASSERT_TRUE(fleet::resultFromDecoded(decoded, jr.spec, &back,
+                                         &error))
+        << error;
+    EXPECT_TRUE(back.ok);
+    EXPECT_EQ(back.attempts, jr.attempts);
+    EXPECT_EQ(sim::serializeResult(back.result),
+              sim::serializeResult(jr.result));
+    EXPECT_EQ(back.metrics.toJson(), jr.metrics.toJson());
+}
+
+TEST(FleetProtocol, FailedJobTravelsWithItsError)
+{
+    runner::JobResult jr;
+    jr.spec = jobSpecAt(2);
+    jr.attempts = 2;
+    jr.ok = false;
+    jr.error = "injected failure (testing)";
+
+    const fleet::DecodedResult decoded =
+        decodeFrameBytewise(fleet::encodeResult(jr));
+    EXPECT_FALSE(decoded.ok);
+    EXPECT_EQ(decoded.attempts, 2);
+    EXPECT_TRUE(decoded.result_text.empty());
+    runner::JobResult back;
+    std::string error;
+    ASSERT_TRUE(fleet::resultFromDecoded(decoded, jr.spec, &back,
+                                         &error))
+        << error;
+    EXPECT_FALSE(back.ok);
+    EXPECT_EQ(back.error, jr.error);
+}
+
+TEST(FleetProtocol, ControlMessagesRoundTrip)
+{
+    std::string fp;
+    long pid = 0;
+    ASSERT_TRUE(fleet::parseHello("HELLO abc123 4711", &fp, &pid));
+    EXPECT_EQ(fp, "abc123");
+    EXPECT_EQ(pid, 4711);
+
+    runner::ShardRange shard{3, 8, 12};
+    runner::ShardRange back;
+    const std::string frame = fleet::encodeShard(shard);
+    ASSERT_TRUE(
+        fleet::parseShard(frame.substr(0, frame.size() - 1), &back));
+    EXPECT_EQ(back.id, 3u);
+    EXPECT_EQ(back.begin, 8u);
+    EXPECT_EQ(back.end, 12u);
+    EXPECT_FALSE(fleet::parseShard("SHARD 0 5 5", &back));
+
+    std::size_t shard_id = 0;
+    ASSERT_TRUE(fleet::parseDone("DONE 9", &shard_id));
+    EXPECT_EQ(shard_id, 9u);
+
+    // A malformed RESULT header is a framing error, not a silent skip.
+    fleet::MessageReader reader;
+    const std::string bogus = "RESULT 0 1 1 zap 0 0\n";
+    reader.feed(bogus.data(), bogus.size());
+    fleet::Message message;
+    std::string error;
+    EXPECT_FALSE(reader.next(&message, &error));
+    EXPECT_NE(error.find("malformed RESULT header"), std::string::npos)
+        << error;
+}
+
+// ---- result folder ---------------------------------------------------
+
+namespace
+{
+
+fleet::DecodedResult
+decodeFrame(const std::string &frame)
+{
+    fleet::MessageReader reader;
+    reader.feed(frame.data(), frame.size());
+    fleet::Message message;
+    std::string error;
+    EXPECT_TRUE(reader.next(&message, &error)) << error;
+    fleet::DecodedResult decoded;
+    EXPECT_TRUE(fleet::decodeResult(message, &decoded, &error))
+        << error;
+    return decoded;
+}
+
+} // namespace
+
+TEST(ResultFolder, FoldsOutOfOrderDeliveriesIntoIndexOrder)
+{
+    std::vector<runner::JobSpec> jobs = {jobSpecAt(0), jobSpecAt(1),
+                                         jobSpecAt(2)};
+    fleet::ResultFolder folder(jobs);
+    std::string error;
+    for (const std::size_t index : {2u, 0u, 1u}) {
+        ASSERT_TRUE(folder.fold(
+            decodeFrame(fleet::encodeResult(okJobResult(index, true))),
+            &error))
+            << error;
+    }
+    EXPECT_TRUE(folder.complete());
+    EXPECT_TRUE(folder.rangeComplete(0, 3));
+    const runner::SweepReport report = folder.takeReport(0.0, 1);
+    ASSERT_EQ(report.results.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(report.results[i].spec.index, i);
+        EXPECT_EQ(report.results[i].result.forward_progress, 123 + i);
+    }
+}
+
+TEST(ResultFolder, DuplicateDeliveriesMustBeByteIdentical)
+{
+    std::vector<runner::JobSpec> jobs = {jobSpecAt(0), jobSpecAt(1)};
+    fleet::ResultFolder folder(jobs);
+    std::string error;
+
+    // A journal warm-restart replays the same bytes: accepted.
+    ASSERT_TRUE(folder.fold(
+        decodeFrame(fleet::encodeResult(okJobResult(0, true))),
+        &error));
+    ASSERT_TRUE(folder.fold(
+        decodeFrame(fleet::encodeResult(okJobResult(0, true))),
+        &error));
+    EXPECT_EQ(folder.filledCount(), 1u);
+    EXPECT_FALSE(folder.rangeComplete(0, 2));
+
+    // A differing duplicate means a nondeterministic worker: error.
+    runner::JobResult drifted = okJobResult(0, true);
+    drifted.result.backups = 8;
+    EXPECT_FALSE(folder.fold(
+        decodeFrame(fleet::encodeResult(drifted)), &error));
+    EXPECT_NE(error.find("nondeterministic"), std::string::npos)
+        << error;
+
+    // Out-of-range indices are rejected, never folded.
+    EXPECT_FALSE(folder.fold(
+        decodeFrame(fleet::encodeResult(okJobResult(7, true))),
+        &error));
+}
+
+// ---- process-level matrix (the acceptance surface) -------------------
+
+#ifdef INC_NVPSIM_PATH
+namespace
+{
+
+/** Run a shell command; returns its exit code and combined output. */
+int
+runCommand(const std::string &cmd, std::string *output)
+{
+    FILE *pipe = ::popen((cmd + " 2>&1").c_str(), "r");
+    if (!pipe)
+        return -1;
+    char buf[256];
+    while (std::fgets(buf, sizeof buf, pipe))
+        *output += buf;
+    const int status = ::pclose(pipe);
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    EXPECT_TRUE(static_cast<bool>(f)) << "missing " << path;
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return ss.str();
+}
+
+/** Fresh scratch directory under the test temp root. */
+std::string
+freshDir(const std::string &tag)
+{
+    const std::string dir = ::testing::TempDir() + "fleet-" + tag +
+                            "-" + std::to_string(::getpid());
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+/** The campaign used across the matrix: 2 kernels x 2 profiles. */
+void
+writeCampaign(const std::string &path)
+{
+    std::ofstream f(path, std::ios::binary);
+    f << R"({"kernels": "sobel,median", "profiles": "2,3",)"
+      << R"( "seconds": 0.3, "seed": 77})";
+    ASSERT_TRUE(static_cast<bool>(f));
+}
+
+/** The equivalent serial sweep's flag spelling of that campaign. */
+std::string
+serialSweepCommand()
+{
+    return std::string(INC_NVPSIM_PATH) +
+           " sweep --kernels sobel,median --profiles 2,3"
+           " --seconds 0.3 --seed 77 --jobs 1";
+}
+
+// Parenthesized so runCommand's trailing 2>&1 cannot override the
+// stderr capture: scheduling noise goes to stderr.txt, the
+// determinism surface to stdout.txt.
+const char *const kOutputFlags =
+    " --out out.csv --metrics metrics.json --report"
+    " --report-out report.json > stdout.txt 2> stderr.txt )";
+
+void
+expectSameCampaignBytes(const std::string &serial_dir,
+                        const std::string &fleet_dir,
+                        const std::string &label)
+{
+    for (const char *file :
+         {"out.csv", "metrics.json", "report.json", "stdout.txt"}) {
+        EXPECT_EQ(readFile(serial_dir + "/" + file),
+                  readFile(fleet_dir + "/" + file))
+            << label << ": " << file;
+    }
+}
+
+} // namespace
+
+TEST(FleetMatrix, WorkerCountsProduceBytesIdenticalToSerialSweep)
+{
+    const std::string base = freshDir("matrix");
+    const std::string campaign = base + "/campaign.json";
+    writeCampaign(campaign);
+
+    const std::string serial_dir = base + "/serial";
+    fs::create_directories(serial_dir);
+    std::string out;
+    ASSERT_EQ(runCommand("cd " + serial_dir + " && ( " +
+                             serialSweepCommand() + kOutputFlags,
+                         &out),
+              0)
+        << out;
+
+    for (const int workers : {1, 2, 4}) {
+        const std::string dir =
+            base + "/w" + std::to_string(workers);
+        fs::create_directories(dir);
+        std::string fleet_out;
+        ASSERT_EQ(runCommand("cd " + dir + " && ( " +
+                                 std::string(INC_NVPSIM_PATH) +
+                                 " serve " + campaign + " --workers " +
+                                 std::to_string(workers) +
+                                 " --fleet-dir fd" + kOutputFlags,
+                             &fleet_out),
+                  0)
+            << fleet_out;
+        expectSameCampaignBytes(
+            serial_dir, dir,
+            "--workers " + std::to_string(workers));
+        EXPECT_NE(readFile(dir + "/stderr.txt").find("fleet:"),
+                  std::string::npos);
+    }
+    fs::remove_all(base);
+}
+
+TEST(FleetCrash, KillingEveryWorkerOnceLeavesBytesUnchanged)
+{
+    const std::string base = freshDir("crash");
+    const std::string campaign = base + "/campaign.json";
+    writeCampaign(campaign);
+
+    const std::string serial_dir = base + "/serial";
+    fs::create_directories(serial_dir);
+    std::string out;
+    ASSERT_EQ(runCommand("cd " + serial_dir + " && ( " +
+                             serialSweepCommand() + kOutputFlags,
+                         &out),
+              0)
+        << out;
+
+    // Every first-generation worker SIGKILLs itself after one
+    // journaled job; shards are reassigned, replacements warm-restart
+    // from the shard journals, and the merged bytes must not move.
+    const std::string dir = base + "/killed";
+    fs::create_directories(dir);
+    std::string fleet_out;
+    ASSERT_EQ(runCommand("cd " + dir + " && ( " +
+                             std::string(INC_NVPSIM_PATH) + " serve " +
+                             campaign +
+                             " --workers 2 --kill-worker-after 1"
+                             " --fleet-dir fd" +
+                             kOutputFlags,
+                         &fleet_out),
+              0)
+        << fleet_out;
+    const std::string fleet_err = readFile(dir + "/stderr.txt");
+    EXPECT_NE(fleet_err.find("reassigning shard"), std::string::npos)
+        << fleet_err;
+    expectSameCampaignBytes(serial_dir, dir, "kill matrix");
+    fs::remove_all(base);
+}
+
+TEST(FleetCli, HardErrorsDieWithClearMessages)
+{
+    const std::string base = freshDir("cli");
+    const std::string campaign = base + "/campaign.json";
+    writeCampaign(campaign);
+
+    // Bogus worker counts die before any fleet state is created.
+    for (const char *count : {"0", "banana", "-3"}) {
+        std::string out;
+        const int code =
+            runCommand(std::string(INC_NVPSIM_PATH) + " serve " +
+                           campaign + " --workers=" + count,
+                       &out);
+        EXPECT_NE(code, 0) << count;
+        EXPECT_NE(out.find("fatal:"), std::string::npos) << out;
+        EXPECT_NE(out.find("unknown worker count"), std::string::npos)
+            << out;
+    }
+
+    // A fleet dir bound to a different campaign is a hard error, not a
+    // silent mix of journals.
+    const std::string fdir = base + "/fd";
+    std::string out;
+    ASSERT_EQ(runCommand(std::string(INC_NVPSIM_PATH) + " serve " +
+                             campaign + " --workers 1 --fleet-dir " +
+                             fdir,
+                         &out),
+              0)
+        << out;
+    const std::string other = base + "/other.json";
+    {
+        std::ofstream f(other, std::ios::binary);
+        f << R"({"kernels": "sobel", "profiles": "2",)"
+          << R"( "seconds": 0.3, "seed": 78})";
+    }
+    out.clear();
+    const int code = runCommand(std::string(INC_NVPSIM_PATH) +
+                                    " serve " + other +
+                                    " --workers 1 --fleet-dir " + fdir,
+                                &out);
+    EXPECT_NE(code, 0);
+    EXPECT_NE(out.find("fatal:"), std::string::npos) << out;
+    EXPECT_NE(out.find("holds journals for a different campaign"),
+              std::string::npos)
+        << out;
+
+    // Unusable socket paths: a directory that does not exist, and a
+    // worker pointed at a socket nobody serves.
+    out.clear();
+    EXPECT_NE(runCommand(std::string(INC_NVPSIM_PATH) + " serve " +
+                             campaign + " --workers 1 --fleet-dir " +
+                             base + "/fd2 --socket " + base +
+                             "/no-such-dir/fleet.sock",
+                         &out),
+              0);
+    EXPECT_NE(out.find("cannot listen on"), std::string::npos) << out;
+
+    out.clear();
+    EXPECT_NE(runCommand(std::string(INC_NVPSIM_PATH) +
+                             " work --socket " + base +
+                             "/nobody.sock --campaign " + campaign +
+                             " --fleet-dir " + base + "/fd3",
+                         &out),
+              0);
+    EXPECT_NE(out.find("cannot connect to fleet socket"),
+              std::string::npos)
+        << out;
+
+    // A worker with a missing campaign file dies cleanly too.
+    out.clear();
+    EXPECT_NE(runCommand(std::string(INC_NVPSIM_PATH) +
+                             " work --socket " + base +
+                             "/nobody.sock --campaign " + base +
+                             "/nope.json --fleet-dir " + base + "/fd4",
+                         &out),
+              0);
+    EXPECT_NE(out.find("fatal:"), std::string::npos) << out;
+    fs::remove_all(base);
+}
+#endif // INC_NVPSIM_PATH

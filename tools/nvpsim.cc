@@ -76,6 +76,47 @@
  *       a testing aid that SIGKILLs the process after N jobs have been
  *       journaled.
  *
+ *   nvpsim serve CAMPAIGN.json --workers N [--fleet-dir DIR]
+ *                [--socket PATH] [--shards S] [--worker-jobs J]
+ *                [--max-shard-retries R] [--heartbeat-timeout SEC]
+ *                [--out F.csv] [--metrics F.json] [--report]
+ *                [--report-out F.json] [--fleet-metrics F.json]
+ *                [--kill-worker-after K]
+ *       Fleet campaign service (src/fleet, DESIGN.md §15): expand the
+ *       campaign file's sweep grid once, partition it into contiguous
+ *       job shards, and execute them across N `nvpsim work` child
+ *       processes over a Unix-domain socket, folding every streamed
+ *       result back into job-index order. The folded --out/--metrics/
+ *       --report output is byte-identical to the serial `nvpsim
+ *       sweep` with the same campaign at ANY --workers count — the
+ *       shard plan and delivery order only schedule when a job runs,
+ *       never what it computes. Workers journal each shard into a
+ *       per-shard persistence arena under --fleet-dir (default
+ *       CAMPAIGN.json.fleet): a worker that crashes (detected by
+ *       socket EOF) or stalls past --heartbeat-timeout is SIGKILLed
+ *       and its shard reassigned (bounded by --max-shard-retries,
+ *       default 3) to a respawned worker, which warm-restarts from
+ *       the journal instead of recomputing. Serving the same campaign
+ *       into the same --fleet-dir resumes it; a fleet dir whose
+ *       fingerprint marker names a different campaign is a hard
+ *       error. fleet.* scheduling metrics (shards dispatched/
+ *       reassigned/retried, workers spawned/lost, worker wall time,
+ *       merge bytes) stay in a separate registry — stderr summary and
+ *       optional --fleet-metrics JSON — so campaign outputs stay
+ *       crash-history-independent. --kill-worker-after K is a testing
+ *       aid: first-generation workers SIGKILL themselves after K
+ *       journaled jobs (respawned replacements run clean), the
+ *       kill/reassign matrix of tests/test_fleet.cc.
+ *
+ *   nvpsim work --socket PATH --campaign FILE --fleet-dir DIR
+ *               [--jobs N] [--collect-metrics 0|1] [--kill-after K]
+ *       Fleet worker entry point (spawned by `nvpsim serve`; usable
+ *       manually for debugging). Connects to the coordinator socket,
+ *       announces the campaign fingerprint it derived independently
+ *       from the campaign file, and executes SHARD assignments —
+ *       journal-backed, streaming each result the moment it commits —
+ *       until told to EXIT.
+ *
  *   nvpsim fuzz [--trials N] [--seed K] [--jobs N] [--samples S]
  *               [--repro-dir DIR] [--minimize] [--replay DIR]
  *               [--inject-bug leaky-backup] [--engine-diff]
@@ -96,7 +137,8 @@
  *       engine-equivalence invariant; see DESIGN.md §11, §13).
  *       --modes restricts trials to a comma-separated list of trial
  *       modes (exact_recovery, bounded_error, monotone_bits,
- *       rac_merge, arena_recovery, batch_lanes, strategy_diff);
+ *       rac_merge, arena_recovery, batch_lanes, strategy_diff,
+ *       fleet_merge);
  *       filtered trials keep the specs an unfiltered run of the same
  *       seed would draw, so repro seeds stay exact.
  *
@@ -121,8 +163,10 @@
  */
 
 #include <atomic>
+#include <cerrno>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -131,10 +175,15 @@
 #include <stdexcept>
 #include <string>
 
+#include <unistd.h>
+
 #include "arena/arena.h"
 #include "arena/backend.h"
 #include "check/diff_harness.h"
 #include "core/pragma_parser.h"
+#include "fleet/campaign.h"
+#include "fleet/coordinator.h"
+#include "fleet/worker.h"
 #include "isa/assembler.h"
 #include "isa/disassembler.h"
 #include "kernels/kernel.h"
@@ -529,173 +578,44 @@ cmdReport(const Args &args)
     return 0;
 }
 
-/** Split a comma-separated list ("a,b,c"); empty string -> empty. */
-std::vector<std::string>
-splitList(const std::string &list)
+/** Map the shared sweep grid/config flags onto a CampaignSpec — the
+ *  single definition of a campaign, shared with `serve`/`work`, so
+ *  the CLI sweep and a fleet run of the equivalent campaign file
+ *  expand identical jobs and derive identical arena fingerprints. */
+fleet::CampaignSpec
+campaignFromArgs(const Args &args)
 {
-    std::vector<std::string> out;
-    std::string item;
-    std::istringstream in(list);
-    while (std::getline(in, item, ',')) {
-        if (!item.empty())
-            out.push_back(item);
-    }
-    return out;
+    fleet::CampaignSpec campaign;
+    campaign.kernels = args.get("kernels", "all");
+    campaign.profiles = args.get("profiles", "all");
+    campaign.seconds = args.num("seconds", 5.0);
+    campaign.seed =
+        static_cast<std::uint64_t>(args.num("seed", 2017));
+    campaign.mode = args.get("mode", "dynamic");
+    campaign.bits = static_cast<int>(args.num("bits", 4));
+    campaign.minbits = static_cast<int>(args.num("minbits", 2));
+    campaign.policy = args.get("policy", "linear");
+    campaign.baseline = args.has("baseline");
+    campaign.engine = args.get("engine", "default");
+    if (args.has("strategy"))
+        campaign.strategy = args.get("strategy");
+    if (args.has("income-scale"))
+        campaign.income_scale = args.num("income-scale", -1.0);
+    if (args.has("frame-factor"))
+        campaign.frame_factor = args.num("frame-factor", -1.0);
+    return campaign;
 }
 
+/** Emit a (possibly fleet-folded) sweep report: results table plus
+ *  the optional --out CSV, --metrics JSON, and --report/--report-out
+ *  run report, then the failure summary. Shared verbatim by `sweep`
+ *  and `serve`, so the fleet's outputs are byte-identical to the
+ *  serial run's by construction. */
 int
-cmdSweep(const Args &args)
+emitSweepOutputs(const runner::SweepReport &report, const Args &args,
+                 bool want_report, const std::string &title)
 {
-    runner::SweepSpec spec;
-
-    const std::string kernel_list = args.get("kernels", "all");
-    spec.kernels = kernel_list == "all" ? kernels::kernelNames()
-                                        : splitList(kernel_list);
-    if (spec.kernels.empty())
-        util::fatal("--kernels lists no kernels");
-    // Validate up front: makeKernel() fatals on unknown names, which
-    // must happen here on the main thread, not inside a worker.
-    for (const auto &name : spec.kernels)
-        kernels::makeKernel(name);
-
-    const auto seed = static_cast<std::uint64_t>(args.num("seed", 2017));
-    const double seconds = args.num("seconds", 5.0);
-    const std::string profile_list = args.get("profiles", "all");
-    std::vector<int> profiles;
-    if (profile_list == "all") {
-        profiles = {1, 2, 3, 4, 5};
-    } else {
-        for (const auto &p : splitList(profile_list))
-            profiles.push_back(std::atoi(p.c_str()));
-    }
-    for (const int profile : profiles) {
-        trace::TraceGenerator gen(trace::paperProfile(profile), seed);
-        spec.traces.push_back(
-            gen.generate(static_cast<std::size_t>(seconds * 1e4)));
-    }
-
-    const sim::SimConfig cfg = configFromArgs(args);
-    const std::string variant = args.get("mode", "dynamic");
-    spec.variants = {{variant,
-                      [cfg](const std::string &) { return cfg; }}};
-    spec.master_seed = seed;
-    spec.jobs = static_cast<int>(args.num(
-        "jobs", runner::ThreadPool::defaultThreads()));
-    if (spec.jobs < 1)
-        util::fatal("--jobs must be >= 1");
-    const bool want_report =
-        args.has("report") || args.has("report-out");
-    spec.collect_metrics = args.has("metrics") || want_report;
-    spec.batch_width =
-        static_cast<int>(args.num("batch-width", 1));
-    if (spec.batch_width < 1)
-        util::fatal("--batch-width must be >= 1");
-    // Like --jobs, --batch-width only changes scheduling: the output
-    // is byte-identical at any width, so it is not part of the arena
-    // fingerprint below.
-    if (spec.batch_width > 1 && args.has("inject-failure"))
-        util::fatal("--batch-width > 1 cannot be combined with "
-                    "--inject-failure (the injected body is a custom "
-                    "JobFn, which the SimBatch packer rejects)");
-
-    std::unique_ptr<runner::SweepRunner> sweep_holder;
-    if (args.has("inject-failure")) {
-        const auto victim =
-            static_cast<std::size_t>(args.num("inject-failure", 0));
-        runner::SweepRunner::JobFn body =
-            [victim](const runner::JobSpec &job,
-                     const trace::PowerTrace &trace,
-                     util::Rng &rng) -> sim::SimResult {
-            if (job.index == victim)
-                throw std::runtime_error("injected failure (testing)");
-            return runner::SweepRunner::simJob(job, trace, rng);
-        };
-        sweep_holder =
-            std::make_unique<runner::SweepRunner>(spec, body);
-    } else {
-        // One-arg constructor: marks the body as the default sim job,
-        // which is what allows --batch-width to pack jobs.
-        sweep_holder = std::make_unique<runner::SweepRunner>(spec);
-    }
-    runner::SweepRunner &sweep = *sweep_holder;
-
-    // --arena: journal campaign progress so a killed sweep can warm-
-    // restart. The fingerprint covers the expanded jobs (kernels,
-    // trace bytes, seed tree) plus every flag that shapes a job's
-    // SimConfig, so a resume with different flags is refused instead
-    // of silently mixing results.
-    std::unique_ptr<arena::Arena> store;
-    std::unique_ptr<runner::SweepJournal> journal;
-    if (args.has("arena")) {
-        const std::string dir = args.get("arena");
-        const std::string fingerprint_extra = util::format(
-            "mode=%s bits=%d minbits=%d policy=%s baseline=%d "
-            "engine=%s strategy=%s income-scale=%.17g "
-            "frame-factor=%.17g metrics=%d",
-            args.get("mode", "dynamic").c_str(),
-            static_cast<int>(args.num("bits", 4)),
-            static_cast<int>(args.num("minbits", 2)),
-            args.get("policy", "linear").c_str(),
-            args.has("baseline") ? 1 : 0,
-            args.get("engine", "default").c_str(),
-            sim::strategyName(cfg.strategy), cfg.income_scale,
-            cfg.frame_period_factor, spec.collect_metrics ? 1 : 0);
-        const std::vector<runner::JobSpec> jobs =
-            runner::expandSweep(spec);
-        const std::string fp = runner::SweepJournal::fingerprint(
-            spec, jobs, fingerprint_extra);
-        store = openArenaOrDie(dir);
-        journal = std::make_unique<runner::SweepJournal>(store.get());
-        if (journal->bound()) {
-            if (!args.has("resume"))
-                util::fatal(
-                    "arena '%s' already holds a campaign (%zu of %zu "
-                    "jobs done); pass --resume to continue it or use "
-                    "a fresh directory",
-                    dir.c_str(), journal->completedCount(),
-                    journal->jobsTotal());
-            if (journal->boundFingerprint() != fp)
-                util::fatal(
-                    "arena '%s' holds a different campaign "
-                    "(fingerprint %s, this sweep is %s); re-run with "
-                    "the original flags or use a fresh directory",
-                    dir.c_str(), journal->boundFingerprint().c_str(),
-                    fp.c_str());
-            std::fprintf(stderr,
-                         "arena: resuming %zu of %zu jobs done\n",
-                         journal->completedCount(),
-                         journal->jobsTotal());
-        } else {
-            journal->bind(fp, jobs.size());
-        }
-        sweep.setJournal(journal.get());
-    }
-
-    // --kill-after N: SIGKILL ourselves after N jobs have been
-    // journaled — the harness for the kill-and-resume recipe
-    // (EXPERIMENTS.md) and tests/test_arena_sweep.cc.
-    if (args.has("kill-after")) {
-        if (!journal)
-            util::fatal("--kill-after requires --arena");
-        const auto kill_after =
-            static_cast<std::size_t>(args.num("kill-after", 1));
-        auto recorded = std::make_shared<std::atomic<std::size_t>>(0);
-        sweep.setRecordHook([recorded, kill_after](std::size_t) {
-            if (recorded->fetch_add(1) + 1 >= kill_after)
-                std::raise(SIGKILL);
-        });
-    }
-
-    const runner::SweepReport report = sweep.run();
-
-    // With --report every byte of stdout must be independent of the
-    // parallelism, so the header drops the worker/wall-clock info.
-    util::Table table(
-        want_report
-            ? util::format("sweep: %zu jobs", report.results.size())
-            : util::format("sweep: %zu jobs on %u workers, %.1f s wall",
-                           report.results.size(), report.jobs_used,
-                           report.wall_seconds));
+    util::Table table(title);
     table.setHeader({"kernel", "trace", "variant", "FP (all lanes)",
                      "on-time", "backups", "mean PSNR", "status"});
     util::CsvWriter csv;
@@ -757,6 +677,134 @@ cmdSweep(const Args &args)
             std::printf("report written to %s\n", path.c_str());
         }
     }
+    if (!report.allOk()) {
+        std::fputs(report.failureReport().c_str(), stderr);
+        std::fprintf(stderr, "%zu of %zu jobs failed after retry\n",
+                     report.failureCount(), report.results.size());
+        return 1;
+    }
+    return 0;
+}
+
+/** The sweep/serve stdout header: with --report every stdout byte
+ *  must be independent of the parallelism (and of sweep-vs-fleet), so
+ *  the header drops the worker/wall-clock info. */
+std::string
+sweepTitle(const runner::SweepReport &report, bool want_report)
+{
+    return want_report
+               ? util::format("sweep: %zu jobs", report.results.size())
+               : util::format(
+                     "sweep: %zu jobs on %u workers, %.1f s wall",
+                     report.results.size(), report.jobs_used,
+                     report.wall_seconds);
+}
+
+int
+cmdSweep(const Args &args)
+{
+    const fleet::CampaignSpec campaign = campaignFromArgs(args);
+    const bool want_report =
+        args.has("report") || args.has("report-out");
+    runner::SweepSpec spec = fleet::buildSweepSpec(
+        campaign, args.has("metrics") || want_report);
+    spec.jobs = static_cast<int>(args.num(
+        "jobs", runner::ThreadPool::defaultThreads()));
+    if (spec.jobs < 1)
+        util::fatal("--jobs must be >= 1");
+    spec.batch_width =
+        static_cast<int>(args.num("batch-width", 1));
+    if (spec.batch_width < 1)
+        util::fatal("--batch-width must be >= 1");
+    // Like --jobs, --batch-width only changes scheduling: the output
+    // is byte-identical at any width, so it is not part of the arena
+    // fingerprint below.
+    if (spec.batch_width > 1 && args.has("inject-failure"))
+        util::fatal("--batch-width > 1 cannot be combined with "
+                    "--inject-failure (the injected body is a custom "
+                    "JobFn, which the SimBatch packer rejects)");
+
+    std::unique_ptr<runner::SweepRunner> sweep_holder;
+    if (args.has("inject-failure")) {
+        const auto victim =
+            static_cast<std::size_t>(args.num("inject-failure", 0));
+        runner::SweepRunner::JobFn body =
+            [victim](const runner::JobSpec &job,
+                     const trace::PowerTrace &trace,
+                     util::Rng &rng) -> sim::SimResult {
+            if (job.index == victim)
+                throw std::runtime_error("injected failure (testing)");
+            return runner::SweepRunner::simJob(job, trace, rng);
+        };
+        sweep_holder =
+            std::make_unique<runner::SweepRunner>(spec, body);
+    } else {
+        // One-arg constructor: marks the body as the default sim job,
+        // which is what allows --batch-width to pack jobs.
+        sweep_holder = std::make_unique<runner::SweepRunner>(spec);
+    }
+    runner::SweepRunner &sweep = *sweep_holder;
+
+    // --arena: journal campaign progress so a killed sweep can warm-
+    // restart. The fingerprint covers the expanded jobs (kernels,
+    // trace bytes, seed tree) plus every flag that shapes a job's
+    // SimConfig, so a resume with different flags is refused instead
+    // of silently mixing results.
+    std::unique_ptr<arena::Arena> store;
+    std::unique_ptr<runner::SweepJournal> journal;
+    if (args.has("arena")) {
+        const std::string dir = args.get("arena");
+        const std::string fingerprint_extra =
+            fleet::campaignFingerprintExtra(campaign,
+                                            spec.collect_metrics);
+        const std::vector<runner::JobSpec> jobs =
+            runner::expandSweep(spec);
+        const std::string fp = runner::SweepJournal::fingerprint(
+            spec, jobs, fingerprint_extra);
+        store = openArenaOrDie(dir);
+        journal = std::make_unique<runner::SweepJournal>(store.get());
+        if (journal->bound()) {
+            if (!args.has("resume"))
+                util::fatal(
+                    "arena '%s' already holds a campaign (%zu of %zu "
+                    "jobs done); pass --resume to continue it or use "
+                    "a fresh directory",
+                    dir.c_str(), journal->completedCount(),
+                    journal->jobsTotal());
+            if (journal->boundFingerprint() != fp)
+                util::fatal(
+                    "arena '%s' holds a different campaign "
+                    "(fingerprint %s, this sweep is %s); re-run with "
+                    "the original flags or use a fresh directory",
+                    dir.c_str(), journal->boundFingerprint().c_str(),
+                    fp.c_str());
+            std::fprintf(stderr,
+                         "arena: resuming %zu of %zu jobs done\n",
+                         journal->completedCount(),
+                         journal->jobsTotal());
+        } else {
+            journal->bind(fp, jobs.size());
+        }
+        sweep.setJournal(journal.get());
+    }
+
+    // --kill-after N: SIGKILL ourselves after N jobs have been
+    // journaled — the harness for the kill-and-resume recipe
+    // (EXPERIMENTS.md) and tests/test_arena_sweep.cc.
+    if (args.has("kill-after")) {
+        if (!journal)
+            util::fatal("--kill-after requires --arena");
+        const auto kill_after =
+            static_cast<std::size_t>(args.num("kill-after", 1));
+        auto recorded = std::make_shared<std::atomic<std::size_t>>(0);
+        sweep.setRecordHook([recorded, kill_after](std::size_t) {
+            if (recorded->fetch_add(1) + 1 >= kill_after)
+                std::raise(SIGKILL);
+        });
+    }
+
+    const runner::SweepReport report = sweep.run();
+
     // Arena session stats go to stderr: stdout must stay byte-
     // identical between a fresh run and a resumed one.
     if (store) {
@@ -775,13 +823,117 @@ cmdSweep(const Args &args)
             static_cast<unsigned long long>(st.discarded_tail_bytes),
             st.recovery_ms);
     }
-    if (!report.allOk()) {
-        std::fputs(report.failureReport().c_str(), stderr);
-        std::fprintf(stderr, "%zu of %zu jobs failed after retry\n",
-                     report.failureCount(), report.results.size());
-        return 1;
+    return emitSweepOutputs(report, args, want_report,
+                            sweepTitle(report, want_report));
+}
+
+/** Absolute path of the running binary: `serve` respawns itself as
+ *  `work` processes, so the fleet always runs one build. */
+std::string
+selfExePath()
+{
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf,
+                                 sizeof(buf) - 1);
+    if (n <= 0)
+        util::fatal("cannot resolve /proc/self/exe: %s",
+                    std::strerror(errno));
+    return std::string(buf, static_cast<std::size_t>(n));
+}
+
+int
+cmdServe(const Args &args)
+{
+    if (args.positional().size() < 2)
+        util::fatal("usage: nvpsim serve CAMPAIGN.json --workers N "
+                    "[--fleet-dir DIR] (see the header of "
+                    "tools/nvpsim.cc)");
+    fleet::ServeOptions opt;
+    opt.campaign_path = args.positional()[1];
+    opt.fleet_dir =
+        args.get("fleet-dir", opt.campaign_path + ".fleet");
+    opt.socket_path = args.get("socket");
+    opt.nvpsim_path = selfExePath();
+
+    // Strict parse: "--workers banana" (or 0) must die loudly, not
+    // silently fall back to a serial fleet.
+    const std::string workers = args.get("workers", "1");
+    char *end = nullptr;
+    const long parsed = std::strtol(workers.c_str(), &end, 10);
+    if (end == workers.c_str() || *end != '\0' || parsed < 1)
+        util::fatal("unknown worker count '%s' (--workers wants a "
+                    "positive integer)",
+                    workers.c_str());
+    opt.workers = static_cast<int>(parsed);
+
+    opt.worker_jobs = static_cast<int>(args.num("worker-jobs", 1));
+    if (opt.worker_jobs < 1)
+        util::fatal("--worker-jobs must be >= 1");
+    opt.shards = static_cast<std::size_t>(args.num("shards", 0));
+    opt.max_shard_retries =
+        static_cast<int>(args.num("max-shard-retries", 3));
+    opt.heartbeat_timeout_s = args.num("heartbeat-timeout", 120.0);
+    const bool want_report =
+        args.has("report") || args.has("report-out");
+    opt.collect_metrics = args.has("metrics") || want_report;
+    opt.kill_worker_after =
+        static_cast<std::size_t>(args.num("kill-worker-after", 0));
+
+    const fleet::FleetOutcome outcome = fleet::serveCampaign(opt);
+
+    // Scheduling telemetry goes to stderr (and --fleet-metrics): the
+    // campaign's stdout/file outputs must stay byte-identical to the
+    // serial sweep, independent of worker count and crash history.
+    const auto counter = [&outcome](const char *name) {
+        return static_cast<unsigned long long>(
+            outcome.fleet_metrics.counterValue(name));
+    };
+    std::fprintf(
+        stderr,
+        "fleet: %llu shard dispatches (%llu reassigned, %llu "
+        "retried), %llu workers spawned (%llu lost), %llu result "
+        "bytes merged\n",
+        counter(obs::kFleetShardsDispatched),
+        counter(obs::kFleetShardsReassigned),
+        counter(obs::kFleetShardsRetried),
+        counter(obs::kFleetWorkersSpawned),
+        counter(obs::kFleetWorkersLost),
+        counter(obs::kFleetMergeBytes));
+    if (args.has("fleet-metrics")) {
+        const std::string path = args.get("fleet-metrics");
+        if (!util::ensureParentDir(path))
+            util::fatal("cannot create parent directory for '%s'",
+                        path.c_str());
+        if (!outcome.fleet_metrics.writeJson(path))
+            util::fatal("could not write '%s'", path.c_str());
+        std::fprintf(stderr, "fleet metrics written to %s\n",
+                     path.c_str());
     }
-    return 0;
+
+    return emitSweepOutputs(outcome.report, args, want_report,
+                            sweepTitle(outcome.report, want_report));
+}
+
+int
+cmdWork(const Args &args)
+{
+    fleet::WorkerOptions opt;
+    opt.socket_path = args.get("socket");
+    opt.campaign_path = args.get("campaign");
+    opt.fleet_dir = args.get("fleet-dir");
+    if (opt.socket_path.empty() || opt.campaign_path.empty() ||
+        opt.fleet_dir.empty())
+        util::fatal("usage: nvpsim work --socket PATH --campaign FILE "
+                    "--fleet-dir DIR (normally spawned by `nvpsim "
+                    "serve`)");
+    opt.jobs = static_cast<int>(args.num("jobs", 1));
+    if (opt.jobs < 1)
+        util::fatal("--jobs must be >= 1");
+    opt.collect_metrics =
+        static_cast<int>(args.num("collect-metrics", 0)) != 0;
+    opt.kill_after =
+        static_cast<std::size_t>(args.num("kill-after", 0));
+    return fleet::runWorker(opt);
 }
 
 int
@@ -923,7 +1075,8 @@ main(int argc, char **argv)
     if (argc < 2) {
         std::fprintf(
             stderr,
-            "usage: nvpsim <trace|run|sweep|report|fuzz|asm|kernels> "
+            "usage: nvpsim "
+            "<trace|run|sweep|serve|work|report|fuzz|asm|kernels> "
             "[options]\n"
             "see the file header of tools/nvpsim.cc\n");
         return 1;
@@ -936,6 +1089,10 @@ main(int argc, char **argv)
         return cmdRun(args);
     if (cmd == "sweep")
         return cmdSweep(args);
+    if (cmd == "serve")
+        return cmdServe(args);
+    if (cmd == "work")
+        return cmdWork(args);
     if (cmd == "report")
         return cmdReport(args);
     if (cmd == "fuzz")
