@@ -2,7 +2,7 @@
  * @file
  * Perf-trajectory snapshot harness (bench/snapshot).
  *
- * Runs a pinned kernel x profile suite and emits BENCH_9.json: per-entry
+ * Runs a pinned kernel x profile suite and emits BENCH_10.json: per-entry
  * wall time, instructions/sec, energy-per-frame, quality, and the run
  * report digest (obs::reportDigest over the canonical report JSON), plus
  * an aggregate throughput figure. Committed snapshots (BENCH_*.json at
@@ -39,7 +39,11 @@
  * `fleet_sweep@w4` rows. They are likewise excluded from the gated
  * aggregate (process spawn and socket costs are not sim throughput),
  * but the two runs' merged CSVs must be byte-identical, so every
- * snapshot run re-proves the fleet determinism contract.
+ * snapshot run re-proves the fleet determinism contract. The same
+ * campaign is then timed with the live telemetry plane off vs fully
+ * on (`fleet_progress@off` / `fleet_progress@on`: per-job PROGRESS
+ * cadence plus a status socket, DESIGN.md §16) — non-gated, overhead
+ * printed against the <= 3 % target, CSVs again byte-compared.
  *
  * Timing fields are machine-dependent by nature; everything else in the
  * snapshot (instructions, frames, energy, psnr, report digests) is a
@@ -48,7 +52,7 @@
  *
  * Modes:
  *   snapshot [--out F]                      run the suite, write F
- *                                           (default BENCH_9.json)
+ *                                           (default BENCH_10.json)
  *   snapshot --check PRIOR CURRENT          gate CURRENT against PRIOR;
  *            [--max-regression-pct P]       exit 1 on > P % regression
  *                                           (default 10)
@@ -99,7 +103,7 @@ namespace
 using namespace inc;
 
 constexpr char kSchema[] = "inc-bench-snapshot-v1";
-constexpr int kPr = 9;
+constexpr int kPr = 10;
 constexpr double kDefaultGatePct = 10.0;
 
 /** The pinned suite: two power regimes for the flagship kernel plus
@@ -596,6 +600,42 @@ appendFleetRows(std::vector<Measurement> *suite, std::uint64_t seed,
         util::fatal("fleet service diverged from the serial sweep: "
                     "'%s' and '%s' differ",
                     serial_csv.c_str(), fleet_csv.c_str());
+
+    // PROGRESS-streaming overhead (DESIGN.md §16): the same 4-worker
+    // campaign with the live plane disabled vs fully on — per-job
+    // PROGRESS cadence plus a status socket (nobody connected, which
+    // is the steady state the coordinator pays for every loop tick).
+    // Informative only; the §16 target is <= 3 %, and the telemetry
+    // plane must not move a CSV byte either way.
+    const std::string off_csv = (dir / "off.csv").string();
+    const std::string on_csv = (dir / "on.csv").string();
+    suite->push_back(runFleetRow(
+        "fleet_progress@off",
+        "rm -rf " + (dir / "fd").string() + " && " +
+            std::string(INC_NVPSIM_PATH) + " serve " + campaign +
+            " --workers 4 --fleet-dir " + (dir / "fd").string() +
+            " --progress-every 0 --out " + off_csv +
+            " > /dev/null 2>&1",
+        rounds));
+    suite->push_back(runFleetRow(
+        "fleet_progress@on",
+        "rm -rf " + (dir / "fd").string() + " && " +
+            std::string(INC_NVPSIM_PATH) + " serve " + campaign +
+            " --workers 4 --fleet-dir " + (dir / "fd").string() +
+            " --progress-every 1 --status-socket --out " + on_csv +
+            " > /dev/null 2>&1",
+        rounds));
+    const double off_s = (*suite)[suite->size() - 2].wall_seconds;
+    const double on_s = suite->back().wall_seconds;
+    if (off_s > 0.0)
+        std::printf("fleet: PROGRESS streaming overhead %+.1f %% "
+                    "(%.3f s off, %.3f s on; target <= 3 %%)\n",
+                    100.0 * (on_s - off_s) / off_s, off_s, on_s);
+    if (readTextFile(off_csv) != readTextFile(serial_csv) ||
+        readTextFile(on_csv) != readTextFile(serial_csv))
+        util::fatal("live telemetry plane perturbed the campaign CSV "
+                    "(compare %s / %s against %s)",
+                    off_csv.c_str(), on_csv.c_str(), serial_csv.c_str());
     fs::remove_all(dir);
 }
 #endif
@@ -704,7 +744,7 @@ parseDoubleArg(const char *text, const char *what)
 int
 main(int argc, char **argv)
 {
-    std::string out_path = "BENCH_9.json";
+    std::string out_path = "BENCH_10.json";
     std::string check_prior, check_current;
     std::string doctor_in, doctor_out;
     double max_pct = kDefaultGatePct;

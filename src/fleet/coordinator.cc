@@ -10,6 +10,9 @@
 #include <sstream>
 #include <vector>
 
+#include <map>
+
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/wait.h>
@@ -19,6 +22,8 @@
 #include "fleet/folder.h"
 #include "fleet/protocol.h"
 #include "fleet/socket.h"
+#include "obs/fleet_trace.h"
+#include "obs/json.h"
 #include "obs/schema.h"
 #include "runner/journal.h"
 #include "runner/shard.h"
@@ -52,6 +57,12 @@ struct WorkerProc
     Connection *conn = nullptr;
     bool alive = true;
     bool greeted = false;
+
+    // Live telemetry plane: the latest PROGRESS position. Display
+    // state only — nothing on the result path reads these.
+    std::size_t shard_done = 0;
+    std::size_t shard_assigned = 0;
+    std::string last_label;
 };
 
 std::string
@@ -78,6 +89,7 @@ class Coordinator
     void assignShard(WorkerProc &worker, std::size_t shard_id);
     void handleMessage(Connection &conn, const Message &message);
     void handleHello(Connection &conn, const Message &message);
+    void handleProgress(WorkerProc &worker, const Message &message);
     void readConnection(Connection *conn);
     void dropConnection(Connection *conn, const char *why);
     void workerLost(WorkerProc &worker, const char *why);
@@ -89,6 +101,13 @@ class Coordinator
     {
         return completed_count_ == plan_.size();
     }
+
+    // --- live telemetry plane (DESIGN.md §16) ------------------------
+    void traceInstant(const std::string &name);
+    void acceptStatusConnections();
+    void broadcastStatus(bool force);
+    void closeStatusPlane();
+    std::string buildStatusJson() const;
 
     const ServeOptions &options_;
     CampaignSpec campaign_;
@@ -114,6 +133,19 @@ class Coordinator
     std::unique_ptr<ResultFolder> folder_;
     obs::MetricsRegistry metrics_;
     double worker_wall_ms_ = 0.0;
+
+    // --- live telemetry plane ----------------------------------------
+    long self_pid_ = 0;
+    Clock::time_point campaign_start_;
+    double base_wall_us_ = 0.0; ///< wall clock at campaign start
+    int status_listen_fd_ = -1;
+    std::vector<int> status_fds_;
+    Clock::time_point last_status_write_;
+    bool status_written_once_ = false;
+    /** Latest cumulative snapshot per shard; the live folded view is
+     *  their merge (completed shards contribute their full prefix). */
+    std::map<std::size_t, obs::MetricsRegistry> shard_live_;
+    obs::FleetTraceMerger trace_;
 };
 
 Coordinator::Coordinator(const ServeOptions &options)
@@ -208,6 +240,8 @@ Coordinator::spawnWorker(bool first_generation)
         std::to_string(options_.worker_jobs),
         "--collect-metrics",
         options_.collect_metrics ? "1" : "0",
+        "--progress-every",
+        std::to_string(options_.progress_every),
     };
     if (first_generation && options_.kill_worker_after > 0) {
         argv_strings.push_back("--kill-after");
@@ -234,6 +268,9 @@ Coordinator::spawnWorker(bool first_generation)
     worker.spawned_at = Clock::now();
     workers_.push_back(worker);
     metrics_.counter(obs::kFleetWorkersSpawned).value += 1;
+    traceInstant(util::format("spawn worker g%d (pid %ld)",
+                              workers_.back().generation,
+                              static_cast<long>(pid)));
 }
 
 void
@@ -250,10 +287,14 @@ Coordinator::assignShard(WorkerProc &worker, std::size_t shard_id)
         return;
     }
     worker.shard = static_cast<int>(shard_id);
+    worker.shard_done = 0;
+    worker.shard_assigned = shard.end - shard.begin;
     dispatch_count_[shard_id] += 1;
     metrics_.counter(obs::kFleetShardsDispatched).value += 1;
     if (dispatch_count_[shard_id] > 1)
         metrics_.counter(obs::kFleetShardsRetried).value += 1;
+    traceInstant(util::format("assign shard %zu -> pid %ld", shard_id,
+                              worker.pid));
 }
 
 void
@@ -295,6 +336,47 @@ Coordinator::handleHello(Connection &conn, const Message &message)
     conn.pid = pid;
     worker->conn = &conn;
     worker->greeted = true;
+    trace_.setProcessName(
+        pid, util::format("nvpsim work g%d (pid %ld)",
+                          worker->generation, pid));
+    traceInstant(util::format("hello from pid %ld", pid));
+}
+
+void
+Coordinator::handleProgress(WorkerProc &worker, const Message &message)
+{
+    ProgressUpdate update;
+    std::string error;
+    if (!decodeProgress(message, &update, &error))
+        util::fatal("fleet: %s", error.c_str());
+    worker.shard_done = update.jobs_done;
+    worker.shard_assigned = update.jobs_assigned;
+    worker.last_label = update.label;
+    metrics_.counter(obs::kFleetStatusProgressFrames).value += 1;
+    metrics_.counter(obs::kFleetStatusProgressBytes).value +=
+        message.payload.size();
+    if (!update.metrics_json.empty()) {
+        // Latest cumulative snapshot wins: a reassigned shard's warm
+        // restart re-merges the journaled prefix, so replacing the
+        // dead incarnation's snapshot keeps the live view a prefix of
+        // the final fold (DESIGN.md §16).
+        obs::MetricsRegistry snapshot;
+        if (!obs::MetricsRegistry::fromJson(update.metrics_json,
+                                            &snapshot, &error))
+            util::fatal("fleet: PROGRESS snapshot from worker %ld: %s",
+                        worker.pid, error.c_str());
+        shard_live_[update.shard_id] = std::move(snapshot);
+    }
+    if (!update.spans_json.empty() && !options_.trace_out.empty()) {
+        obs::SpanBatch batch;
+        if (!obs::SpanBatch::fromJson(update.spans_json, &batch,
+                                      &error))
+            util::fatal("fleet: PROGRESS spans from worker %ld: %s",
+                        worker.pid, error.c_str());
+        metrics_.counter(obs::kFleetStatusSpansMerged).value +=
+            batch.size();
+        trace_.add(batch);
+    }
 }
 
 void
@@ -318,6 +400,10 @@ Coordinator::handleMessage(Connection &conn, const Message &message)
             util::fatal("fleet: %s", error.c_str());
         metrics_.counter(obs::kFleetMergeBytes).value +=
             message.payload.size();
+        return;
+    }
+    if (kind == "PROGRESS") {
+        handleProgress(*worker, message);
         return;
     }
     if (kind == "DONE") {
@@ -361,6 +447,8 @@ Coordinator::workerLost(WorkerProc &worker, const char *why)
                                                   worker.spawned_at)
             .count();
     metrics_.counter(obs::kFleetWorkersLost).value += 1;
+    traceInstant(util::format("worker pid %ld lost: %s", worker.pid,
+                              why));
     ::kill(static_cast<pid_t>(worker.pid), SIGKILL);
     int status = 0;
     ::waitpid(static_cast<pid_t>(worker.pid), &status, WNOHANG);
@@ -379,6 +467,7 @@ Coordinator::workerLost(WorkerProc &worker, const char *why)
                      dispatch_count_[shard_id] + 1);
         pending_.push_front(shard_id);
         metrics_.counter(obs::kFleetShardsReassigned).value += 1;
+        traceInstant(util::format("reassign shard %zu", shard_id));
     }
     // Keep the fleet at strength while work remains — even a worker
     // that died idle may be needed for a later reassignment.
@@ -487,6 +576,196 @@ Coordinator::checkHeartbeats()
 }
 
 void
+Coordinator::traceInstant(const std::string &name)
+{
+    if (options_.trace_out.empty())
+        return;
+    obs::FleetSpanEvent event;
+    event.phase = 'i';
+    event.pid = self_pid_;
+    event.tid = 0;
+    event.name = name;
+    event.ts_us = obs::wallClockUs();
+    trace_.add(std::move(event));
+}
+
+void
+Coordinator::acceptStatusConnections()
+{
+    if (status_listen_fd_ < 0)
+        return;
+    while (true) {
+        // Non-blocking fds: a status client that stops reading gets
+        // dropped by a failed write instead of stalling the fleet.
+        const int fd =
+            ::accept4(status_listen_fd_, nullptr, nullptr,
+                      SOCK_CLOEXEC | SOCK_NONBLOCK);
+        if (fd < 0)
+            return;
+        metrics_.counter(obs::kFleetStatusRequests).value += 1;
+        const std::string frame = encodeState(buildStatusJson());
+        if (writeAll(fd, frame.data(), frame.size()))
+            status_fds_.push_back(fd);
+        else
+            ::close(fd);
+    }
+}
+
+void
+Coordinator::broadcastStatus(bool force)
+{
+    if (status_fds_.empty())
+        return;
+    const auto now = Clock::now();
+    if (!force && status_written_once_ &&
+        std::chrono::duration<double>(now - last_status_write_)
+                .count() < 0.2)
+        return;
+    last_status_write_ = now;
+    status_written_once_ = true;
+    const std::string frame = encodeState(buildStatusJson());
+    std::vector<int> still_open;
+    for (const int fd : status_fds_) {
+        if (writeAll(fd, frame.data(), frame.size()))
+            still_open.push_back(fd);
+        else
+            ::close(fd); // gone or stalled: the live plane is lossy
+    }
+    status_fds_.swap(still_open);
+}
+
+void
+Coordinator::closeStatusPlane()
+{
+    // Final frame first: every attached watcher sees jobs_done ==
+    // jobs_total before EOF, which is what `nvpsim status --watch`
+    // (and the fleet status test) keys on.
+    acceptStatusConnections();
+    broadcastStatus(true);
+    for (const int fd : status_fds_)
+        ::close(fd);
+    status_fds_.clear();
+    if (status_listen_fd_ >= 0) {
+        ::close(status_listen_fd_);
+        status_listen_fd_ = -1;
+        ::unlink(options_.status_socket.c_str());
+    }
+}
+
+std::string
+Coordinator::buildStatusJson() const
+{
+    const auto now = Clock::now();
+    const double elapsed_s =
+        std::chrono::duration<double>(now - campaign_start_).count();
+    const std::size_t jobs_total = folder_->jobCount();
+    const std::size_t jobs_done = folder_->filledCount();
+    const double throughput =
+        elapsed_s > 0.0 ? static_cast<double>(jobs_done) / elapsed_s
+                        : 0.0;
+    const double eta_s =
+        throughput > 0.0
+            ? static_cast<double>(jobs_total - jobs_done) / throughput
+            : -1.0;
+
+    obs::JsonValue doc = obs::JsonValue::object();
+    doc.set("schema", obs::JsonValue::of(
+                          std::string("inc-fleet-status-v1")));
+    doc.set("fingerprint", obs::JsonValue::of(fingerprint_));
+    doc.set("jobs_total", obs::JsonValue::of(
+                              static_cast<std::uint64_t>(jobs_total)));
+    doc.set("jobs_done", obs::JsonValue::of(
+                             static_cast<std::uint64_t>(jobs_done)));
+    doc.set("shards_planned",
+            obs::JsonValue::of(
+                static_cast<std::uint64_t>(plan_.size())));
+    doc.set("shards_completed",
+            obs::JsonValue::of(
+                static_cast<std::uint64_t>(completed_count_)));
+    doc.set("elapsed_s", obs::JsonValue::of(elapsed_s));
+    doc.set("throughput_jps", obs::JsonValue::of(throughput));
+    doc.set("eta_s", obs::JsonValue::of(eta_s));
+
+    obs::JsonValue workers = obs::JsonValue::array();
+    for (const WorkerProc &w : workers_) {
+        obs::JsonValue row = obs::JsonValue::object();
+        row.set("pid",
+                obs::JsonValue::of(static_cast<double>(w.pid)));
+        row.set("generation",
+                obs::JsonValue::of(
+                    static_cast<std::uint64_t>(w.generation)));
+        row.set("shard", obs::JsonValue::of(
+                             static_cast<double>(w.shard)));
+        row.set("shard_done",
+                obs::JsonValue::of(
+                    static_cast<std::uint64_t>(w.shard_done)));
+        row.set("shard_assigned",
+                obs::JsonValue::of(
+                    static_cast<std::uint64_t>(w.shard_assigned)));
+        row.set("job", obs::JsonValue::of(w.last_label));
+        double age_s = -1.0;
+        if (w.conn)
+            age_s = std::chrono::duration<double>(
+                        now - w.conn->last_heard)
+                        .count();
+        row.set("heartbeat_age_s", obs::JsonValue::of(age_s));
+        const double timeout_s = options_.heartbeat_timeout_s;
+        std::string health = "ok";
+        if (!w.alive)
+            health = "lost";
+        else if (!w.greeted)
+            health = "starting";
+        else if (timeout_s > 0 && age_s > 0.5 * timeout_s)
+            health = "stale";
+        row.set("health", obs::JsonValue::of(health));
+        workers.push(std::move(row));
+    }
+    doc.set("workers", std::move(workers));
+
+    // fleet.* scheduling counters/gauges, live (obs/schema.h).
+    obs::JsonValue fleet = obs::JsonValue::object();
+    for (const auto &[name, counter] : metrics_.counters())
+        fleet.set(name, obs::JsonValue::of(counter.value));
+    for (const auto &[name, gauge] : metrics_.gauges())
+        fleet.set(name, obs::JsonValue::of(gauge.value));
+    doc.set("fleet", std::move(fleet));
+
+    // Live folded view: merge the latest per-shard snapshots. A
+    // prefix-consistent approximation of the final job-index-order
+    // fold — counters are exact partial sums, gauges reassociate
+    // floating-point addition (DESIGN.md §16).
+    obs::MetricsRegistry live;
+    for (const auto &[shard_id, snapshot] : shard_live_)
+        live.merge(snapshot);
+    obs::JsonValue live_obj = obs::JsonValue::object();
+    if (live.has(obs::kHistOutageSamples)) {
+        const obs::Histogram &h =
+            live.histograms().at(obs::kHistOutageSamples);
+        // Samples are 0.1 ms trace ticks; report milliseconds like
+        // the run report does.
+        live_obj.set("outage_p50_ms",
+                     obs::JsonValue::of(h.percentile(0.50) / 10.0));
+        live_obj.set("outage_p95_ms",
+                     obs::JsonValue::of(h.percentile(0.95) / 10.0));
+        live_obj.set("outage_p99_ms",
+                     obs::JsonValue::of(h.percentile(0.99) / 10.0));
+    }
+    live_obj.set("backups_committed",
+                 obs::JsonValue::of(live.counterValue(
+                     obs::kSimBackupsCommitted)));
+    live_obj.set("restores",
+                 obs::JsonValue::of(
+                     live.counterValue(obs::kSimRestores)));
+    live_obj.set(
+        "metrics_shards",
+        obs::JsonValue::of(
+            static_cast<std::uint64_t>(shard_live_.size())));
+    doc.set("live", std::move(live_obj));
+
+    return doc.dump();
+}
+
+void
 Coordinator::shutdownFleet()
 {
     const std::string exit_frame = encodeExit();
@@ -521,12 +800,32 @@ FleetOutcome
 Coordinator::run()
 {
     const auto campaign_start = Clock::now();
+    campaign_start_ = campaign_start;
+    base_wall_us_ = obs::wallClockUs();
+    self_pid_ = static_cast<long>(::getpid());
+    trace_.setProcessName(
+        self_pid_,
+        util::format("nvpsim serve (pid %ld)", self_pid_));
 
     std::string error;
     listen_fd_ = listenUnix(socket_path_, &error);
     if (listen_fd_ < 0)
         util::fatal("fleet: cannot listen on '%s': %s",
                     socket_path_.c_str(), error.c_str());
+
+    if (!options_.status_socket.empty()) {
+        status_listen_fd_ =
+            listenUnix(options_.status_socket, &error);
+        if (status_listen_fd_ < 0)
+            util::fatal("fleet: cannot listen on status socket '%s': "
+                        "%s",
+                        options_.status_socket.c_str(),
+                        error.c_str());
+        // Non-blocking: the event loop drains pending status
+        // connections opportunistically every round.
+        const int flags = ::fcntl(status_listen_fd_, F_GETFL, 0);
+        ::fcntl(status_listen_fd_, F_SETFL, flags | O_NONBLOCK);
+    }
 
     for (int i = 0; i < options_.workers; ++i)
         spawnWorker(true);
@@ -572,6 +871,8 @@ Coordinator::run()
 
         reapChildren();
         checkHeartbeats();
+        acceptStatusConnections();
+        broadcastStatus(false);
     }
 
     if (!folder_->complete())
@@ -579,16 +880,40 @@ Coordinator::run()
                     "%zu jobs folded",
                     folder_->filledCount(), folder_->jobCount());
 
+    // The folder is complete, so the final STATE frames report
+    // jobs_done == jobs_total to every watcher before their EOF.
+    closeStatusPlane();
     shutdownFleet();
 
     FleetOutcome outcome;
     const double wall_seconds =
         std::chrono::duration<double>(Clock::now() - campaign_start)
             .count();
+
+    if (!options_.trace_out.empty()) {
+        obs::FleetSpanEvent campaign_span;
+        campaign_span.phase = 'X';
+        campaign_span.pid = self_pid_;
+        campaign_span.tid = 0;
+        campaign_span.name = "campaign " + fingerprint_;
+        campaign_span.ts_us = base_wall_us_;
+        campaign_span.dur_us = wall_seconds * 1e6;
+        trace_.add(std::move(campaign_span));
+        if (!trace_.writeChromeTraceJson(options_.trace_out,
+                                         base_wall_us_))
+            util::fatal("fleet: could not write trace '%s'",
+                        options_.trace_out.c_str());
+        std::fprintf(stderr,
+                     "fleet: %zu trace events written to %s\n",
+                     trace_.eventCount(),
+                     options_.trace_out.c_str());
+    }
+
     outcome.report = folder_->takeReport(
         wall_seconds, static_cast<unsigned>(options_.workers));
     metrics_.gauge(obs::kFleetWorkerWallMs).value = worker_wall_ms_;
     outcome.fleet_metrics = std::move(metrics_);
+    outcome.fingerprint = fingerprint_;
     return outcome;
 }
 

@@ -21,6 +21,21 @@
  * merged metrics, report and CSV bytes are identical to a serial
  * `nvpsim sweep` at any worker count — including after SIGKILLing
  * every worker once (the fleet test tier pins this).
+ *
+ * Live telemetry plane (DESIGN.md §16): workers additionally stream
+ * PROGRESS frames (shard position, cumulative metrics snapshot,
+ * completed trace spans); the coordinator folds the latest snapshot
+ * per shard into a live view and, when a --status-socket is
+ * configured, serves point-in-time STATE snapshots — campaign
+ * fingerprint, per-worker health/heartbeat/shard progress, jobs
+ * done/total, throughput/ETA, fleet.* counters, live outage
+ * percentiles — to every status connection on a throttled cadence
+ * plus a final jobs_done == jobs_total frame at completion. With
+ * trace_out set, worker span batches and coordinator scheduling
+ * events (spawn/accept/assign/reassign/loss) merge into one
+ * Chrome-trace timeline with a process-name record per worker. The
+ * entire plane is read-only over the result path, so enabling it
+ * cannot perturb the byte-identity guarantees above.
  */
 
 #ifndef INC_FLEET_COORDINATOR_H
@@ -52,6 +67,12 @@ struct ServeOptions
     int max_shard_retries = 3;
     double heartbeat_timeout_s = 120.0;
     bool collect_metrics = false;
+    /** Live status endpoint socket path; empty = no status socket. */
+    std::string status_socket;
+    /** Merged fleet-wide Chrome-trace output path; empty = no trace. */
+    std::string trace_out;
+    /** Worker PROGRESS cadence in delivered jobs (0 = disabled). */
+    std::size_t progress_every = 1;
     /** Test hook: first-generation workers get --kill-after K, so
      *  every worker dies exactly once (respawns run clean). */
     std::size_t kill_worker_after = 0;
@@ -64,6 +85,8 @@ struct FleetOutcome
     /** fleet.* scheduling metrics (separate registry; see
      *  obs/schema.h). */
     obs::MetricsRegistry fleet_metrics;
+    /** The campaign fingerprint the fleet ran under. */
+    std::string fingerprint;
 };
 
 /**

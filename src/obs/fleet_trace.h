@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Cross-process trace spans for the fleet's live telemetry plane
+ * (DESIGN.md §16).
+ *
+ * EventTracer (obs/event_tracer.h) is the single-process tracer: it
+ * stores `const char *` literal names and renders everything under
+ * pid 0 on the simulated-time axis. A fleet campaign needs the
+ * opposite trade-offs — spans created in worker processes must carry
+ * owned name strings and the worker's real pid, travel over the wire
+ * inside PROGRESS frames, and land on one shared wall-clock axis so
+ * the coordinator can interleave them with its own scheduling events.
+ *
+ * FleetSpanEvent is that record; SpanBatch is its wire form (a
+ * canonical-JSON array, so the fleet protocol's length-prefixed
+ * payload framing applies unchanged); FleetTraceMerger folds batches
+ * from every process into one Chrome-trace/Perfetto document with a
+ * `process_name` metadata record per pid.
+ *
+ * Time base: producers stamp events with CLOCK_REALTIME microseconds
+ * (wallClockUs()) — the only clock all processes of a fleet share —
+ * and the merger subtracts the campaign-start timestamp at render
+ * time, so the merged timeline starts near zero. This is the
+ * *scheduling* timeline (when jobs ran on the host), deliberately
+ * distinct from the simulated-time timeline of `nvpsim run
+ * --trace-out`.
+ */
+
+#ifndef INC_OBS_FLEET_TRACE_H
+#define INC_OBS_FLEET_TRACE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace inc::obs
+{
+
+/** One cross-process trace event (Chrome-trace phases X / i / C). */
+struct FleetSpanEvent
+{
+    char phase = 'X'; ///< 'X' span, 'i' instant, 'C' counter
+    long pid = 0;     ///< real process id of the producer
+    int tid = 0;      ///< track within the process (0 = scheduling)
+    std::string name;
+    double ts_us = 0.0;  ///< CLOCK_REALTIME microseconds
+    double dur_us = 0.0; ///< spans only
+    double value = 0.0;  ///< counters only
+};
+
+/** CLOCK_REALTIME now, in microseconds (shared across processes). */
+double wallClockUs();
+
+/**
+ * A batch of completed events, serializable for the wire. Producers
+ * append between PROGRESS frames and take() the batch into the frame;
+ * the capacity bound makes the pending set a ring — when full the
+ * oldest pending event is dropped and counted, so a stalled
+ * connection cannot grow memory without bound.
+ */
+class SpanBatch
+{
+  public:
+    /** @p capacity bounds pending events (0 = unbounded). */
+    explicit SpanBatch(std::size_t capacity = 0);
+
+    void add(FleetSpanEvent event);
+    std::size_t size() const { return events_.size(); }
+    bool empty() const { return events_.empty(); }
+    std::uint64_t dropped() const { return dropped_; }
+    const std::vector<FleetSpanEvent> &events() const
+    {
+        return events_;
+    }
+
+    /** Move the pending events out, leaving the batch empty. */
+    std::vector<FleetSpanEvent> take();
+
+    /** Canonical-JSON array of event objects (Chrome-trace keys). */
+    std::string toJson() const;
+
+    /** Parse a toJson() payload back (appends to @p out->events_). */
+    static bool fromJson(const std::string &text, SpanBatch *out,
+                         std::string *error);
+
+  private:
+    std::size_t capacity_;
+    std::uint64_t dropped_ = 0;
+    std::vector<FleetSpanEvent> events_;
+};
+
+/**
+ * Folds span batches from every fleet process into one Chrome-trace
+ * document. Not thread-safe; the coordinator owns one and feeds it
+ * from its single-threaded event loop.
+ */
+class FleetTraceMerger
+{
+  public:
+    /** Name rendered for @p pid's process row in Perfetto. */
+    void setProcessName(long pid, const std::string &name);
+
+    void add(FleetSpanEvent event);
+    void add(const SpanBatch &batch);
+
+    std::size_t eventCount() const { return events_.size(); }
+
+    /**
+     * Chrome-trace JSON: one `process_name` metadata record per
+     * registered pid, then every event with @p base_ts_us subtracted
+     * from its timestamp (clamped at zero for stragglers stamped
+     * before the base).
+     */
+    std::string toChromeTraceJson(double base_ts_us) const;
+
+    /** Write toChromeTraceJson() to @p path. False on I/O failure. */
+    bool writeChromeTraceJson(const std::string &path,
+                              double base_ts_us) const;
+
+  private:
+    std::map<long, std::string> process_names_;
+    std::vector<FleetSpanEvent> events_;
+};
+
+} // namespace inc::obs
+
+#endif // INC_OBS_FLEET_TRACE_H

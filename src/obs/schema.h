@@ -173,6 +173,27 @@ inline constexpr char kFleetWorkersLost[] = "fleet.workers.lost";
 inline constexpr char kFleetWorkerWallMs[] = "fleet.worker.wall_ms";
 inline constexpr char kFleetMergeBytes[] = "fleet.merge.bytes";
 
+// ---- fleet live-telemetry plane (status socket + PROGRESS frames;
+// DESIGN.md §16). Same separate-registry rule as the fleet.* block
+// above: these count the observability side channel, never the
+// campaign results. --------------------------------------------------------
+/** Status snapshots served over the --status-socket endpoint. */
+inline constexpr char kFleetStatusRequests[] = "fleet.status.requests";
+/** PROGRESS frames folded into the live view. */
+inline constexpr char kFleetStatusProgressFrames[] =
+    "fleet.status.progress_frames";
+/** PROGRESS payload bytes received. */
+inline constexpr char kFleetStatusProgressBytes[] =
+    "fleet.status.progress_bytes";
+/** Worker span events merged into the fleet trace. */
+inline constexpr char kFleetStatusSpansMerged[] =
+    "fleet.status.spans_merged";
+
+// ---- trace counter series (EventTracer phase-"C" names; declared
+// here so the schema lint covers every emitted name literal) --------------
+/** Capacitor charge series in the run trace, nJ. */
+inline constexpr char kTraceCapSeries[] = "cap_nj";
+
 /**
  * Check every cross-metric identity a system-simulator registry must
  * satisfy (counter identities exactly; energy ledgers within

@@ -418,7 +418,7 @@ SystemSimulator::stepSample()
         captureFramesUpTo(i);
         capacitor_.step(config_.income_scale * trace_->at(i), 0.1);
         if (obs_ && obs_->tracer) {
-            obs_->tracer->counter("cap_nj",
+            obs_->tracer->counter(obs::kTraceCapSeries,
                                   100.0 * static_cast<double>(i),
                                   capacitor_.energyNj());
         }

@@ -4,8 +4,10 @@
  *
  * In-process units: shard-planner partition properties, campaign JSON
  * round trip and rejection, wire-protocol encode/decode round trips
- * (including failed jobs and fuzz-grade stream fragmentation), and
- * ResultFolder ordering/duplicate semantics.
+ * (including failed jobs, the live-plane PROGRESS/STATE frames, and
+ * fuzz-grade byte-at-a-time stream fragmentation), ResultFolder
+ * ordering/duplicate semantics, and the SpanBatch ring / trace-merger
+ * units of the fleet telemetry plane (DESIGN.md §16).
  *
  * Process level (spawning the real nvpsim binary): the worker-count
  * matrix — one campaign served at --workers 1, 2 and 4 must produce
@@ -13,16 +15,24 @@
  * serial `nvpsim sweep` of the same grid; the crash matrix — with
  * --kill-worker-after every first-generation worker SIGKILLs itself
  * mid-shard, and after reassignment + journal warm-restart the merged
- * bytes must still be identical; and the CLI hard-error surface — a
- * fingerprint-mismatched fleet dir, a bogus worker count, and dead
- * socket paths all die with a clear fatal message.
+ * bytes must still be identical; the live-telemetry surface — `nvpsim
+ * status --watch` against a 4-worker campaign must stream monotone
+ * progress ending at jobs_done == jobs_total, still answer (with a
+ * "lost" worker row) after --kill-worker-after, and enabling
+ * --status-socket + --trace-out must leave all four campaign
+ * artifacts byte-identical; and the CLI hard-error surface — a
+ * fingerprint-mismatched fleet dir, a bogus worker count, a
+ * non-positive --heartbeat-timeout, and dead socket paths all die
+ * with a clear fatal message.
  */
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -32,6 +42,8 @@
 #include "fleet/campaign.h"
 #include "fleet/folder.h"
 #include "fleet/protocol.h"
+#include "obs/fleet_trace.h"
+#include "obs/json.h"
 #include "runner/shard.h"
 #include "runner/sweep.h"
 #include "sim/result_io.h"
@@ -287,6 +299,169 @@ TEST(FleetProtocol, ControlMessagesRoundTrip)
         << error;
 }
 
+// ---- live-plane frames (PROGRESS / STATE) ----------------------------
+
+namespace
+{
+
+/** Read one whole frame of any kind, fed one byte at a time. */
+fleet::Message
+readFrameBytewise(const std::string &frame)
+{
+    fleet::MessageReader reader;
+    fleet::Message message;
+    std::string error;
+    bool got = false;
+    for (std::size_t i = 0; i < frame.size(); ++i) {
+        reader.feed(frame.data() + i, 1);
+        if (reader.next(&message, &error)) {
+            got = true;
+            EXPECT_EQ(i, frame.size() - 1)
+                << "frame completed before its last byte";
+            break;
+        }
+        EXPECT_TRUE(error.empty()) << error;
+    }
+    EXPECT_TRUE(got) << "frame never completed";
+    return message;
+}
+
+} // namespace
+
+TEST(FleetProtocol, ProgressRoundTripsOneByteAtATime)
+{
+    fleet::ProgressUpdate update;
+    update.shard_id = 3;
+    update.jobs_done = 5;
+    update.jobs_assigned = 9;
+    update.label = "sobel x Power Profile 2";
+    update.metrics_json = R"({"counters":{"a":1}})";
+    // Payloads are length-prefixed binary: newlines and NULs must
+    // travel untouched.
+    update.spans_json = "[{\"name\":\"shard 3\"}]\n";
+    update.spans_json.push_back('\0');
+    update.spans_json += "binary tail";
+
+    const fleet::Message message =
+        readFrameBytewise(fleet::encodeProgress(update));
+    fleet::ProgressUpdate back;
+    std::string error;
+    ASSERT_TRUE(fleet::decodeProgress(message, &back, &error)) << error;
+    EXPECT_EQ(back.shard_id, update.shard_id);
+    EXPECT_EQ(back.jobs_done, update.jobs_done);
+    EXPECT_EQ(back.jobs_assigned, update.jobs_assigned);
+    EXPECT_EQ(back.label, update.label);
+    EXPECT_EQ(back.metrics_json, update.metrics_json);
+    EXPECT_EQ(back.spans_json, update.spans_json);
+
+    // Empty payloads (no metrics yet, spans ring just flushed) are a
+    // legal steady state, not a framing special case.
+    fleet::ProgressUpdate bare;
+    bare.shard_id = 0;
+    bare.jobs_done = 0;
+    bare.jobs_assigned = 1;
+    ASSERT_TRUE(fleet::decodeProgress(
+        readFrameBytewise(fleet::encodeProgress(bare)), &back, &error))
+        << error;
+    EXPECT_TRUE(back.label.empty());
+    EXPECT_TRUE(back.metrics_json.empty());
+    EXPECT_TRUE(back.spans_json.empty());
+
+    // A shard cannot have finished more jobs than it was assigned.
+    fleet::Message lying = message;
+    lying.line = "PROGRESS 3 10 9 0 0 0";
+    lying.payload.clear();
+    EXPECT_FALSE(fleet::decodeProgress(lying, &back, &error));
+    EXPECT_NE(error.find("claims 10 of 9"), std::string::npos)
+        << error;
+}
+
+TEST(FleetProtocol, StateRoundTripsOneByteAtATime)
+{
+    const std::string snapshot =
+        R"({"jobs_done":4,"jobs_total":36,"schema":"inc-fleet-status-v1"})";
+    const fleet::Message message =
+        readFrameBytewise(fleet::encodeState(snapshot));
+    std::string back, error;
+    ASSERT_TRUE(fleet::decodeState(message, &back, &error)) << error;
+    EXPECT_EQ(back, snapshot);
+
+    // Truncated payload length is a decode error, not a crash.
+    fleet::Message truncated = message;
+    truncated.payload.pop_back();
+    EXPECT_FALSE(fleet::decodeState(truncated, &back, &error));
+}
+
+// ---- span ring + trace merger ----------------------------------------
+
+TEST(FleetTrace, SpanBatchRingDropsOldestAndCountsDrops)
+{
+    obs::SpanBatch batch(3);
+    for (int i = 0; i < 5; ++i) {
+        obs::FleetSpanEvent e;
+        e.phase = 'i';
+        e.pid = 42;
+        e.name = "e" + std::to_string(i);
+        e.ts_us = 1000.0 * i;
+        batch.add(std::move(e));
+    }
+    EXPECT_EQ(batch.size(), 3u);
+    EXPECT_EQ(batch.dropped(), 2u);
+    EXPECT_EQ(batch.events().front().name, "e2");
+
+    // JSON round trip preserves the surviving events bit-for-bit
+    // (the PROGRESS payload is exactly this serialization).
+    std::string error;
+    obs::SpanBatch back;
+    ASSERT_TRUE(obs::SpanBatch::fromJson(batch.toJson(), &back, &error))
+        << error;
+    ASSERT_EQ(back.size(), 3u);
+    EXPECT_EQ(back.toJson(), batch.toJson());
+
+    // take() drains the ring so the next PROGRESS frame starts clean.
+    batch.take();
+    EXPECT_TRUE(batch.empty());
+}
+
+TEST(FleetTrace, MergerEmitsProcessNamesAndNormalizedTimestamps)
+{
+    obs::FleetTraceMerger merger;
+    merger.setProcessName(100, "nvpsim serve (pid 100)");
+    merger.setProcessName(200, "nvpsim work g0 (pid 200)");
+
+    obs::FleetSpanEvent span;
+    span.phase = 'X';
+    span.pid = 200;
+    span.tid = 1;
+    span.name = "sobel x Power Profile 2";
+    span.ts_us = 5000.0;
+    span.dur_us = 1500.0;
+    merger.add(span);
+    EXPECT_EQ(merger.eventCount(), 1u);
+
+    const std::string trace = merger.toChromeTraceJson(4000.0);
+    ASSERT_TRUE(obs::jsonIsValid(trace)) << trace;
+    obs::JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(obs::parseJson(trace, &doc, &error)) << error;
+    const obs::JsonValue *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_EQ(events->items().size(), 3u); // 2 process names + 1 span
+    std::size_t names = 0;
+    for (const auto &e : events->items()) {
+        if (e.find("ph")->string() == "M") {
+            ++names;
+            EXPECT_EQ(e.find("name")->string(), "process_name");
+            continue;
+        }
+        // Timestamps are re-based to the campaign start.
+        EXPECT_DOUBLE_EQ(e.find("ts")->number(), 1000.0);
+        EXPECT_DOUBLE_EQ(e.find("dur")->number(), 1500.0);
+        EXPECT_DOUBLE_EQ(e.find("pid")->number(), 200.0);
+    }
+    EXPECT_EQ(names, 2u);
+}
+
 // ---- result folder ---------------------------------------------------
 
 namespace
@@ -440,6 +615,44 @@ expectSameCampaignBytes(const std::string &serial_dir,
     }
 }
 
+/** Launch @p cmd detached; its exit code lands in @p exit_file. */
+void
+launchBackground(const std::string &cmd, const std::string &exit_file)
+{
+    const std::string shell = "( " + cmd + "; echo $? > " + exit_file +
+                              " ) > /dev/null 2>&1 &";
+    ASSERT_EQ(std::system(shell.c_str()), 0) << shell;
+}
+
+bool
+waitForPath(const std::string &path, double seconds)
+{
+    for (int i = 0; i < static_cast<int>(seconds / 0.02); ++i) {
+        if (fs::exists(path))
+            return true;
+        ::usleep(20000);
+    }
+    return fs::exists(path);
+}
+
+/** Parse one `status --watch --json` line; returns jobs_done and
+ *  jobs_total and the raw document for further assertions. */
+void
+parseStatusLine(const std::string &line, double *jobs_done,
+                double *jobs_total, obs::JsonValue *doc)
+{
+    std::string error;
+    ASSERT_TRUE(obs::parseJson(line, doc, &error))
+        << error << "\n" << line;
+    const obs::JsonValue *schema = doc->find("schema");
+    ASSERT_NE(schema, nullptr);
+    EXPECT_EQ(schema->string(), "inc-fleet-status-v1");
+    ASSERT_NE(doc->find("jobs_done"), nullptr);
+    ASSERT_NE(doc->find("jobs_total"), nullptr);
+    *jobs_done = doc->find("jobs_done")->number();
+    *jobs_total = doc->find("jobs_total")->number();
+}
+
 } // namespace
 
 TEST(FleetMatrix, WorkerCountsProduceBytesIdenticalToSerialSweep)
@@ -516,6 +729,170 @@ TEST(FleetCrash, KillingEveryWorkerOnceLeavesBytesUnchanged)
     fs::remove_all(base);
 }
 
+// ---- live telemetry plane (DESIGN.md §16) ----------------------------
+
+/** A slower campaign (more simulated seconds) so the status watcher
+ *  reliably attaches while workers are still running. */
+void
+writeSlowCampaign(const std::string &path)
+{
+    std::ofstream f(path, std::ios::binary);
+    f << R"({"kernels": "sobel,median", "profiles": "2,3",)"
+      << R"( "seconds": 2, "seed": 77})";
+    ASSERT_TRUE(static_cast<bool>(f));
+}
+
+TEST(FleetStatus, WatchStreamsMonotoneProgressToCompletion)
+{
+    const std::string base = freshDir("status");
+    const std::string campaign = base + "/campaign.json";
+    writeSlowCampaign(campaign);
+
+    launchBackground("cd " + base + " && " +
+                         std::string(INC_NVPSIM_PATH) + " serve " +
+                         campaign +
+                         " --workers 4 --fleet-dir fd --status-socket",
+                     base + "/serve.exit");
+    ASSERT_TRUE(waitForPath(base + "/fd/status.sock", 30.0))
+        << "status socket never appeared";
+
+    // --watch follows the STATE stream until the coordinator closes
+    // the plane; the final frame always reports a finished campaign.
+    std::string stream;
+    ASSERT_EQ(runCommand(std::string(INC_NVPSIM_PATH) + " status " +
+                             base + "/fd --watch --json",
+                         &stream),
+              0)
+        << stream;
+    ASSERT_TRUE(waitForPath(base + "/serve.exit", 60.0));
+    EXPECT_EQ(readFile(base + "/serve.exit"), "0\n");
+
+    std::istringstream lines(stream);
+    std::string line;
+    double prev_done = -1.0, jobs_done = 0.0, jobs_total = 0.0;
+    std::size_t frames = 0;
+    while (std::getline(lines, line)) {
+        obs::JsonValue doc;
+        parseStatusLine(line, &jobs_done, &jobs_total, &doc);
+        EXPECT_EQ(jobs_total, 4.0);
+        EXPECT_GE(jobs_done, prev_done) << "progress went backwards";
+        prev_done = jobs_done;
+        ++frames;
+    }
+    ASSERT_GE(frames, 1u);
+    EXPECT_EQ(jobs_done, jobs_total)
+        << "final frame must report a finished campaign";
+    fs::remove_all(base);
+}
+
+TEST(FleetStatus, StillAnswersAfterWorkerLossAndReportsIt)
+{
+    const std::string base = freshDir("status-kill");
+    const std::string campaign = base + "/campaign.json";
+    writeSlowCampaign(campaign);
+
+    launchBackground("cd " + base + " && " +
+                         std::string(INC_NVPSIM_PATH) + " serve " +
+                         campaign +
+                         " --workers 2 --kill-worker-after 1"
+                         " --fleet-dir fd --status-socket",
+                     base + "/serve.exit");
+    ASSERT_TRUE(waitForPath(base + "/fd/status.sock", 30.0))
+        << "status socket never appeared";
+
+    std::string stream;
+    ASSERT_EQ(runCommand(std::string(INC_NVPSIM_PATH) + " status " +
+                             base + "/fd --watch --json",
+                         &stream),
+              0)
+        << stream;
+    ASSERT_TRUE(waitForPath(base + "/serve.exit", 60.0));
+    EXPECT_EQ(readFile(base + "/serve.exit"), "0\n");
+
+    // Every first-generation worker died; lost rows stay in the
+    // worker table, so the final frame must carry degraded health
+    // alongside a finished campaign.
+    std::istringstream lines(stream);
+    std::string line, last;
+    double jobs_done = 0.0, jobs_total = 0.0;
+    while (std::getline(lines, line))
+        last = line;
+    ASSERT_FALSE(last.empty());
+    obs::JsonValue doc;
+    parseStatusLine(last, &jobs_done, &jobs_total, &doc);
+    EXPECT_EQ(jobs_done, jobs_total);
+    EXPECT_NE(last.find("\"health\":\"lost\""), std::string::npos)
+        << last;
+    fs::remove_all(base);
+}
+
+TEST(FleetTelemetry, StatusSocketAndTraceLeaveCampaignBytesIdentical)
+{
+    const std::string base = freshDir("telemetry");
+    const std::string campaign = base + "/campaign.json";
+    writeCampaign(campaign);
+
+    const std::string serial_dir = base + "/serial";
+    fs::create_directories(serial_dir);
+    std::string out;
+    ASSERT_EQ(runCommand("cd " + serial_dir + " && ( " +
+                             serialSweepCommand() + kOutputFlags,
+                         &out),
+              0)
+        << out;
+
+    // The full telemetry plane on: status socket, trace merge, and
+    // the default-cadence PROGRESS stream — none of it may move a
+    // byte of the four campaign artifacts.
+    const std::string dir = base + "/live";
+    fs::create_directories(dir);
+    out.clear();
+    ASSERT_EQ(runCommand("cd " + dir + " && ( " +
+                             std::string(INC_NVPSIM_PATH) + " serve " +
+                             campaign +
+                             " --workers 2 --fleet-dir fd"
+                             " --status-socket"
+                             " --trace-out fleet.trace.json" +
+                             kOutputFlags,
+                         &out),
+              0)
+        << out;
+    expectSameCampaignBytes(serial_dir, dir, "telemetry plane");
+
+    // The merged trace is structurally valid Chrome-trace JSON with a
+    // process-name record per fleet process (coordinator + workers).
+    const std::string trace = readFile(dir + "/fleet.trace.json");
+    ASSERT_TRUE(obs::jsonIsValid(trace));
+    obs::JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(obs::parseJson(trace, &doc, &error)) << error;
+    const obs::JsonValue *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    std::size_t process_names = 0;
+    for (const auto &e : events->items())
+        if (e.find("name") != nullptr &&
+            e.find("name")->string() == "process_name")
+            ++process_names;
+    EXPECT_GE(process_names, 3u) << "coordinator + 2 workers";
+
+    // The fleet telemetry snapshot defaults beside --metrics, wrapped
+    // under its own top-level key and campaign fingerprint — the
+    // campaign metrics document itself stays untouched (asserted
+    // byte-identical above).
+    const std::string telemetry =
+        readFile(dir + "/metrics.json.fleet.json");
+    obs::JsonValue tdoc;
+    ASSERT_TRUE(obs::parseJson(telemetry, &tdoc, &error)) << error;
+    ASSERT_NE(tdoc.find("schema"), nullptr);
+    EXPECT_EQ(tdoc.find("schema")->string(), "inc-fleet-telemetry-v1");
+    EXPECT_NE(tdoc.find("campaign"), nullptr);
+    const obs::JsonValue *fleet = tdoc.find("fleet");
+    ASSERT_NE(fleet, nullptr);
+    ASSERT_TRUE(fleet->isObject());
+    EXPECT_NE(fleet->find("counters"), nullptr);
+    fs::remove_all(base);
+}
+
 TEST(FleetCli, HardErrorsDieWithClearMessages)
 {
     const std::string base = freshDir("cli");
@@ -532,6 +909,20 @@ TEST(FleetCli, HardErrorsDieWithClearMessages)
         EXPECT_NE(code, 0) << count;
         EXPECT_NE(out.find("fatal:"), std::string::npos) << out;
         EXPECT_NE(out.find("unknown worker count"), std::string::npos)
+            << out;
+    }
+
+    // A non-positive heartbeat timeout would mean "never detect a
+    // stalled worker": rejected up front.
+    for (const char *timeout : {"0", "-5"}) {
+        std::string out;
+        const int code = runCommand(
+            std::string(INC_NVPSIM_PATH) + " serve " + campaign +
+                " --workers 1 --heartbeat-timeout=" + timeout,
+            &out);
+        EXPECT_NE(code, 0) << timeout;
+        EXPECT_NE(out.find("--heartbeat-timeout must be a positive"),
+                  std::string::npos)
             << out;
     }
 

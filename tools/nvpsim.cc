@@ -81,7 +81,8 @@
  *                [--max-shard-retries R] [--heartbeat-timeout SEC]
  *                [--out F.csv] [--metrics F.json] [--report]
  *                [--report-out F.json] [--fleet-metrics F.json]
- *                [--kill-worker-after K]
+ *                [--status-socket [PATH]] [--trace-out F.trace.json]
+ *                [--progress-every N] [--kill-worker-after K]
  *       Fleet campaign service (src/fleet, DESIGN.md §15): expand the
  *       campaign file's sweep grid once, partition it into contiguous
  *       job shards, and execute them across N `nvpsim work` child
@@ -102,20 +103,51 @@
  *       error. fleet.* scheduling metrics (shards dispatched/
  *       reassigned/retried, workers spawned/lost, worker wall time,
  *       merge bytes) stay in a separate registry — stderr summary and
- *       optional --fleet-metrics JSON — so campaign outputs stay
- *       crash-history-independent. --kill-worker-after K is a testing
+ *       a telemetry snapshot JSON ({"schema":"inc-fleet-telemetry-v1",
+ *       "campaign":FP,"fleet":{...}}) written to --fleet-metrics or,
+ *       by default when --metrics F.json is given, to
+ *       F.json.fleet.json — so campaign outputs stay crash-history-
+ *       independent. --kill-worker-after K is a testing
  *       aid: first-generation workers SIGKILL themselves after K
  *       journaled jobs (respawned replacements run clean), the
  *       kill/reassign matrix of tests/test_fleet.cc.
+ *       Live telemetry plane (DESIGN.md §16): workers stream PROGRESS
+ *       frames every --progress-every delivered jobs (default 1, 0
+ *       disables) carrying shard position, a cumulative metrics
+ *       snapshot and completed trace spans. --status-socket [PATH]
+ *       opens a second Unix socket (default <fleet-dir>/status.sock)
+ *       that streams point-in-time STATE snapshots to every
+ *       connection — see `nvpsim status`. --trace-out merges worker
+ *       span batches with coordinator scheduling events
+ *       (spawn/hello/assign/reassign/loss) into one Chrome-trace /
+ *       Perfetto JSON with a process-name record per worker, on a
+ *       shared wall-clock time base. The entire plane is read-only
+ *       over the result path: all campaign outputs stay byte-identical
+ *       whether or not any of these flags are set.
  *
  *   nvpsim work --socket PATH --campaign FILE --fleet-dir DIR
- *               [--jobs N] [--collect-metrics 0|1] [--kill-after K]
+ *               [--jobs N] [--collect-metrics 0|1]
+ *               [--progress-every N] [--kill-after K]
  *       Fleet worker entry point (spawned by `nvpsim serve`; usable
  *       manually for debugging). Connects to the coordinator socket,
  *       announces the campaign fingerprint it derived independently
  *       from the campaign file, and executes SHARD assignments —
  *       journal-backed, streaming each result the moment it commits —
  *       until told to EXIT.
+ *
+ *   nvpsim status <SOCKET|FLEET-DIR> [--json] [--watch]
+ *       Query a running campaign's --status-socket (a fleet dir
+ *       resolves to DIR/status.sock). By default prints a one-shot
+ *       human-readable snapshot: jobs done/total, shard progress,
+ *       throughput and ETA, a per-worker health table (pid,
+ *       generation, ok/starting/stale/lost, heartbeat age, shard
+ *       position, current job), and live outage percentiles folded
+ *       from worker PROGRESS snapshots. --json prints the raw
+ *       inc-fleet-status-v1 document instead; --watch follows the
+ *       stream until the campaign completes (with --json, one
+ *       document per line — the final one always reports
+ *       jobs_done == jobs_total). Exits nonzero when the socket is
+ *       unreachable or no snapshot arrives.
  *
  *   nvpsim fuzz [--trials N] [--seed K] [--jobs N] [--samples S]
  *               [--repro-dir DIR] [--minimize] [--replay DIR]
@@ -175,6 +207,7 @@
 #include <stdexcept>
 #include <string>
 
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include "arena/arena.h"
@@ -183,11 +216,14 @@
 #include "core/pragma_parser.h"
 #include "fleet/campaign.h"
 #include "fleet/coordinator.h"
+#include "fleet/protocol.h"
+#include "fleet/socket.h"
 #include "fleet/worker.h"
 #include "isa/assembler.h"
 #include "isa/disassembler.h"
 #include "kernels/kernel.h"
 #include "obs/event_tracer.h"
+#include "obs/json.h"
 #include "obs/observer.h"
 #include "obs/report/flight_recorder.h"
 #include "obs/report/report.h"
@@ -873,9 +909,30 @@ cmdServe(const Args &args)
     opt.max_shard_retries =
         static_cast<int>(args.num("max-shard-retries", 3));
     opt.heartbeat_timeout_s = args.num("heartbeat-timeout", 120.0);
+    // A zero/negative timeout would silently mean "never detect a
+    // stalled worker" — reject it so typos die loudly; crank the
+    // value up instead if a campaign legitimately needs slack.
+    if (opt.heartbeat_timeout_s <= 0)
+        util::fatal("--heartbeat-timeout must be a positive number of "
+                    "seconds (got '%s')",
+                    args.get("heartbeat-timeout").c_str());
     const bool want_report =
         args.has("report") || args.has("report-out");
     opt.collect_metrics = args.has("metrics") || want_report;
+    if (args.has("status-socket")) {
+        const std::string path = args.get("status-socket");
+        // Bare `--status-socket` (parsed as "1") means the default
+        // path beside the campaign socket.
+        opt.status_socket = (path.empty() || path == "1")
+                                ? opt.fleet_dir + "/status.sock"
+                                : path;
+    }
+    opt.trace_out = args.get("trace-out");
+    const double progress_every = args.num("progress-every", 1.0);
+    if (progress_every < 0)
+        util::fatal("--progress-every must be >= 0 (0 disables "
+                    "PROGRESS frames)");
+    opt.progress_every = static_cast<std::size_t>(progress_every);
     opt.kill_worker_after =
         static_cast<std::size_t>(args.num("kill-worker-after", 0));
 
@@ -899,15 +956,33 @@ cmdServe(const Args &args)
         counter(obs::kFleetWorkersSpawned),
         counter(obs::kFleetWorkersLost),
         counter(obs::kFleetMergeBytes));
-    if (args.has("fleet-metrics")) {
-        const std::string path = args.get("fleet-metrics");
-        if (!util::ensureParentDir(path))
-            util::fatal("cannot create parent directory for '%s'",
-                        path.c_str());
-        if (!outcome.fleet_metrics.writeJson(path))
-            util::fatal("could not write '%s'", path.c_str());
-        std::fprintf(stderr, "fleet metrics written to %s\n",
-                     path.c_str());
+    // Fleet telemetry snapshot: the fleet.* registry wrapped in its
+    // own document (separate "fleet" top-level key, tagged with the
+    // campaign fingerprint). Written to --fleet-metrics, or defaulted
+    // to a sibling of --metrics — NEVER folded into the campaign
+    // metrics document itself, which must stay byte-identical to the
+    // serial `nvpsim sweep`.
+    std::string fleet_metrics_path = args.get("fleet-metrics");
+    if (fleet_metrics_path.empty() && args.has("metrics"))
+        fleet_metrics_path = args.get("metrics") + ".fleet.json";
+    if (!fleet_metrics_path.empty()) {
+        obs::JsonValue registry_json;
+        std::string parse_error;
+        if (!obs::parseJson(outcome.fleet_metrics.toJson(),
+                            &registry_json, &parse_error))
+            util::fatal("fleet metrics registry did not serialize: %s",
+                        parse_error.c_str());
+        obs::JsonValue doc = obs::JsonValue::object();
+        doc.set("schema",
+                obs::JsonValue::of(std::string("inc-fleet-telemetry-"
+                                               "v1")));
+        doc.set("campaign", obs::JsonValue::of(outcome.fingerprint));
+        doc.set("fleet", std::move(registry_json));
+        if (!writeTextFile(fleet_metrics_path, doc.dump() + "\n"))
+            util::fatal("could not write '%s'",
+                        fleet_metrics_path.c_str());
+        std::fprintf(stderr, "fleet telemetry written to %s\n",
+                     fleet_metrics_path.c_str());
     }
 
     return emitSweepOutputs(outcome.report, args, want_report,
@@ -931,9 +1006,173 @@ cmdWork(const Args &args)
         util::fatal("--jobs must be >= 1");
     opt.collect_metrics =
         static_cast<int>(args.num("collect-metrics", 0)) != 0;
+    opt.progress_every =
+        static_cast<std::size_t>(args.num("progress-every", 1));
     opt.kill_after =
         static_cast<std::size_t>(args.num("kill-after", 0));
     return fleet::runWorker(opt);
+}
+
+double
+statusNum(const obs::JsonValue &doc, const char *key, double fallback)
+{
+    const obs::JsonValue *v = doc.find(key);
+    return v != nullptr && v->isNumber() ? v->number() : fallback;
+}
+
+std::string
+statusStr(const obs::JsonValue &doc, const char *key)
+{
+    const obs::JsonValue *v = doc.find(key);
+    return v != nullptr && v->isString() ? v->string() : std::string();
+}
+
+/** Render one inc-fleet-status-v1 snapshot as human-readable text. */
+void
+renderStatus(const obs::JsonValue &doc)
+{
+    const double jobs_done = statusNum(doc, "jobs_done", 0);
+    const double jobs_total = statusNum(doc, "jobs_total", 0);
+    const double throughput = statusNum(doc, "throughput_jps", 0);
+    const double eta = statusNum(doc, "eta_s", -1);
+    std::printf("fleet status: %.0f/%.0f jobs (%.1f %%), %.0f/%.0f "
+                "shards, %.2f jobs/s",
+                jobs_done, jobs_total,
+                jobs_total > 0 ? 100.0 * jobs_done / jobs_total : 0.0,
+                statusNum(doc, "shards_completed", 0),
+                statusNum(doc, "shards_planned", 0), throughput);
+    if (eta >= 0)
+        std::printf(", ETA %.1f s", eta);
+    std::printf("\ncampaign %s, %.1f s elapsed\n",
+                statusStr(doc, "fingerprint").c_str(),
+                statusNum(doc, "elapsed_s", 0));
+
+    const obs::JsonValue *workers = doc.find("workers");
+    if (workers != nullptr && workers->isArray()) {
+        util::Table table("workers");
+        table.setHeader({"pid", "gen", "health", "heartbeat", "shard",
+                         "progress", "job"});
+        for (const auto &row : workers->items()) {
+            const double age = statusNum(row, "heartbeat_age_s", -1);
+            const double shard = statusNum(row, "shard", -1);
+            table.addRow(
+                {util::Table::integer(static_cast<long long>(
+                     statusNum(row, "pid", 0))),
+                 util::Table::integer(static_cast<long long>(
+                     statusNum(row, "generation", 0))),
+                 statusStr(row, "health"),
+                 age >= 0 ? util::Table::num(age, 1) + " s" : "-",
+                 shard >= 0 ? util::Table::integer(
+                                  static_cast<long long>(shard))
+                            : "-",
+                 util::format(
+                     "%.0f/%.0f", statusNum(row, "shard_done", 0),
+                     statusNum(row, "shard_assigned", 0)),
+                 statusStr(row, "job")});
+        }
+        table.print();
+    }
+
+    const obs::JsonValue *live = doc.find("live");
+    if (live != nullptr && live->isObject() &&
+        live->find("outage_p50_ms") != nullptr) {
+        std::printf("live outage percentiles: p50 %.1f ms, p95 %.1f "
+                    "ms, p99 %.1f ms (%.0f backups, %.0f restores, "
+                    "%.0f shard snapshots)\n",
+                    statusNum(*live, "outage_p50_ms", 0),
+                    statusNum(*live, "outage_p95_ms", 0),
+                    statusNum(*live, "outage_p99_ms", 0),
+                    statusNum(*live, "backups_committed", 0),
+                    statusNum(*live, "restores", 0),
+                    statusNum(*live, "metrics_shards", 0));
+    }
+}
+
+int
+cmdStatus(const Args &args)
+{
+    if (args.positional().size() < 2)
+        util::fatal("usage: nvpsim status <SOCKET|FLEET-DIR> "
+                    "[--json] [--watch]");
+    std::string path = args.positional()[1];
+    struct stat st = {};
+    if (::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode))
+        path += "/status.sock"; // a fleet dir: the default endpoint
+    std::string error;
+    const int fd = fleet::connectUnix(path, &error);
+    if (fd < 0) {
+        std::fprintf(stderr,
+                     "nvpsim status: cannot connect to '%s': %s\n",
+                     path.c_str(), error.c_str());
+        return 1;
+    }
+
+    const bool watch = args.has("watch");
+    const bool as_json = args.has("json");
+    fleet::MessageReader reader;
+    char buffer[64 * 1024];
+    std::string snapshot;
+    bool saw_frame = false;
+    // The coordinator sends one STATE immediately on accept, then a
+    // throttled stream, then a final jobs_done == jobs_total frame
+    // before closing. Plain mode answers from the first frame;
+    // --watch follows the stream to completion.
+    while (true) {
+        fleet::Message message;
+        const bool have = reader.next(&message, &error);
+        if (!have && !error.empty()) {
+            std::fprintf(stderr, "nvpsim status: %s\n", error.c_str());
+            ::close(fd);
+            return 1;
+        }
+        if (!have) {
+            const long n = fleet::readSome(fd, buffer, sizeof(buffer));
+            if (n == 0)
+                break; // campaign finished (or coordinator died)
+            if (n < 0) {
+                std::fprintf(stderr,
+                             "nvpsim status: socket read failed\n");
+                ::close(fd);
+                return 1;
+            }
+            reader.feed(buffer, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (!fleet::decodeState(message, &snapshot, &error)) {
+            std::fprintf(stderr, "nvpsim status: %s\n", error.c_str());
+            ::close(fd);
+            return 1;
+        }
+        saw_frame = true;
+        if (watch && as_json) {
+            // One canonical-JSON document per line: the streaming
+            // form tests and dashboards consume.
+            std::fputs((snapshot + "\n").c_str(), stdout);
+            std::fflush(stdout);
+        }
+        if (!watch)
+            break;
+    }
+    ::close(fd);
+    if (!saw_frame) {
+        std::fprintf(stderr,
+                     "nvpsim status: no snapshot received from '%s'\n",
+                     path.c_str());
+        return 1;
+    }
+    if (as_json) {
+        if (!watch)
+            std::fputs((snapshot + "\n").c_str(), stdout);
+        return 0;
+    }
+    obs::JsonValue doc;
+    if (!obs::parseJson(snapshot, &doc, &error)) {
+        std::fprintf(stderr, "nvpsim status: bad snapshot: %s\n",
+                     error.c_str());
+        return 1;
+    }
+    renderStatus(doc);
+    return 0;
 }
 
 int
@@ -1076,8 +1315,8 @@ main(int argc, char **argv)
         std::fprintf(
             stderr,
             "usage: nvpsim "
-            "<trace|run|sweep|serve|work|report|fuzz|asm|kernels> "
-            "[options]\n"
+            "<trace|run|sweep|serve|work|status|report|fuzz|asm|"
+            "kernels> [options]\n"
             "see the file header of tools/nvpsim.cc\n");
         return 1;
     }
@@ -1093,6 +1332,8 @@ main(int argc, char **argv)
         return cmdServe(args);
     if (cmd == "work")
         return cmdWork(args);
+    if (cmd == "status")
+        return cmdStatus(args);
     if (cmd == "report")
         return cmdReport(args);
     if (cmd == "fuzz")
